@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+The benchmark suite regenerates every table and figure of the paper at
+full reproduction scale.  Set ``REPRO_BENCH_QUICK=1`` to run the reduced
+matrix instead (useful for smoke-testing the harness).
+
+Results print as text tables; compare them against the paper-vs-measured
+record in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Full paper matrix unless REPRO_BENCH_QUICK is set."""
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return ExperimentConfig.quick()
+    return ExperimentConfig()
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an ExperimentResult table to the live terminal."""
+
+    def _show(result):
+        with capsys.disabled():
+            print("\n" + result.to_text())
+        return result
+
+    return _show
+
+
+@pytest.fixture(scope="session")
+def full_scale(bench_config) -> bool:
+    """Whether the paper-regime shape assertions apply.
+
+    The quick matrix uses graphs far smaller than the scaled caches, which
+    is outside the regime the paper's observations are stated in.
+    """
+    return bench_config.scale_shift >= 0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figs. 5/6 (dependency chains, producer/consumer roles)."""
+
+from repro.experiments import run_fig05
+
+
+def test_fig05_dep_chains(benchmark, bench_config, show):
+    result = benchmark.pedantic(
+        run_fig05, args=(bench_config,), rounds=1, iterations=1
+    )
+    show(result)
+    for row in result.rows:
+        # Paper: chains are short (mean 2.5) ...
+        assert row["mean_chain_len"] < 4.0
+        # ... property is the consumer, structure the producer.
+        assert row["prop_consumer_%"] > row["prop_producer_%"]
+        assert row["struct_producer_%"] > row["struct_consumer_%"]

@@ -1,0 +1,29 @@
+"""Bench: regenerate Tables I-V and the §V-D overhead report."""
+
+from repro.experiments import (
+    run_overheads,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def test_tables(benchmark, bench_config, show):
+    def render_all():
+        return [
+            run_table1(),
+            run_table2(),
+            run_table3(bench_config),
+            run_table4(),
+            run_table5(),
+            run_overheads(),
+        ]
+
+    results = benchmark.pedantic(render_all, rounds=1, iterations=1)
+    for result in results:
+        show(result)
+    overheads = {r["item"]: r["value"] for r in results[-1].rows}
+    # Paper §V-D ballparks.
+    assert overheads["page table extra"].startswith("64 B")

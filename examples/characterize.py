@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Characterization walkthrough: the paper's §IV analyses on one workload.
+
+Reproduces, for a chosen (workload, dataset) pair:
+
+* the Fig. 1 cycle stack,
+* the Fig. 3 instruction-window (ROB) sensitivity,
+* the Fig. 4 LLC and L2 sensitivity,
+* the Fig. 5/6 dependency-chain profile,
+* the Fig. 7 per-data-type hierarchy usage,
+* an exact reuse-distance profile per data type (the mechanism behind
+  Observation #6).
+
+Run:  python examples/characterize.py [workload] [dataset]
+e.g.  python examples/characterize.py CC urand
+"""
+
+import sys
+
+from repro.cache import reuse_distance_profile
+from repro.characterization import (
+    hierarchy_usage,
+    l2_sweep,
+    llc_sweep,
+    profile_dependencies,
+    rob_sweep,
+)
+from repro.graph import make_dataset
+from repro.system import SystemConfig, simulate
+from repro.trace import DataType
+from repro.workloads import get_workload
+
+
+def main(workload_name: str = "PR", dataset_name: str = "kron") -> None:
+    workload = get_workload(workload_name)
+    graph = make_dataset(dataset_name, weighted=workload.needs_weights)
+    run = workload.run(
+        graph, max_refs=150_000, skip_refs=workload.recommended_skip(graph)
+    )
+    config = SystemConfig.scaled_baseline()
+
+    print("== Fig. 1: cycle stack (%s on %s) ==" % (workload_name, dataset_name))
+    result = simulate(run, config=config)
+    for component, fraction in result.cycle_stack.fractions().items():
+        print("  %-6s %5.1f%%" % (component, 100 * fraction))
+    print("  IPC %.3f, LLC MPKI %.1f" % (result.ipc, result.llc_mpki()))
+
+    print("\n== Fig. 3: 4x instruction window ==")
+    base, big = rob_sweep(run, config=config, rob_sizes=(128, 512))
+    print(
+        "  ROB 128 -> 512: speedup %.3f, bandwidth %.3f -> %.3f, MLP %.2f -> %.2f"
+        % (
+            big.speedup_vs(base),
+            base.bandwidth_utilization,
+            big.bandwidth_utilization,
+            base.mlp,
+            big.mlp,
+        )
+    )
+
+    print("\n== Fig. 4a/4c: LLC capacity sweep ==")
+    points = llc_sweep(run, config=config)
+    for point in points:
+        print(
+            "  %4dKB LLC: MPKI %6.2f  speedup %.3f  offchip%% S/P/I = "
+            "%.1f / %.1f / %.1f"
+            % (
+                point.size_bytes // 1024,
+                point.llc_mpki,
+                point.speedup_vs(points[0]),
+                100 * point.offchip_fraction[DataType.STRUCTURE],
+                100 * point.offchip_fraction[DataType.PROPERTY],
+                100 * point.offchip_fraction[DataType.INTERMEDIATE],
+            )
+        )
+
+    print("\n== Fig. 4b: private L2 sweep ==")
+    l2_points = l2_sweep(run, config=config)
+    l2_base = next(p for p in l2_points if p.label == "1x")
+    for point in l2_points:
+        print(
+            "  %-12s hit rate %5.1f%%  speedup vs 1x: %.3f"
+            % (point.label, 100 * point.l2_hit_rate, point.speedup_vs(l2_base))
+        )
+
+    print("\n== Fig. 5/6: dependency chains ==")
+    profile = profile_dependencies(run.trace, config.rob_entries)
+    for key, value in profile.as_row().items():
+        if key != "trace":
+            print("  %-20s %s" % (key, value))
+
+    print("\n== Fig. 7: hierarchy usage by data type ==")
+    usage = hierarchy_usage(result)
+    for dt in DataType:
+        fr = usage[dt].fractions
+        print(
+            "  %-12s L1 %5.1f%%  L2 %5.1f%%  L3 %5.1f%%  DRAM %5.1f%%"
+            % (dt.short_name, 100 * fr["L1"], 100 * fr["L2"], 100 * fr["L3"], 100 * fr["DRAM"])
+        )
+
+    print("\n== Reuse distances (lines) — the mechanism behind Obs. #6 ==")
+    reuse = reuse_distance_profile(run.trace)
+    l2_lines = config.l2.num_lines
+    l3_lines = config.l3.num_lines
+    for dt in DataType:
+        median = reuse.median(dt)
+        beyond_l2 = reuse.fraction_beyond(dt, l2_lines)
+        beyond_l3 = reuse.fraction_beyond(dt, l3_lines)
+        print(
+            "  %-12s median %8.0f   beyond-L2 %5.1f%%   beyond-LLC %5.1f%%"
+            % (dt.short_name, median, 100 * beyond_l2, 100 * beyond_l3)
+        )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

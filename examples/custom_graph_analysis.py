@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bring-your-own-graph: analyze an edge list with the full toolchain.
+
+Shows the path a downstream user would take with their own data:
+
+1. load (or synthesize) an edge-list graph,
+2. check whether its topology is prefetch-friendly (degree tail, size
+   relative to the simulated caches),
+3. trace a workload of choice and measure how much DROPLET would help,
+4. decide — with numbers — whether a data-aware prefetcher is worth it
+   for this graph.
+
+Run:  python examples/custom_graph_analysis.py [path/to/edges.el]
+Without an argument, a small social-network-like graph is synthesized
+and written to a temp file first, so the script is self-contained.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.graph import (
+    graph_stats,
+    powerlaw_tail_ratio,
+    preferential_attachment,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.system import SystemConfig, compare_setups
+from repro.trace import DataType
+from repro.workloads import get_workload
+
+
+def load_graph(argv: list[str]):
+    if argv:
+        path = Path(argv[0])
+        print("loading edge list:", path)
+        return read_edge_list(path)
+    # Self-contained demo: synthesize, round-trip through the loader.
+    synthetic = preferential_attachment(40_000, out_degree=12, seed=11, name="demo")
+    tmp = Path(tempfile.mkdtemp()) / "demo.el"
+    write_edge_list(synthetic, tmp)
+    print("no edge list given; synthesized one at", tmp)
+    return read_edge_list(tmp)
+
+
+def main() -> None:
+    graph = load_graph(sys.argv[1:])
+    stats = graph_stats(graph)
+    print("graph:", stats.as_row())
+
+    config = SystemConfig.scaled_baseline()
+    property_bytes = 4 * graph.num_vertices
+    tail = powerlaw_tail_ratio(graph)
+    print(
+        "property array %.0f KB vs LLC %.0f KB; top-1%% vertices own %.0f%% "
+        "of edges" % (property_bytes / 1024, config.l3.size_bytes / 1024, 100 * tail)
+    )
+    if property_bytes < config.l3.size_bytes:
+        print(
+            "note: property data fits in the LLC — expect modest prefetcher "
+            "gains (the memory wall the paper attacks is not present)"
+        )
+
+    workload = get_workload("PR")
+    run = workload.run(
+        graph, max_refs=120_000, skip_refs=workload.recommended_skip(graph)
+    )
+    results = compare_setups(run, setups=("none", "stream", "droplet"))
+    base = results["none"]
+
+    print("\nworkload: PageRank, %d refs traced" % run.trace.num_refs)
+    print("baseline: IPC %.3f, DRAM-bound %.0f%%, property off-chip %.0f%%" % (
+        base.ipc,
+        100 * base.cycle_stack.dram_bound_fraction(),
+        100 * base.offchip_fraction(DataType.PROPERTY),
+    ))
+    for name in ("stream", "droplet"):
+        res = results[name]
+        print(
+            "%-8s speedup %.3f   LLC MPKI %6.1f -> %6.1f   extra bandwidth %+.0f%%"
+            % (
+                name,
+                res.speedup_vs(base),
+                base.llc_mpki(),
+                res.llc_mpki(),
+                100 * (res.bpki() / base.bpki() - 1.0),
+            )
+        )
+
+    droplet_gain = results["droplet"].speedup_vs(base)
+    stream_gain = results["stream"].speedup_vs(base)
+    print(
+        "\nverdict: DROPLET buys %.0f%% over no prefetching and %.0f%% over a "
+        "conventional streamer on this graph."
+        % (100 * (droplet_gain - 1.0), 100 * (droplet_gain / stream_gain - 1.0))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fig. 11 in miniature: all six prefetchers across several datasets.
+
+Runs the full prefetcher shoot-out (GHB, VLDP, conventional stream,
+streamMPP1, DROPLET, monolithic-L1 DROPLET) for one workload across the
+requested datasets and prints the Fig. 11a-style speedup table plus the
+Fig. 13-style demand-MPKI breakdown that explains it.
+
+Run:  python examples/prefetcher_comparison.py [workload] [dataset ...]
+e.g.  python examples/prefetcher_comparison.py CC kron road
+"""
+
+import sys
+
+from repro.graph import make_dataset
+from repro.system import compare_setups
+from repro.trace import DataType
+from repro.workloads import get_workload
+
+SETUPS = ("none", "ghb", "vldp", "stream", "streamMPP1", "droplet", "monoDROPLETL1")
+
+
+def run_one(workload_name: str, dataset_name: str) -> None:
+    workload = get_workload(workload_name)
+    graph = make_dataset(dataset_name, weighted=workload.needs_weights)
+    run = workload.run(
+        graph, max_refs=150_000, skip_refs=workload.recommended_skip(graph)
+    )
+    results = compare_setups(run, setups=SETUPS)
+    base = results["none"]
+
+    print("\n### %s on %s" % (workload_name, dataset_name))
+    print(
+        "%-14s %8s %9s %9s %8s"
+        % ("config", "speedup", "sMPKI", "pMPKI", "BPKI")
+    )
+    for name in SETUPS:
+        res = results[name]
+        print(
+            "%-14s %8.3f %9.2f %9.2f %8.1f"
+            % (
+                name,
+                res.speedup_vs(base),
+                res.llc_mpki(DataType.STRUCTURE),
+                res.llc_mpki(DataType.PROPERTY),
+                res.bpki(),
+            )
+        )
+    ranked = sorted(
+        (results[n].speedup_vs(base), n) for n in SETUPS if n != "none"
+    )
+    print("best: %s (%.3fx), worst: %s (%.3fx)" % (
+        ranked[-1][1], ranked[-1][0], ranked[0][1], ranked[0][0]))
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    workload = args[0] if args else "PR"
+    datasets = args[1:] or ["kron", "road"]
+    for dataset in datasets:
+        run_one(workload, dataset)
+    print(
+        "\nPaper shape to look for: DROPLET best on power-law datasets "
+        "(kron/urand/orkut/livejournal); streamMPP1 best on road; GHB weakest."
+    )
+
+
+if __name__ == "__main__":
+    main()

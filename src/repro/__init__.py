@@ -1,0 +1,45 @@
+"""repro: reproduction of the HPCA 2019 DROPLET paper.
+
+Analysis and Optimization of the Memory Hierarchy for Graph Processing
+Workloads (Basak et al., HPCA 2019).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Public API overview
+-------------------
+* :mod:`repro.graph` — CSR graphs, generators, I/O.
+* :mod:`repro.workloads` — the five GAP algorithms, traced.
+* :mod:`repro.trace` — annotated memory traces.
+* :mod:`repro.memory` — page table, TLBs, the specialized malloc layer.
+* :mod:`repro.cache` / :mod:`repro.dram` / :mod:`repro.core` — the
+  memory hierarchy and core timing models.
+* :mod:`repro.prefetch` — baseline prefetchers (stream, GHB, VLDP).
+* :mod:`repro.droplet` — the DROPLET prefetcher (streamer + MPP).
+* :mod:`repro.system` — machine configuration and the simulator.
+* :mod:`repro.characterization` / :mod:`repro.experiments` — the
+  paper's analyses, figures and tables.
+"""
+
+from .graph import CSRGraph, build_csr, make_dataset, paper_datasets
+from .system import Machine, SimResult, SystemConfig, compare_setups, simulate
+from .trace import DataType, Trace, TraceBuffer
+from .workloads import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "build_csr",
+    "make_dataset",
+    "paper_datasets",
+    "Machine",
+    "SimResult",
+    "SystemConfig",
+    "compare_setups",
+    "simulate",
+    "DataType",
+    "Trace",
+    "TraceBuffer",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Cache models: set-associative caches, inclusive hierarchy, reuse profiling."""
+
+from .cache import Cache, CacheConfig, CacheLine
+from .hierarchy import AccessOutcome, CacheHierarchy, HierarchyEvent
+from .reuse import COLD_DISTANCE, ReuseProfile, reuse_distance_profile
+from .stats import SERVICE_LEVELS, CacheStats
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "AccessOutcome",
+    "CacheHierarchy",
+    "HierarchyEvent",
+    "COLD_DISTANCE",
+    "ReuseProfile",
+    "reuse_distance_profile",
+    "SERVICE_LEVELS",
+    "CacheStats",
+]

@@ -1,0 +1,131 @@
+"""Set-associative cache model with LRU replacement.
+
+Matches the paper's Table I cache organization: physically indexed
+set-associative arrays, LRU replacement, 64 B lines, separate tag/data
+access latencies (taken from CACTI in the paper; we carry them as plain
+configuration numbers).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..trace.record import DataType
+from .stats import CacheStats
+
+__all__ = ["Cache", "CacheConfig", "CacheLine"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    data_latency: int = 4
+    tag_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.associativity * self.line_size):
+            raise ValueError(
+                "%s: size %d not divisible by assoc*line (%d*%d)"
+                % (self.name, self.size_bytes, self.associativity, self.line_size)
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total line capacity."""
+        return self.size_bytes // self.line_size
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident line."""
+
+    dirty: bool = False
+    prefetched: bool = False
+    kind: int = int(DataType.INTERMEDIATE)
+    used: bool = False  # demand-touched since fill (prefetch usefulness)
+
+
+class Cache:
+    """One set-associative, LRU cache level keyed by global line number."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats(name=config.name)
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+
+    # ------------------------------------------------------------------
+    def _set_of(self, line: int) -> OrderedDict[int, CacheLine]:
+        return self._sets[line % self._num_sets]
+
+    def lookup(self, line: int, update_lru: bool = True) -> CacheLine | None:
+        """Probe for ``line``; returns its metadata on hit, else ``None``."""
+        s = self._set_of(line)
+        meta = s.get(line)
+        if meta is not None and update_lru:
+            s.move_to_end(line)
+        return meta
+
+    def contains(self, line: int) -> bool:
+        """Presence check without LRU update (coherence-engine probe)."""
+        return line in self._set_of(line)
+
+    def insert(
+        self,
+        line: int,
+        kind: DataType = DataType.INTERMEDIATE,
+        dirty: bool = False,
+        prefetched: bool = False,
+    ) -> tuple[int, CacheLine] | None:
+        """Fill ``line``; returns the evicted ``(line, meta)`` if any.
+
+        Filling a resident line refreshes LRU and merges the dirty bit.
+        """
+        s = self._set_of(line)
+        existing = s.get(line)
+        if existing is not None:
+            s.move_to_end(line)
+            existing.dirty = existing.dirty or dirty
+            return None
+        victim = None
+        if len(s) >= self._assoc:
+            victim = s.popitem(last=False)
+            self.stats.evictions += 1
+        s[line] = CacheLine(dirty=dirty, prefetched=prefetched, kind=int(kind))
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def invalidate(self, line: int) -> CacheLine | None:
+        """Remove ``line`` (back-invalidation); returns its metadata."""
+        meta = self._set_of(line).pop(line, None)
+        if meta is not None:
+            self.stats.back_invalidations += 1
+        return meta
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers (test/diagnostic helper)."""
+        out: list[int] = []
+        for s in self._sets:
+            out.extend(s)
+        return out
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)

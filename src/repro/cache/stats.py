@@ -1,0 +1,77 @@
+"""Per-level, per-data-type cache statistics.
+
+All counters are indexed by :class:`~repro.trace.record.DataType`, because
+the paper's entire characterization (Figs. 4, 7, 13) is data-type-aware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trace.record import DataType
+
+__all__ = ["CacheStats", "LevelName", "SERVICE_LEVELS"]
+
+#: Service levels in nearest-to-farthest order, as used in Fig. 7 style
+#: breakdowns ("which level serviced this access").
+SERVICE_LEVELS = ("L1", "L2", "L3", "DRAM")
+
+LevelName = str
+
+
+def _zero_by_type() -> dict[DataType, int]:
+    return {dt: 0 for dt in DataType}
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    name: str = "cache"
+    hits: dict[DataType, int] = field(default_factory=_zero_by_type)
+    misses: dict[DataType, int] = field(default_factory=_zero_by_type)
+    prefetch_hits: int = 0
+    prefetch_fills: int = 0
+    evictions: int = 0
+    back_invalidations: int = 0
+
+    def record(self, kind: DataType, hit: bool) -> None:
+        """Record one demand access."""
+        if hit:
+            self.hits[kind] += 1
+        else:
+            self.misses[kind] += 1
+
+    @property
+    def total_hits(self) -> int:
+        """Demand hits across all data types."""
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        """Demand misses across all data types."""
+        return sum(self.misses.values())
+
+    @property
+    def total_accesses(self) -> int:
+        """Demand accesses across all data types."""
+        return self.total_hits + self.total_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall demand hit rate."""
+        total = self.total_accesses
+        return self.total_hits / total if total else 0.0
+
+    def hit_rate_of(self, kind: DataType) -> float:
+        """Demand hit rate for one data type."""
+        total = self.hits[kind] + self.misses[kind]
+        return self.hits[kind] / total if total else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Demand misses per kilo-instruction."""
+        return 1000.0 * self.total_misses / instructions if instructions else 0.0
+
+    def mpki_of(self, kind: DataType, instructions: int) -> float:
+        """Demand misses per kilo-instruction for one data type."""
+        return 1000.0 * self.misses[kind] / instructions if instructions else 0.0

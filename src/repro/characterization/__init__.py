@@ -1,0 +1,19 @@
+"""Workload characterization: the paper's first-phase analyses (§IV)."""
+
+from .cache_sensitivity import L2SweepPoint, LLCSweepPoint, l2_sweep, llc_sweep
+from .depchains import DepChainProfile, profile_dependencies
+from .hierarchy_usage import UsageBreakdown, hierarchy_usage
+from .mlp import RobSweepPoint, rob_sweep
+
+__all__ = [
+    "L2SweepPoint",
+    "LLCSweepPoint",
+    "l2_sweep",
+    "llc_sweep",
+    "DepChainProfile",
+    "profile_dependencies",
+    "UsageBreakdown",
+    "hierarchy_usage",
+    "RobSweepPoint",
+    "rob_sweep",
+]

@@ -1,0 +1,109 @@
+"""Cache-configuration sensitivity sweeps (paper Fig. 4).
+
+* :func:`llc_sweep` — shared LLC capacity 1x–8x with CACTI-scaled access
+  latencies (Fig. 4a), including per-type off-chip access fractions
+  (Fig. 4c).
+* :func:`l2_sweep` — private L2 configurations including *no L2 at all*
+  (Fig. 4b), the experiment behind the paper's claim that "an
+  architecture without private L2 caches is just as fine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..system.config import SystemConfig
+from ..system.runner import simulate
+from ..trace.record import DataType
+from ..workloads.base import TraceRun
+
+__all__ = ["LLCSweepPoint", "L2SweepPoint", "llc_sweep", "l2_sweep"]
+
+
+@dataclass(frozen=True)
+class LLCSweepPoint:
+    """Outcome at one LLC capacity multiplier."""
+
+    multiplier: int
+    size_bytes: int
+    cycles: float
+    llc_mpki: float
+    offchip_fraction: dict[DataType, float]
+
+    def speedup_vs(self, other: "LLCSweepPoint") -> float:
+        """Speedup of this point over another."""
+        return other.cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass(frozen=True)
+class L2SweepPoint:
+    """Outcome at one private-L2 configuration."""
+
+    label: str
+    size_bytes: int | None
+    associativity: int
+    cycles: float
+    l2_hit_rate: float
+
+    def speedup_vs(self, other: "L2SweepPoint") -> float:
+        """Speedup of this point over another."""
+        return other.cycles / self.cycles if self.cycles else 0.0
+
+
+def llc_sweep(
+    run: TraceRun,
+    config: SystemConfig | None = None,
+    multipliers: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[LLCSweepPoint]:
+    """Fig. 4a/4c: sweep the shared LLC capacity (no prefetching)."""
+    config = config or SystemConfig.scaled_baseline()
+    points: list[LLCSweepPoint] = []
+    for mult in multipliers:
+        result = simulate(run, config=config.with_llc_multiplier(mult), setup="none")
+        points.append(
+            LLCSweepPoint(
+                multiplier=mult,
+                size_bytes=config.l3.size_bytes * mult,
+                cycles=result.cycles,
+                llc_mpki=result.llc_mpki(),
+                offchip_fraction={
+                    dt: result.offchip_fraction(dt) for dt in DataType
+                },
+            )
+        )
+    return points
+
+
+def l2_sweep(
+    run: TraceRun,
+    config: SystemConfig | None = None,
+    configurations: tuple[tuple[str, int | None, int], ...] = (
+        ("no-L2", None, 8),
+        ("1x", 1, 8),
+        ("2x", 2, 8),
+        ("1x-4xassoc", 1, 32),
+    ),
+) -> list[L2SweepPoint]:
+    """Fig. 4b: sweep private-L2 capacity and associativity.
+
+    Each configuration is ``(label, size multiplier or None, assoc)``;
+    ``None`` removes the private L2 level entirely.
+    """
+    config = config or SystemConfig.scaled_baseline()
+    if config.l2 is None:
+        raise ValueError("base configuration must have an L2 to sweep")
+    base_size = config.l2.size_bytes
+    points: list[L2SweepPoint] = []
+    for label, mult, assoc in configurations:
+        size = None if mult is None else base_size * mult
+        result = simulate(run, config=config.with_l2(size, assoc), setup="none")
+        points.append(
+            L2SweepPoint(
+                label=label,
+                size_bytes=size,
+                associativity=assoc,
+                cycles=result.cycles,
+                l2_hit_rate=result.l2_hit_rate(),
+            )
+        )
+    return points

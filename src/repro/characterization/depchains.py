@@ -1,0 +1,56 @@
+"""Dependency-chain characterization (paper Figs. 5 and 6).
+
+Thin composition of the core model's windowed chain analysis and the
+trace layer's producer/consumer role classification, packaged per
+(workload, dataset) for the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.depchains import ChainStats, chain_stats
+from ..trace.buffer import Trace
+from ..trace.record import DataType
+from ..trace.stats import DependencyRoles, dependency_roles
+
+__all__ = ["DepChainProfile", "profile_dependencies"]
+
+
+@dataclass(frozen=True)
+class DepChainProfile:
+    """Combined Fig. 5 + Fig. 6 measurements for one trace."""
+
+    trace_name: str
+    chains: ChainStats
+    roles: DependencyRoles
+
+    def as_row(self) -> dict:
+        """Flatten into a report row."""
+        return {
+            "trace": self.trace_name,
+            "chained_loads_%": round(100 * self.chains.chained_load_fraction, 1),
+            "mean_chain_len": round(self.chains.mean_chain_length, 2),
+            "max_chain_len": self.chains.max_chain_length,
+            "prop_consumer_%": round(
+                100 * self.roles.consumer_fraction(DataType.PROPERTY), 1
+            ),
+            "prop_producer_%": round(
+                100 * self.roles.producer_fraction(DataType.PROPERTY), 1
+            ),
+            "struct_producer_%": round(
+                100 * self.roles.producer_fraction(DataType.STRUCTURE), 1
+            ),
+            "struct_consumer_%": round(
+                100 * self.roles.consumer_fraction(DataType.STRUCTURE), 1
+            ),
+        }
+
+
+def profile_dependencies(trace: Trace, rob_entries: int = 128) -> DepChainProfile:
+    """Measure chain statistics and dependency roles for ``trace``."""
+    return DepChainProfile(
+        trace_name=trace.name,
+        chains=chain_stats(trace, rob_entries),
+        roles=dependency_roles(trace),
+    )

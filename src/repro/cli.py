@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Generate the Table III stand-in datasets and print their statistics.
+``simulate``
+    Trace one workload on one dataset and compare prefetcher setups.
+``figure``
+    Regenerate one paper figure (or ``all``) and print its table.
+``tables``
+    Print Tables I–V and the §V-D overhead report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .droplet.composite import PREFETCH_CONFIG_NAMES
+from .graph.generators import PAPER_DATASET_NAMES
+from .workloads.registry import PAPER_WORKLOAD_ORDER
+
+__all__ = ["main", "build_parser"]
+
+
+def _figure_runners() -> dict[str, Callable]:
+    from . import experiments as exp
+
+    return {
+        "fig01": exp.run_fig01,
+        "fig03": exp.run_fig03,
+        "fig04a": exp.run_fig04a,
+        "fig04b": exp.run_fig04b,
+        "fig04c": exp.run_fig04c,
+        "fig05": exp.run_fig05,
+        "fig07": exp.run_fig07,
+        "fig11a": exp.run_fig11a,
+        "fig11b": exp.run_fig11b,
+        "fig12": exp.run_fig12,
+        "fig13": exp.run_fig13,
+        "fig14": exp.run_fig14,
+        "fig15": exp.run_fig15,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPCA'19 DROPLET reproduction: simulate, characterize, "
+        "and regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("datasets", help="print Table III dataset statistics")
+    p_data.add_argument("--scale-shift", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="compare prefetchers on one workload")
+    p_sim.add_argument("workload", choices=list(PAPER_WORKLOAD_ORDER))
+    p_sim.add_argument("dataset", choices=list(PAPER_DATASET_NAMES))
+    p_sim.add_argument(
+        "--setups",
+        nargs="+",
+        default=["none", "stream", "streamMPP1", "droplet"],
+        choices=list(PREFETCH_CONFIG_NAMES),
+    )
+    p_sim.add_argument("--max-refs", type=int, default=150_000)
+    p_sim.add_argument("--scale-shift", type=int, default=0)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", choices=sorted(_figure_runners()) + ["all"])
+    p_fig.add_argument("--quick", action="store_true", help="reduced matrix")
+
+    sub.add_parser("tables", help="print Tables I-V and overhead report")
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from .experiments.tables import run_table3
+    from .experiments.common import ExperimentConfig
+
+    cfg = ExperimentConfig(scale_shift=args.scale_shift)
+    print(run_table3(cfg).to_text())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .graph.generators import make_dataset
+    from .system.runner import compare_setups
+    from .trace.record import DataType
+    from .workloads.registry import get_workload
+
+    workload = get_workload(args.workload)
+    graph = make_dataset(
+        args.dataset, scale_shift=args.scale_shift, weighted=workload.needs_weights
+    )
+    run = workload.run(
+        graph, max_refs=args.max_refs, skip_refs=workload.recommended_skip(graph)
+    )
+    setups = tuple(dict.fromkeys(["none", *args.setups]))
+    results = compare_setups(run, setups=setups)
+    base = results["none"]
+    print(
+        "%-14s %8s %8s %8s %9s %9s"
+        % ("config", "speedup", "L2hit", "BPKI", "sMPKI", "pMPKI")
+    )
+    for name in setups:
+        res = results[name]
+        print(
+            "%-14s %8.3f %8.3f %8.1f %9.2f %9.2f"
+            % (
+                name,
+                res.speedup_vs(base),
+                res.l2_hit_rate(),
+                res.bpki(),
+                res.llc_mpki(DataType.STRUCTURE),
+                res.llc_mpki(DataType.PROPERTY),
+            )
+        )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments.common import ExperimentConfig
+
+    cfg = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    runners = _figure_runners()
+    names = sorted(runners) if args.name == "all" else [args.name]
+    for name in names:
+        print(runners[name](cfg).to_text())
+        print()
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .experiments.tables import (
+        run_overheads,
+        run_table1,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_table5,
+    )
+
+    for result in (
+        run_table1(),
+        run_table2(),
+        run_table3(),
+        run_table4(),
+        run_table5(),
+        run_overheads(),
+    ):
+        print(result.to_text())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "simulate": _cmd_simulate,
+        "figure": _cmd_figure,
+        "tables": _cmd_tables,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Out-of-order core model: ROB windows, dependency chains, MLP, cycles."""
+
+from .cycles import CycleStack
+from .depchains import ChainStats, chain_stats
+from .mlp import WindowTiming, compute_window_timing
+from .rob import Window, iter_windows
+
+__all__ = [
+    "CycleStack",
+    "ChainStats",
+    "chain_stats",
+    "WindowTiming",
+    "compute_window_timing",
+    "Window",
+    "iter_windows",
+]

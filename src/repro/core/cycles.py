@@ -1,0 +1,59 @@
+"""Cycle accounting and cycle stacks (paper Fig. 1).
+
+Total cycles per window = base (issue-width-limited) cycles + exposed
+memory cycles.  The exposed part is attributed to the servicing levels
+pro-rata, yielding the classic cycle-stack decomposition: *base* (core
+busy), *L2*, *L3*, and *DRAM* stall components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CycleStack"]
+
+
+@dataclass
+class CycleStack:
+    """Accumulated cycle components over a simulation."""
+
+    base: float = 0.0
+    stall: dict[str, float] = field(default_factory=dict)
+    instructions: int = 0
+
+    def add_window(self, base_cycles: float, exposed_by_level: dict[str, float], instructions: int) -> None:
+        """Fold one window's cycles into the stack."""
+        self.base += base_cycles
+        for level, cycles in exposed_by_level.items():
+            self.stall[level] = self.stall.get(level, 0.0) + cycles
+        self.instructions += instructions
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles: base plus every stall component."""
+        return self.base + sum(self.stall.values())
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """Normalized cycle stack: ``{"base": ..., "L2": ..., "L3": ..., "DRAM": ...}``."""
+        total = self.total_cycles
+        if total <= 0:
+            return {"base": 0.0}
+        out = {"base": self.base / total}
+        for level, cycles in sorted(self.stall.items()):
+            out[level] = cycles / total
+        return out
+
+    def dram_bound_fraction(self) -> float:
+        """Fraction of cycles stalled on DRAM (the paper's headline 45%)."""
+        total = self.total_cycles
+        return self.stall.get("DRAM", 0.0) / total if total else 0.0

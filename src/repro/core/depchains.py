@@ -1,0 +1,87 @@
+"""Load-load dependency chain analysis (paper Fig. 5 and Fig. 6).
+
+The paper tracks, for every load in the ROB, its dependency backward to
+the nearest older load: the older load is the *producer*, the younger
+the *consumer*.  Two statistics result:
+
+* the fraction of loads that are part of some dependency chain, and
+* the average chain length (number of loads in the chain),
+
+computed per ROB window, since only dependencies visible inside the
+instruction window constrain MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.buffer import Trace
+from ..trace.record import NO_DEP
+from .rob import iter_windows
+
+__all__ = ["ChainStats", "chain_stats"]
+
+
+@dataclass(frozen=True)
+class ChainStats:
+    """Dependency-chain statistics over a trace (paper Fig. 5)."""
+
+    total_loads: int
+    loads_in_chains: int
+    num_chains: int
+    sum_chain_length: int
+    max_chain_length: int
+
+    @property
+    def chained_load_fraction(self) -> float:
+        """Fraction of loads participating in a (≥2-long) chain."""
+        return self.loads_in_chains / self.total_loads if self.total_loads else 0.0
+
+    @property
+    def mean_chain_length(self) -> float:
+        """Average number of loads per chain."""
+        return self.sum_chain_length / self.num_chains if self.num_chains else 0.0
+
+
+def chain_stats(trace: Trace, rob_entries: int = 128) -> ChainStats:
+    """Compute chain statistics windowed by ``rob_entries``.
+
+    A chain is a maximal set of loads connected by dependency edges whose
+    producer and consumer lie in the same ROB window.  Chains of length 1
+    (isolated loads) are not chains.
+    """
+    is_load = trace.is_load
+    dep = trace.dep
+    total_loads = int(is_load.sum())
+    loads_in_chains = 0
+    num_chains = 0
+    sum_len = 0
+    max_len = 0
+    for window in iter_windows(trace, rob_entries):
+        # chain_of[i] = representative (root) load of i's chain.
+        root: dict[int, int] = {}
+        size: dict[int, int] = {}
+        for i in range(window.start, window.stop):
+            if not is_load[i]:
+                continue
+            d = int(dep[i])
+            if d == NO_DEP or d < window.start or not is_load[d]:
+                continue
+            r = root.get(d, d)
+            if r not in size:
+                size[r] = 1  # the producer joins its own chain
+            root[i] = r
+            size[r] += 1
+        for r, s in size.items():
+            if s >= 2:
+                num_chains += 1
+                sum_len += s
+                loads_in_chains += s
+                max_len = max(max_len, s)
+    return ChainStats(
+        total_loads=total_loads,
+        loads_in_chains=loads_in_chains,
+        num_chains=num_chains,
+        sum_chain_length=sum_len,
+        max_chain_length=max_len,
+    )

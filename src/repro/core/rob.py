@@ -1,0 +1,55 @@
+"""ROB windowing of a trace.
+
+The core model is interval-style: the trace is processed in windows of
+(approximately) ``rob_entries`` instructions — the lookahead an
+out-of-order core has for extracting memory-level parallelism.  Loads
+whose dependency producers fall in the same window serialize behind
+them; everything else may overlap subject to the MSHR bound (see
+:mod:`repro.core.mlp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..trace.buffer import Trace
+
+__all__ = ["Window", "iter_windows"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One ROB window: trace references ``[start, stop)``."""
+
+    start: int
+    stop: int
+    instructions: int
+
+    @property
+    def num_refs(self) -> int:
+        """Memory references inside the window."""
+        return self.stop - self.start
+
+
+def iter_windows(trace: Trace, rob_entries: int) -> Iterator[Window]:
+    """Split ``trace`` into consecutive ROB-sized windows.
+
+    Each reference contributes ``1 + gap`` instructions.  A window closes
+    as soon as its instruction count reaches ``rob_entries`` (a single
+    oversized reference still forms a valid window).
+    """
+    if rob_entries <= 0:
+        raise ValueError("rob_entries must be positive")
+    gaps = trace.gap
+    n = len(trace)
+    start = 0
+    instructions = 0
+    for i in range(n):
+        instructions += 1 + int(gaps[i])
+        if instructions >= rob_entries:
+            yield Window(start, i + 1, instructions)
+            start = i + 1
+            instructions = 0
+    if start < n:
+        yield Window(start, n, instructions)

@@ -1,0 +1,14 @@
+"""DRAM timing, memory request buffer, bandwidth accounting."""
+
+from .model import DRAMConfig, DRAMModel, DRAMStats
+from .mrb import MemoryRequestBuffer, MRBEntry
+from .multichannel import MultiChannelDRAM
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAMStats",
+    "MemoryRequestBuffer",
+    "MultiChannelDRAM",
+    "MRBEntry",
+]

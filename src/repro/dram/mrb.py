@@ -1,0 +1,68 @@
+"""Memory Request Buffer (MRB) with the reinterpreted C-bit (paper §V-C1).
+
+Modern memory controllers keep a request buffer whose entries carry a
+criticality bit (C-bit) distinguishing demand requests from prefetches
+for scheduling.  DROPLET reinterprets a set C-bit as "this is a
+*structure* prefetch from the L2 streamer" and adds a core-ID field so
+the MPP knows which core's private L2 should receive the chased property
+prefetches.
+
+The MRB here is the bookkeeping the machine consults on every DRAM
+refill to decide whether to hand a copy of the line to the MPP.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["MemoryRequestBuffer", "MRBEntry"]
+
+
+@dataclass(frozen=True)
+class MRBEntry:
+    """One in-flight DRAM request's metadata."""
+
+    line: int
+    c_bit: bool  # set ⇒ prefetch (and, with DROPLET's streamer, structure)
+    core: int
+
+
+class MemoryRequestBuffer:
+    """Bounded FIFO of in-flight request metadata (default 256 entries).
+
+    When full, the oldest entry is retired silently — the corresponding
+    fill simply loses its metadata, exactly the failure mode a bounded
+    hardware buffer would have.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, MRBEntry] = OrderedDict()
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def enqueue(self, line: int, c_bit: bool, core: int) -> None:
+        """Record an outgoing DRAM request's metadata."""
+        if line in self._entries:
+            # A demand can merge with an in-flight prefetch; keep the
+            # stronger (prefetch) tag so the MPP still sees the fill.
+            old = self._entries.pop(line)
+            c_bit = c_bit or old.c_bit
+        self._entries[line] = MRBEntry(line, c_bit, core)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.overflows += 1
+
+    def retire(self, line: int) -> MRBEntry | None:
+        """Consume the metadata of a completed fill, if still buffered."""
+        return self._entries.pop(line, None)
+
+    def storage_overhead_bytes(self, num_cores: int) -> int:
+        """Extra storage for the core-ID field (paper §V-D accounting)."""
+        bits_per_entry = max(1, (num_cores - 1).bit_length())
+        return (bits_per_entry * self.capacity + 7) // 8

@@ -1,0 +1,131 @@
+"""Memory-Controller-based Property Prefetcher (MPP) — paper §V-C2.
+
+The MPP reacts to *structure prefetch* cache lines arriving from DRAM:
+the PAG scans each line for neighbor IDs and generates property virtual
+addresses (into the VAB), the MTLB translates them (into the PAB), and
+each physical address is checked against the coherence engine:
+
+* **off-chip** → queue a DRAM property prefetch, fill LLC + requester L2;
+* **on-chip**  → copy the line from the inclusive LLC into the L2.
+
+The decoupling is the point: the property address is computed the moment
+the structure line reaches the MC, overlapping its refill path through
+the caches (Fig. 8).
+
+``MPP1`` (Table V) is the variant that can identify structure lines by
+itself (address-range check) rather than trusting the MRB C-bit — needed
+when the streamer is not data-aware (``streamMPP1``) or when the whole
+prefetcher sits at the L1 (``monoDROPLETL1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.allocator import GraphLayout
+from ..memory.pagetable import PageTable
+from .mtlb import MTLB
+from .pag import PAG, PAGConfig
+
+__all__ = ["MPP", "MPPConfig", "PropertyPrefetchRequest"]
+
+
+@dataclass(frozen=True)
+class MPPConfig:
+    """MPP hardware parameters (paper Table V)."""
+
+    vab_entries: int = 512
+    pab_entries: int = 512
+    mtlb_entries: int = 128
+    pag: PAGConfig = field(default_factory=PAGConfig)
+    coherence_check_latency: int = 10
+    #: Whether the MPP can classify a fill as structure by itself (MPP1).
+    identifies_structure: bool = False
+
+
+@dataclass(frozen=True)
+class PropertyPrefetchRequest:
+    """One translated property prefetch the machine should act on.
+
+    ``issue_delay`` is the MC-side latency between the structure fill
+    arriving and this request being ready to check/issue (PAG scan +
+    translation + coherence check).
+    """
+
+    line: int  # physical cache-line number
+    core: int
+    issue_delay: int
+
+
+class MPP:
+    """The MC-based property prefetcher pipeline."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        config: MPPConfig | None = None,
+        line_size: int = 64,
+    ):
+        self.config = config or MPPConfig()
+        self.line_size = line_size
+        self.pag = PAG(self.config.pag)
+        self.mtlb = MTLB(page_table, entries=self.config.mtlb_entries)
+        self._layout: GraphLayout | None = None
+        self.structure_fills_seen = 0
+        self.requests_generated = 0
+        self.vab_overflows = 0
+
+    def configure_from_layout(
+        self, layout: GraphLayout, property_names: str | tuple[str, ...]
+    ) -> None:
+        """Wire the PAG registers and remember the layout for MPP1 checks.
+
+        ``property_names`` may name several arrays (multi-property graphs,
+        paper §VI): the PAG then emits one address per array per ID.
+        """
+        self.pag.configure_from_layout(layout, property_names)
+        self._layout = layout
+
+    def classifies_as_structure(self, line: int) -> bool:
+        """MPP1's own structure identification (address-range check)."""
+        if not self.config.identifies_structure or self._layout is None:
+            return False
+        return self._layout.is_structure_line(line * self.line_size, self.line_size)
+
+    def on_structure_fill(self, line: int, core: int) -> list[PropertyPrefetchRequest]:
+        """Process one structure prefetch fill; returns property requests.
+
+        The caller (machine/MC) is responsible for deciding the fill was a
+        structure prefetch — via the MRB C-bit, or via
+        :meth:`classifies_as_structure` for MPP1 setups.
+        """
+        if not self.pag.configured:
+            return []
+        self.structure_fills_seen += 1
+        vaddrs = self.pag.scan(line * self.line_size, self.line_size)
+        if len(vaddrs) > self.config.vab_entries:
+            self.vab_overflows += 1
+            vaddrs = vaddrs[: self.config.vab_entries]
+        requests: list[PropertyPrefetchRequest] = []
+        seen_lines: set[int] = set()
+        delay = self.config.pag.scan_latency
+        for vaddr in vaddrs:
+            translated = self.mtlb.translate_property(int(vaddr))
+            if translated is None:
+                continue  # dropped on page fault
+            paddr, walk_latency = translated
+            pline = paddr // self.line_size
+            if pline in seen_lines:
+                continue  # one request per distinct line
+            seen_lines.add(pline)
+            requests.append(
+                PropertyPrefetchRequest(
+                    line=pline,
+                    core=core,
+                    issue_delay=delay
+                    + walk_latency
+                    + self.config.coherence_check_latency,
+                )
+            )
+        self.requests_generated += len(requests)
+        return requests

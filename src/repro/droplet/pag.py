@@ -1,0 +1,102 @@
+"""Property Address Generator (PAG) — paper Fig. 10.
+
+The PAG scans a prefetched structure cache line for neighbor IDs and
+computes each target property prefetch address as
+
+    ``property_address = base + granularity * neighbor_id``     (Eq. 1)
+
+Its two configuration registers — the property array ``base`` and the
+structure scan granularity (4 B unweighted / 8 B weighted) — are written
+by the specialized ``malloc`` through a special store instruction
+(paper §VI); in simulation :meth:`PAG.configure_from_layout` plays that
+role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory.allocator import GraphLayout
+
+__all__ = ["PAG", "PAGConfig"]
+
+
+@dataclass
+class PAGConfig:
+    """PAG hardware parameters (paper Table V)."""
+
+    scan_latency: int = 2  # cycles to scan one line and emit addresses
+    property_granularity: int = 4  # bytes per property element
+
+
+class PAG:
+    """Scans structure lines and emits property prefetch virtual addresses."""
+
+    def __init__(self, config: PAGConfig | None = None):
+        self.config = config or PAGConfig()
+        #: Configuration registers: one base per chased property array
+        #: (one register in the paper's single-property design; §VI notes
+        #: multi-property graphs need one base per array) plus the scan
+        #: granularity.
+        self.property_bases: list[int] = []
+        self.scan_granularity: int | None = None
+        self._layout: GraphLayout | None = None
+        self.lines_scanned = 0
+        self.addresses_generated = 0
+
+    @property
+    def property_base(self) -> int | None:
+        """The primary (first) property base register."""
+        return self.property_bases[0] if self.property_bases else None
+
+    def configure_from_layout(
+        self, layout: GraphLayout, property_names: str | tuple[str, ...]
+    ) -> None:
+        """The specialized-malloc register writes (paper §VI).
+
+        ``property_names`` selects which property array(s) the MPP chases
+        — the one(s) the workload gathers through structure indices.
+        Passing several names exercises the paper's multi-property
+        extension: one generated address per array per neighbor ID.
+        """
+        if isinstance(property_names, str):
+            property_names = (property_names,)
+        if not property_names:
+            raise ValueError("at least one property array is required")
+        self.property_bases = [
+            layout.properties[name].base for name in property_names
+        ]
+        self.scan_granularity = layout.structure_element_size
+        self._layout = layout
+
+    @property
+    def configured(self) -> bool:
+        """Whether the registers have been written."""
+        return bool(self.property_bases) and self._layout is not None
+
+    def max_ids_per_line(self, line_size: int = 64) -> int:
+        """IDs scannable per line: 16 unweighted, 8 weighted (paper §V-C2)."""
+        if self.scan_granularity is None:
+            raise RuntimeError("PAG not configured")
+        return line_size // self.scan_granularity
+
+    def scan(self, structure_line_base: int, line_size: int = 64) -> np.ndarray:
+        """Scan one structure line; returns property prefetch addresses.
+
+        With several configured property arrays, one address per array is
+        generated for each scanned neighbor ID.
+        """
+        if not self.configured:
+            raise RuntimeError("PAG not configured")
+        ids = self._layout.scan_structure_line(structure_line_base, line_size)
+        self.lines_scanned += 1
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = self.config.property_granularity * ids.astype(np.int64)
+        addrs = np.concatenate(
+            [base + offsets for base in self.property_bases]
+        )
+        self.addresses_generated += len(addrs)
+        return addrs

@@ -1,0 +1,68 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each ``run_*`` function returns an :class:`ExperimentResult` whose rows
+are the same series the paper's figure plots; ``to_text()`` renders the
+report table.  See DESIGN.md §3 for the experiment index and
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from .common import (
+    ExperimentConfig,
+    ExperimentResult,
+    clear_caches,
+    geomean,
+    get_graph,
+    get_trace_run,
+    render_table,
+)
+from .fig01_cycle_stack import run_fig01
+from .fig03_rob_sweep import run_fig03
+from .fig04_cache_sensitivity import run_fig04a, run_fig04b, run_fig04c
+from .fig05_dep_chains import run_fig05
+from .fig07_hierarchy_usage import run_fig07
+from .fig11_prefetcher_comparison import run_fig11a, run_fig11b
+from .fig12_l2_performance import run_fig12
+from .fig13_offchip_mpki import run_fig13
+from .fig14_prefetch_accuracy import run_fig14
+from .fig15_bandwidth import run_fig15
+from .prefetch_matrix import MATRIX_SETUPS, clear_matrix_cache, get_prefetch_matrix
+from .tables import (
+    run_overheads,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "clear_caches",
+    "geomean",
+    "get_graph",
+    "get_trace_run",
+    "render_table",
+    "run_fig01",
+    "run_fig03",
+    "run_fig04a",
+    "run_fig04b",
+    "run_fig04c",
+    "run_fig05",
+    "run_fig07",
+    "run_fig11a",
+    "run_fig11b",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "MATRIX_SETUPS",
+    "clear_matrix_cache",
+    "get_prefetch_matrix",
+    "run_overheads",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,147 @@
+"""Shared experiment infrastructure: configs, caching, table rendering.
+
+Every figure module consumes an :class:`ExperimentConfig` naming the
+(workload × dataset) matrix and trace budget, and produces an
+:class:`ExperimentResult` — a titled list of report rows that renders as
+an aligned text table (the same rows/series the paper's figure plots).
+
+Graphs, traces and simulation results are cached per-process so that the
+benchmark suite does not regenerate the same trace for every figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..graph.csr import CSRGraph
+from ..graph.generators import PAPER_DATASET_NAMES, make_dataset
+from ..workloads.base import TraceRun
+from ..workloads.registry import PAPER_WORKLOAD_ORDER, get_workload
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_graph",
+    "get_trace_run",
+    "geomean",
+    "render_table",
+    "clear_caches",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scope and budget of one experiment run."""
+
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER
+    datasets: tuple[str, ...] = PAPER_DATASET_NAMES
+    max_refs: int = 200_000
+    scale_shift: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A reduced matrix for fast test runs."""
+        return cls(
+            workloads=("PR", "BFS"),
+            datasets=("kron", "road"),
+            max_refs=40_000,
+            scale_shift=-3,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Titled tabular result of one experiment."""
+
+    experiment: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render as an aligned text table with title and notes."""
+        lines = ["== %s: %s ==" % (self.experiment, self.title)]
+        lines.append(render_table(self.rows))
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """Extract one column across rows."""
+        return [row.get(name) for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+_GRAPH_CACHE: dict[tuple, CSRGraph] = {}
+_TRACE_CACHE: dict[tuple, TraceRun] = {}
+
+
+def get_graph(name: str, weighted: bool = False, scale_shift: int = 0) -> CSRGraph:
+    """Cached dataset construction."""
+    key = (name, weighted, scale_shift)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = make_dataset(name, scale_shift=scale_shift, weighted=weighted)
+    return _GRAPH_CACHE[key]
+
+
+def get_trace_run(
+    workload: str, dataset: str, max_refs: int, scale_shift: int = 0
+) -> TraceRun:
+    """Cached workload tracing with the workload's recommended warm-up skip."""
+    key = (workload, dataset, max_refs, scale_shift)
+    if key not in _TRACE_CACHE:
+        w = get_workload(workload)
+        graph = get_graph(dataset, weighted=w.needs_weights, scale_shift=scale_shift)
+        _TRACE_CACHE[key] = w.run(
+            graph, max_refs=max_refs, skip_refs=w.recommended_skip(graph)
+        )
+    return _TRACE_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached graphs and traces (tests use this for isolation)."""
+    _GRAPH_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Reporting helpers
+# ----------------------------------------------------------------------
+def geomean(values) -> float:
+    """Geometric mean (the paper's Fig. 11b aggregation)."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render_table(rows: list[dict]) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value) -> str:
+        """Cell renderer: floats at 3 decimals, None blank."""
+        if isinstance(value, float):
+            return "%.3f" % value
+        return "" if value is None else str(value)
+
+    widths = {
+        c: max(len(c), *(len(fmt(row.get(c))) for row in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(fmt(row.get(c)).ljust(widths[c]) for c in columns) for row in rows
+    ]
+    return "\n".join([header, sep] + body)

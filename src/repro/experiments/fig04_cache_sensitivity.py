@@ -1,0 +1,127 @@
+"""Fig. 4: cache-hierarchy sensitivity (LLC capacity, L2 configuration).
+
+* Fig. 4a — LLC 1x→8x: MPKI and speedup (paper: MPKI 20→10, optimal
+  speedup 17.4% at 4x — a balance of miss rate vs. access latency).
+* Fig. 4b — private L2 configurations including no-L2 (paper: negligible
+  sensitivity; hit rate ~10.6% at baseline).
+* Fig. 4c — off-chip access fraction per data type vs. LLC size (paper:
+  property benefits most; structure and intermediate barely move).
+"""
+
+from __future__ import annotations
+
+from ..characterization.cache_sensitivity import l2_sweep, llc_sweep
+from ..trace.record import DataType
+from .common import ExperimentConfig, ExperimentResult, get_trace_run
+
+__all__ = ["run_fig04a", "run_fig04b", "run_fig04c"]
+
+# Fig. 4a and 4c read the same LLC sweep; cache it per (cfg, cell).
+_SWEEP_CACHE: dict[tuple, list] = {}
+
+
+def _cached_llc_sweep(cfg, workload, dataset, multipliers):
+    key = (cfg, workload, dataset, multipliers)
+    if key not in _SWEEP_CACHE:
+        run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+        _SWEEP_CACHE[key] = llc_sweep(run, multipliers=multipliers)
+    return _SWEEP_CACHE[key]
+
+
+def run_fig04a(
+    cfg: ExperimentConfig | None = None,
+    multipliers: tuple[int, ...] = (1, 2, 4, 8),
+) -> ExperimentResult:
+    """Fig. 4a: LLC MPKI and speedup vs. capacity."""
+    cfg = cfg or ExperimentConfig()
+    out = ExperimentResult(
+        experiment="fig04a", title="LLC capacity sweep: MPKI and speedup"
+    )
+    mpki_sums = {m: 0.0 for m in multipliers}
+    speedup_logs = {m: [] for m in multipliers}
+    count = 0
+    for workload in cfg.workloads:
+        for dataset in cfg.datasets:
+            points = _cached_llc_sweep(cfg, workload, dataset, multipliers)
+            base = points[0]
+            row = {"workload": workload, "dataset": dataset}
+            for point in points:
+                row["mpki_%dx" % point.multiplier] = round(point.llc_mpki, 2)
+                row["speedup_%dx" % point.multiplier] = round(
+                    point.speedup_vs(base), 3
+                )
+                mpki_sums[point.multiplier] += point.llc_mpki
+                speedup_logs[point.multiplier].append(point.speedup_vs(base))
+            out.rows.append(row)
+            count += 1
+    if count:
+        mean_row = {"workload": "MEAN", "dataset": ""}
+        for m in multipliers:
+            mean_row["mpki_%dx" % m] = round(mpki_sums[m] / count, 2)
+            mean_row["speedup_%dx" % m] = round(
+                sum(speedup_logs[m]) / count, 3
+            )
+        out.rows.append(mean_row)
+    out.notes.append(
+        "paper: mean MPKI 20 -> 16 -> 12 -> 10; speedups +7%, +17.4%, +7.6% "
+        "(optimum at 4x where reduced misses still beat the slower array)"
+    )
+    return out
+
+
+def run_fig04b(cfg: ExperimentConfig | None = None) -> ExperimentResult:
+    """Fig. 4b: private-L2 configuration sweep (including no L2)."""
+    cfg = cfg or ExperimentConfig()
+    out = ExperimentResult(
+        experiment="fig04b", title="Private L2 sweep: hit rate and speedup"
+    )
+    for workload in cfg.workloads:
+        for dataset in cfg.datasets:
+            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+            points = l2_sweep(run)
+            baseline = next(p for p in points if p.label == "1x")
+            row = {"workload": workload, "dataset": dataset}
+            for point in points:
+                row["speedup_" + point.label] = round(point.speedup_vs(baseline), 3)
+                if point.size_bytes is not None:
+                    row["hit_" + point.label] = round(point.l2_hit_rate, 3)
+            out.rows.append(row)
+    out.notes.append(
+        "paper: baseline L2 hit rate ~10.6%; 2x capacity -> 15.3%, 4x assoc -> "
+        "10.9%; performance flat, and no-L2 shows no slowdown"
+    )
+    return out
+
+
+def run_fig04c(
+    cfg: ExperimentConfig | None = None,
+    multipliers: tuple[int, ...] = (1, 2, 4, 8),
+) -> ExperimentResult:
+    """Fig. 4c: off-chip access fraction per data type vs. LLC size."""
+    cfg = cfg or ExperimentConfig()
+    out = ExperimentResult(
+        experiment="fig04c",
+        title="Off-chip access fraction by data type vs. LLC capacity (mean)",
+    )
+    sums = {
+        m: {dt: 0.0 for dt in DataType} for m in multipliers
+    }
+    count = 0
+    for workload in cfg.workloads:
+        for dataset in cfg.datasets:
+            for point in _cached_llc_sweep(cfg, workload, dataset, multipliers):
+                for dt in DataType:
+                    sums[point.multiplier][dt] += point.offchip_fraction[dt]
+            count += 1
+    for m in multipliers:
+        row = {"llc": "%dx" % m}
+        for dt in DataType:
+            row[dt.short_name + "_offchip_%"] = round(
+                100 * sums[m][dt] / count if count else 0.0, 2
+            )
+        out.rows.append(row)
+    out.notes.append(
+        "paper: property drops the most with larger LLC; structure (7.5% "
+        "baseline) barely responds; intermediate already on-chip (1.9%)"
+    )
+    return out

@@ -1,0 +1,44 @@
+"""Figs. 5 and 6: load-load dependency chains and data-type roles.
+
+Fig. 5: fraction of loads in ROB-window dependency chains and the mean
+chain length (paper: 43.2% of loads, mean length 2.5).  Fig. 6: the
+producer/consumer breakdown per data type (paper: property is mostly a
+consumer — 53.6% vs 5.9% producer; structure is mostly a producer —
+41.4% vs 6% consumer).
+"""
+
+from __future__ import annotations
+
+from ..characterization.depchains import profile_dependencies
+from .common import ExperimentConfig, ExperimentResult, get_trace_run
+
+__all__ = ["run_fig05"]
+
+
+def run_fig05(
+    cfg: ExperimentConfig | None = None, rob_entries: int = 128
+) -> ExperimentResult:
+    """Regenerate the Fig. 5 + Fig. 6 dependency analysis."""
+    cfg = cfg or ExperimentConfig()
+    out = ExperimentResult(
+        experiment="fig05+06",
+        title="Load-load dependency chains and producer/consumer roles",
+    )
+    for workload in cfg.workloads:
+        for dataset in cfg.datasets:
+            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+            profile = profile_dependencies(run.trace, rob_entries)
+            row = {"workload": workload, "dataset": dataset}
+            row.update(profile.as_row())
+            del row["trace"]
+            out.rows.append(row)
+    out.notes.append(
+        "paper: 43.2% of loads chained, mean chain length 2.5; property mostly "
+        "consumer (53.6%), structure mostly producer (41.4%)"
+    )
+    out.notes.append(
+        "traces contain only data-structure accesses plus one bookkeeping "
+        "access per loop iteration, so chain participation runs higher than "
+        "the paper's full-binary measurement; polarity and length match"
+    )
+    return out

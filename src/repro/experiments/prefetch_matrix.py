@@ -1,0 +1,52 @@
+"""The shared (workload × dataset × prefetcher) simulation matrix.
+
+Figures 11–15 all read from the same set of simulations: every workload
+on every dataset under every prefetcher configuration.  This module runs
+and caches that matrix once per process so each figure module only
+formats its own view of it.
+"""
+
+from __future__ import annotations
+
+from ..droplet.composite import PREFETCH_CONFIG_NAMES
+from ..system.config import SystemConfig
+from ..system.machine import SimResult
+from ..system.runner import simulate
+from .common import ExperimentConfig, get_trace_run
+
+__all__ = ["get_prefetch_matrix", "MATRIX_SETUPS", "clear_matrix_cache"]
+
+#: All prefetcher configurations of Fig. 11, in plot order.
+MATRIX_SETUPS = PREFETCH_CONFIG_NAMES
+
+_MATRIX_CACHE: dict[tuple, dict[tuple[str, str, str], SimResult]] = {}
+
+
+def get_prefetch_matrix(
+    cfg: ExperimentConfig,
+    setups: tuple[str, ...] = MATRIX_SETUPS,
+    system: SystemConfig | None = None,
+) -> dict[tuple[str, str, str], SimResult]:
+    """Simulate (and cache) the full comparison matrix.
+
+    Returns ``{(workload, dataset, setup): SimResult}``.
+    """
+    key = (cfg, tuple(setups), system)
+    if key in _MATRIX_CACHE:
+        return _MATRIX_CACHE[key]
+    system = system or SystemConfig.scaled_baseline()
+    matrix: dict[tuple[str, str, str], SimResult] = {}
+    for workload in cfg.workloads:
+        for dataset in cfg.datasets:
+            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+            for setup in setups:
+                matrix[(workload, dataset, setup)] = simulate(
+                    run, config=system, setup=setup
+                )
+    _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def clear_matrix_cache() -> None:
+    """Drop all cached matrices (tests use this for isolation)."""
+    _MATRIX_CACHE.clear()

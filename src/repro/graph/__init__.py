@@ -1,0 +1,35 @@
+"""Graph substrate: CSR representation, generators, I/O, statistics."""
+
+from .csr import CSRGraph, GraphError, build_csr
+from .generators import (
+    PAPER_DATASET_NAMES,
+    kronecker,
+    make_dataset,
+    paper_datasets,
+    preferential_attachment,
+    road_mesh,
+    uniform_random,
+)
+from .io import dumps_edge_list, loads_edge_list, read_edge_list, write_edge_list
+from .stats import GraphStats, degree_histogram, graph_stats, powerlaw_tail_ratio
+
+__all__ = [
+    "CSRGraph",
+    "GraphError",
+    "build_csr",
+    "PAPER_DATASET_NAMES",
+    "kronecker",
+    "make_dataset",
+    "paper_datasets",
+    "preferential_attachment",
+    "road_mesh",
+    "uniform_random",
+    "dumps_edge_list",
+    "loads_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "GraphStats",
+    "degree_histogram",
+    "graph_stats",
+    "powerlaw_tail_ratio",
+]

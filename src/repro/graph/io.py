@@ -1,0 +1,78 @@
+"""Edge-list I/O for CSR graphs.
+
+Supports the plain-text edge-list dialect used by SNAP / GAP: one
+``src dst [weight]`` triple per line, ``#`` comments, blank lines ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError, build_csr
+
+__all__ = ["read_edge_list", "write_edge_list", "loads_edge_list", "dumps_edge_list"]
+
+
+def loads_edge_list(
+    text: str, num_vertices: int | None = None, name: str = "edgelist"
+) -> CSRGraph:
+    """Parse an edge-list string into a :class:`CSRGraph`.
+
+    If ``num_vertices`` is omitted it is inferred as ``max endpoint + 1``.
+    A third column, when present on every edge line, is read as weights.
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[int] = []
+    saw_weight = None
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError("line %d: expected 2 or 3 fields, got %r" % (lineno, line))
+        has_weight = len(parts) == 3
+        if saw_weight is None:
+            saw_weight = has_weight
+        elif saw_weight != has_weight:
+            raise GraphError("line %d: inconsistent weight column" % lineno)
+        try:
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if has_weight:
+                weights.append(int(parts[2]))
+        except ValueError as exc:
+            raise GraphError("line %d: non-integer field in %r" % (lineno, line)) from exc
+    if num_vertices is None:
+        num_vertices = (max(max(srcs, default=-1), max(dsts, default=-1)) + 1) if srcs else 0
+    edges = np.array(list(zip(srcs, dsts)), dtype=np.int64).reshape(-1, 2)
+    w = np.array(weights, dtype=np.int32) if saw_weight else None
+    return build_csr(num_vertices, edges, weights=w, name=name)
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> CSRGraph:
+    """Read an edge-list file into a :class:`CSRGraph`."""
+    path = Path(path)
+    return loads_edge_list(path.read_text(), num_vertices, name=path.stem)
+
+
+def dumps_edge_list(graph: CSRGraph) -> str:
+    """Serialize a graph to edge-list text (with weights when present)."""
+    out: list[str] = ["# %s: %d vertices, %d edges" % (graph.name, graph.num_vertices, graph.num_edges)]
+    for v in range(graph.num_vertices):
+        nbrs = graph.neighbors_of(v)
+        if graph.weights is not None:
+            wts = graph.weights_of(v)
+            out.extend("%d %d %d" % (v, u, w) for u, w in zip(nbrs, wts))
+        else:
+            out.extend("%d %d" % (v, u) for u in nbrs)
+    return "\n".join(out) + "\n"
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write a graph to an edge-list file."""
+    Path(path).write_text(dumps_edge_list(graph))

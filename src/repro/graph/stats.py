@@ -1,0 +1,79 @@
+"""Topology statistics used for dataset validation (Table III analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram", "powerlaw_tail_ratio"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph's topology."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    degree_p99: int
+    isolated_vertices: int
+    footprint_bytes: int
+
+    def as_row(self) -> dict:
+        """Render as a plain dict for tabular reports."""
+        return {
+            "dataset": self.name,
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "avg_deg": round(self.avg_degree, 2),
+            "max_deg": self.max_degree,
+            "p99_deg": self.degree_p99,
+            "isolated": self.isolated_vertices,
+            "footprint_MB": round(self.footprint_bytes / 2**20, 2),
+        }
+
+
+def graph_stats(graph: CSRGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degs = graph.out_degrees()
+    n = graph.num_vertices
+    return GraphStats(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        avg_degree=float(degs.mean()) if n else 0.0,
+        max_degree=int(degs.max()) if n else 0,
+        degree_p99=int(np.percentile(degs, 99)) if n else 0,
+        isolated_vertices=int((degs == 0).sum()),
+        footprint_bytes=graph.footprint_bytes(),
+    )
+
+
+def degree_histogram(graph: CSRGraph, bins: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """Log-spaced degree histogram ``(bin_edges, counts)``."""
+    degs = graph.out_degrees()
+    max_deg = max(int(degs.max()) if len(degs) else 1, 1)
+    edges = np.unique(
+        np.round(np.logspace(0, np.log10(max_deg + 1), bins)).astype(np.int64)
+    )
+    counts, _ = np.histogram(degs, bins=np.concatenate([[0], edges]))
+    return edges, counts
+
+
+def powerlaw_tail_ratio(graph: CSRGraph) -> float:
+    """Fraction of edges owned by the top 1% highest-degree vertices.
+
+    Social/Kronecker graphs concentrate edges heavily (ratio well above the
+    uniform value of ~0.01–0.05); meshes do not.  Used to validate that the
+    synthetic stand-ins have the intended topological character.
+    """
+    degs = np.sort(graph.out_degrees())[::-1]
+    if graph.num_edges == 0:
+        return 0.0
+    top = max(1, graph.num_vertices // 100)
+    return float(degs[:top].sum() / graph.num_edges)

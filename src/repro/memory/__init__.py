@@ -1,0 +1,20 @@
+"""Simulated virtual memory: page table, TLBs, graph data allocation."""
+
+from .allocator import AddressSpace, AllocationError, GraphLayout, Region
+from .edgelayout import EdgeListLayout
+from .pagetable import DEFAULT_PAGE_SIZE, PageFault, PageTable, PageTableEntry
+from .tlb import TLB, TLBStats
+
+__all__ = [
+    "AddressSpace",
+    "AllocationError",
+    "GraphLayout",
+    "EdgeListLayout",
+    "Region",
+    "DEFAULT_PAGE_SIZE",
+    "PageFault",
+    "PageTable",
+    "PageTableEntry",
+    "TLB",
+    "TLBStats",
+]

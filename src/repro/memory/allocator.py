@@ -1,0 +1,244 @@
+"""Graph data allocation layer: the paper's specialized ``malloc``.
+
+The paper (Section VI) introduces a framework-level ``malloc`` variant
+that (1) tags structure-data pages with an extra page-table bit and
+(2) writes the property array's base address and the structure scan
+granularity into DROPLET's MPP registers.  This module is that layer:
+
+* :class:`AddressSpace` — a bump allocator over a simulated virtual
+  address space, backed by a :class:`~repro.memory.pagetable.PageTable`;
+* :class:`Region` — one allocation with name, kind and element size;
+* :class:`GraphLayout` — the allocation of a whole CSR graph (offsets,
+  neighbor IDs, named property arrays, intermediate arrays) plus the
+  address arithmetic shared by the workloads and the MPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..trace.record import DataType
+from .pagetable import DEFAULT_PAGE_SIZE, PageTable
+
+__all__ = ["AddressSpace", "Region", "GraphLayout", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised on invalid allocation requests."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous allocation.
+
+    Attributes
+    ----------
+    name:
+        Debug/report label.
+    base:
+        First virtual byte address (page aligned).
+    size:
+        Size in bytes.
+    kind:
+        The graph :class:`DataType` the region holds.
+    element_size:
+        Bytes per logical element (4 for unweighted neighbor IDs and
+        property values, 8 for weighted edge entries and offsets).
+    """
+
+    name: str
+    base: int
+    size: int
+    kind: DataType
+    element_size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.size
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements the region holds."""
+        return self.size // self.element_size
+
+    def addr(self, index: int) -> int:
+        """Virtual address of element ``index`` (bounds-checked)."""
+        if not (0 <= index < self.num_elements):
+            raise IndexError(
+                "element %d out of range for region %r (%d elements)"
+                % (index, self.name, self.num_elements)
+            )
+        return self.base + index * self.element_size
+
+    def contains(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` falls inside the region."""
+        return self.base <= vaddr < self.end
+
+    def index_of(self, vaddr: int) -> int:
+        """Element index containing ``vaddr`` (must be inside the region)."""
+        if not self.contains(vaddr):
+            raise IndexError("%#x outside region %r" % (vaddr, self.name))
+        return (vaddr - self.base) // self.element_size
+
+
+class AddressSpace:
+    """Bump allocator + page table for one simulated process."""
+
+    #: Default start of the heap; comfortably above zero so address zero is
+    #: never a valid allocation.
+    HEAP_BASE = 0x10_0000
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, base: int = HEAP_BASE):
+        self.page_table = PageTable(page_size)
+        self._next = base
+        self.regions: dict[str, Region] = {}
+
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return self.page_table.page_size
+
+    def alloc(
+        self, name: str, size: int, kind: DataType, element_size: int = 4
+    ) -> Region:
+        """Allocate a page-aligned region and map its pages.
+
+        Structure-kind allocations set the page-table structure bit — this
+        is the specialized ``malloc`` behaviour the paper relies on.
+        """
+        if size <= 0:
+            raise AllocationError("size must be positive for %r" % name)
+        if element_size <= 0 or size % element_size:
+            raise AllocationError(
+                "size %d not a multiple of element size %d for %r"
+                % (size, element_size, name)
+            )
+        if name in self.regions:
+            raise AllocationError("region %r already allocated" % name)
+        base = self._next
+        region = Region(name, base, size, kind, element_size)
+        self.page_table.map_range(base, size, is_structure=(kind is DataType.STRUCTURE))
+        # Advance past the region, rounded up to a page, plus one guard page
+        # so adjacent regions never share a page (keeps page tagging exact).
+        pages = -(-size // self.page_size) + 1
+        self._next = base + pages * self.page_size
+        self.regions[name] = region
+        return region
+
+    def region_of(self, vaddr: int) -> Region | None:
+        """The region containing ``vaddr``, if any."""
+        for region in self.regions.values():
+            if region.contains(vaddr):
+                return region
+        return None
+
+
+class GraphLayout:
+    """In-memory layout of one CSR graph plus its workload arrays.
+
+    Owns the address arithmetic used both by the workload tracing layer
+    (forward: element index → address) and by DROPLET's MPP (inverse:
+    structure cache line → neighbor IDs it holds).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        address_space: AddressSpace | None = None,
+        property_names: tuple[str, ...] = ("prop",),
+    ):
+        self.graph = graph
+        self.space = address_space or AddressSpace()
+        n, m = graph.num_vertices, graph.num_edges
+        #: Bytes per structure element: 4 unweighted, 8 weighted (ID+weight),
+        #: matching the paper's MPP scan granularities.
+        self.structure_element_size = 8 if graph.is_weighted else 4
+        self.offsets = self.space.alloc(
+            "offsets", 8 * max(n + 1, 1), DataType.INTERMEDIATE, element_size=8
+        )
+        self.structure = self.space.alloc(
+            "structure",
+            self.structure_element_size * max(m, 1),
+            DataType.STRUCTURE,
+            element_size=self.structure_element_size,
+        )
+        #: Small hot region standing in for stack frames / loop state —
+        #: the register-spill and bookkeeping traffic real compiled code
+        #: interleaves with data-structure accesses.  Always L1-resident.
+        self.stack = self.space.alloc(
+            "im:stack", 4 * 64, DataType.INTERMEDIATE, element_size=4
+        )
+        self.properties: dict[str, Region] = {}
+        for pname in property_names:
+            self.add_property(pname)
+
+    # ------------------------------------------------------------------
+    # Allocation of workload arrays
+    # ------------------------------------------------------------------
+    def add_property(self, name: str, element_size: int = 4) -> Region:
+        """Allocate a vertex-indexed property array."""
+        region = self.space.alloc(
+            "prop:" + name,
+            element_size * max(self.graph.num_vertices, 1),
+            DataType.PROPERTY,
+            element_size=element_size,
+        )
+        self.properties[name] = region
+        return region
+
+    def add_intermediate(self, name: str, num_elements: int, element_size: int = 4) -> Region:
+        """Allocate an intermediate array (worklist, bin, counter block...)."""
+        return self.space.alloc(
+            "im:" + name,
+            element_size * max(num_elements, 1),
+            DataType.INTERMEDIATE,
+            element_size=element_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Forward address arithmetic (workload side)
+    # ------------------------------------------------------------------
+    def offsets_addr(self, v: int) -> int:
+        """Address of ``offsets[v]``."""
+        return self.offsets.addr(v)
+
+    def structure_addr(self, edge_index: int) -> int:
+        """Address of the neighbor-ID entry at CSR position ``edge_index``."""
+        return self.structure.addr(edge_index)
+
+    def property_addr(self, name: str, v: int) -> int:
+        """Address of ``property[name][v]``."""
+        return self.properties[name].addr(v)
+
+    # ------------------------------------------------------------------
+    # Inverse arithmetic (MPP side)
+    # ------------------------------------------------------------------
+    def is_structure_line(self, line_addr: int, line_size: int = 64) -> bool:
+        """Whether the cache line holding byte address ``line_addr`` overlaps
+        the structure region."""
+        base = (line_addr // line_size) * line_size
+        return base < self.structure.end and base + line_size > self.structure.base
+
+    def scan_structure_line(self, line_base: int, line_size: int = 64) -> np.ndarray:
+        """Neighbor IDs stored in the structure cache line at ``line_base``.
+
+        This is the PAG scan (paper Fig. 10): one 64 B line yields up to 16
+        IDs for unweighted graphs or 8 for weighted ones.
+        """
+        line_base = (line_base // line_size) * line_size
+        start_byte = max(line_base, self.structure.base)
+        end_byte = min(line_base + line_size, self.structure.end)
+        if start_byte >= end_byte:
+            return np.empty(0, dtype=np.int32)
+        es = self.structure_element_size
+        first = -(-(start_byte - self.structure.base) // es)
+        last = (end_byte - self.structure.base) // es
+        first = min(first, self.graph.num_edges)
+        last = min(last, self.graph.num_edges)
+        if first >= last:
+            return np.empty(0, dtype=np.int32)
+        return self.graph.neighbors[first:last]

@@ -1,0 +1,136 @@
+"""Edge-centric (COO) data layout — the paper's §VI extension target.
+
+Edge-centric engines (X-Stream [12], [29]) keep the graph as a flat
+*edge array* streamed sequentially, instead of CSR adjacency lists.  The
+paper argues DROPLET maps directly onto this layout: the edge array *is*
+the structure data (streamed, tagged by the specialized malloc), and the
+MPP scans prefetched edge-array lines for the vertex IDs that index the
+property array.
+
+:class:`EdgeListLayout` provides the same interface surface the machine
+and MPP consume from :class:`~repro.memory.allocator.GraphLayout` —
+``space``, ``properties``, ``structure``, ``stack`` and
+``scan_structure_line`` — so every prefetcher configuration, including
+DROPLET, works unchanged on edge-centric traces.
+
+Each edge entry is 8 bytes: ``(src, dst)`` as two 4-byte IDs.  The PAG
+scans at 8-byte granularity and extracts the *gather index* — for pull
+style engines the source vertex, whose property the edge consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..trace.record import DataType
+from .allocator import AddressSpace, Region
+
+__all__ = ["EdgeListLayout"]
+
+
+class EdgeListLayout:
+    """In-memory layout of a graph stored as a flat (src, dst) edge array.
+
+    Edges are sorted by destination (the X-Stream-style "gather by dst"
+    arrangement), so per-destination accumulation is sequential while the
+    source-property gathers are the random indirection DROPLET chases.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        address_space: AddressSpace | None = None,
+        property_names: tuple[str, ...] = ("prop",),
+    ):
+        self.graph = graph
+        self.space = address_space or AddressSpace()
+        # Materialize the edge array sorted by *accumulation destination*.
+        # Pull semantics match CSR PageRank: each CSR row v gathers the
+        # contributions of its list entries u, so the gather source is the
+        # neighbor ID and the destination is the row — and CSR order is
+        # already destination-sorted.
+        n = graph.num_vertices
+        self.edge_src = graph.neighbors.astype(np.int32)  # gather index
+        self.edge_dst = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(graph.offsets)
+        )
+        #: 8-byte (src, dst) entries — the MPP's weighted-graph scan
+        #: granularity (paper §V-C2).
+        self.structure_element_size = 8
+        self.structure: Region = self.space.alloc(
+            "structure",
+            self.structure_element_size * max(len(self.edge_src), 1),
+            DataType.STRUCTURE,
+            element_size=self.structure_element_size,
+        )
+        self.stack: Region = self.space.alloc(
+            "im:stack", 4 * 64, DataType.INTERMEDIATE, element_size=4
+        )
+        self.properties: dict[str, Region] = {}
+        for name in property_names:
+            self.add_property(name)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge entries."""
+        return len(self.edge_src)
+
+    def add_property(self, name: str, element_size: int = 4) -> Region:
+        """Allocate a vertex-indexed property array."""
+        region = self.space.alloc(
+            "prop:" + name,
+            element_size * max(self.graph.num_vertices, 1),
+            DataType.PROPERTY,
+            element_size=element_size,
+        )
+        self.properties[name] = region
+        return region
+
+    def add_intermediate(self, name: str, num_elements: int, element_size: int = 4) -> Region:
+        """Allocate an intermediate array."""
+        return self.space.alloc(
+            "im:" + name,
+            element_size * max(num_elements, 1),
+            DataType.INTERMEDIATE,
+            element_size=element_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Forward address arithmetic
+    # ------------------------------------------------------------------
+    def edge_addr(self, edge_index: int) -> int:
+        """Address of the 8-byte edge entry at ``edge_index``."""
+        return self.structure.addr(edge_index)
+
+    def property_addr(self, name: str, v: int) -> int:
+        """Address of ``prop[name][v]``."""
+        return self.properties[name].addr(v)
+
+    # ------------------------------------------------------------------
+    # MPP interface (mirrors GraphLayout)
+    # ------------------------------------------------------------------
+    def is_structure_line(self, line_addr: int, line_size: int = 64) -> bool:
+        """Whether the cache line holding ``line_addr`` overlaps the edge array."""
+        base = (line_addr // line_size) * line_size
+        return base < self.structure.end and base + line_size > self.structure.base
+
+    def scan_structure_line(self, line_base: int, line_size: int = 64) -> np.ndarray:
+        """Gather indices (edge sources) stored in one edge-array line.
+
+        One 64 B line holds 8 edge entries; the PAG extracts the source
+        vertex of each — the index used to read the gathered property.
+        """
+        line_base = (line_base // line_size) * line_size
+        start_byte = max(line_base, self.structure.base)
+        end_byte = min(line_base + line_size, self.structure.end)
+        if start_byte >= end_byte:
+            return np.empty(0, dtype=np.int32)
+        es = self.structure_element_size
+        first = -(-(start_byte - self.structure.base) // es)
+        last = (end_byte - self.structure.base) // es
+        first = min(first, self.num_edges)
+        last = min(last, self.num_edges)
+        if first >= last:
+            return np.empty(0, dtype=np.int32)
+        return self.edge_src[first:last]

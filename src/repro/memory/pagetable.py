@@ -1,0 +1,89 @@
+"""Simulated page table with the DROPLET structure bit.
+
+DROPLET's data-awareness rests on a specialized ``malloc`` that tags the
+page-table entries of structure-data pages with an extra bit (paper
+Section V-B2 / VI).  During address translation the bit is copied into the
+TLB entry and from there to the L1D controller, letting the L2 request
+queue mark structure requests.
+
+We model a single-level page table with identity physical mapping (the
+physical frame equals the virtual page); only the metadata — presence and
+the structure bit — affects simulation outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PageTable", "PageTableEntry", "PageFault", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFault(LookupError):
+    """Raised when translating an unmapped virtual address."""
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """One page mapping: physical frame plus the DROPLET structure bit."""
+
+    frame: int
+    is_structure: bool
+
+
+class PageTable:
+    """Virtual→physical page map with per-page structure tagging."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+        self.page_size = page_size
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def page_of(self, vaddr: int) -> int:
+        """Virtual page number containing ``vaddr``."""
+        return vaddr // self.page_size
+
+    def map_range(self, base: int, size: int, is_structure: bool = False) -> int:
+        """Map every page overlapping ``[base, base+size)``; returns count.
+
+        Identity mapping: frame == virtual page.  Re-mapping an existing
+        page only updates the structure bit (idempotent for same-kind
+        allocations).
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        first = self.page_of(base)
+        last = self.page_of(base + size - 1) if size else first - 1
+        for page in range(first, last + 1):
+            self._entries[page] = PageTableEntry(frame=page, is_structure=is_structure)
+        return max(0, last - first + 1)
+
+    def lookup(self, vaddr: int) -> PageTableEntry:
+        """Translate ``vaddr``'s page; raises :class:`PageFault` if unmapped."""
+        try:
+            return self._entries[self.page_of(vaddr)]
+        except KeyError:
+            raise PageFault(hex(vaddr)) from None
+
+    def is_mapped(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` falls in a mapped page."""
+        return self.page_of(vaddr) in self._entries
+
+    def is_structure(self, vaddr: int) -> bool:
+        """The structure bit of ``vaddr``'s page (False if unmapped)."""
+        entry = self._entries.get(self.page_of(vaddr))
+        return entry.is_structure if entry else False
+
+    def structure_pages(self) -> int:
+        """Number of pages tagged as structure data."""
+        return sum(1 for e in self._entries.values() if e.is_structure)
+
+    def translate(self, vaddr: int) -> int:
+        """Full virtual→physical translation of a byte address."""
+        entry = self.lookup(vaddr)
+        return entry.frame * self.page_size + vaddr % self.page_size

@@ -1,0 +1,31 @@
+"""Hardware prefetchers: framework, stream, GHB G/DC, VLDP."""
+
+from .adaptive import (
+    AdaptiveDataAwareStreamer,
+    AdaptiveStreamPrefetcher,
+    FDPLevels,
+)
+from .base import PAGE_SIZE_LINES, NullPrefetcher, Prefetcher
+from .ghb import GHBPrefetcher
+from .imp import IMPPrefetcher, IndirectPattern
+from .stats import PrefetchCounters, PrefetchLedger
+from .stream import DataAwareStreamer, StreamPrefetcher, StreamTracker
+from .vldp import VLDPPrefetcher
+
+__all__ = [
+    "AdaptiveDataAwareStreamer",
+    "AdaptiveStreamPrefetcher",
+    "FDPLevels",
+    "PAGE_SIZE_LINES",
+    "NullPrefetcher",
+    "Prefetcher",
+    "GHBPrefetcher",
+    "IMPPrefetcher",
+    "IndirectPattern",
+    "PrefetchCounters",
+    "PrefetchLedger",
+    "DataAwareStreamer",
+    "StreamPrefetcher",
+    "StreamTracker",
+    "VLDPPrefetcher",
+]

@@ -1,0 +1,119 @@
+"""Feedback-Directed Prefetching (FDP) — Srinath et al., HPCA 2007 [53].
+
+The paper configures its streamer "as described in section 2.1 of [53]"
+— the *static* part of that work.  This module implements the rest of
+[53] as an extension: dynamic aggressiveness control.  The prefetcher
+periodically observes its own accuracy and lateness (fed back by the
+machine from the prefetch ledger) and moves between aggressiveness
+levels — (distance, degree) pairs — promoting when accurate and timely,
+demoting when inaccurate or chronically late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stream import DataAwareStreamer, StreamPrefetcher
+
+__all__ = ["AdaptiveStreamPrefetcher", "AdaptiveDataAwareStreamer", "FDPLevels"]
+
+#: The five aggressiveness levels of [53]: (distance, degree).
+FDP_LEVELS: tuple[tuple[int, int], ...] = (
+    (4, 1),
+    (8, 1),
+    (16, 2),
+    (32, 4),
+    (64, 4),
+)
+
+
+@dataclass
+class FDPLevels:
+    """Threshold configuration for the feedback controller."""
+
+    promote_accuracy: float = 0.75
+    demote_accuracy: float = 0.40
+    demote_lateness: float = 0.25
+    interval: int = 256  # issued prefetches per evaluation window
+
+
+class _FeedbackController:
+    """Shared FDP controller logic (mixed into both streamer variants)."""
+
+    def _init_feedback(self, thresholds: FDPLevels | None, start_level: int) -> None:
+        self.thresholds = thresholds or FDPLevels()
+        self.levels = FDP_LEVELS
+        self._level = min(max(start_level, 0), len(self.levels) - 1)
+        self._apply_level()
+        self._seen_issued = 0
+        self._seen_useful = 0
+        self._seen_late = 0
+        self.level_changes = 0
+
+    def _apply_level(self) -> None:
+        self.distance, self.degree = self.levels[self._level]
+
+    @property
+    def level(self) -> int:
+        """Current aggressiveness level index."""
+        return self._level
+
+    def feedback(self, issued: int, useful: int, late: int) -> None:
+        """Consume cumulative ledger counters; adjust when interval elapses.
+
+        The machine calls this at window boundaries with the issuer's
+        *cumulative* counts; the controller differences them internally.
+        """
+        d_issued = issued - self._seen_issued
+        if d_issued < self.thresholds.interval:
+            return
+        d_useful = useful - self._seen_useful
+        d_late = late - self._seen_late
+        self._seen_issued = issued
+        self._seen_useful = useful
+        self._seen_late = late
+        accuracy = d_useful / d_issued if d_issued else 0.0
+        lateness = d_late / d_useful if d_useful else 0.0
+        old = self._level
+        if accuracy < self.thresholds.demote_accuracy:
+            self._level = max(0, self._level - 1)
+        elif lateness > self.thresholds.demote_lateness:
+            # Late but accurate: more distance helps — promote.
+            self._level = min(len(self.levels) - 1, self._level + 1)
+        elif accuracy > self.thresholds.promote_accuracy:
+            self._level = min(len(self.levels) - 1, self._level + 1)
+        if self._level != old:
+            self._apply_level()
+            self.level_changes += 1
+
+
+class AdaptiveStreamPrefetcher(_FeedbackController, StreamPrefetcher):
+    """Conventional streamer with FDP aggressiveness control."""
+
+    name = "fdp-stream"
+
+    def __init__(
+        self,
+        num_streams: int = 64,
+        start_level: int = 2,
+        thresholds: FDPLevels | None = None,
+        **kwargs,
+    ):
+        StreamPrefetcher.__init__(self, num_streams=num_streams, **kwargs)
+        self._init_feedback(thresholds, start_level)
+
+
+class AdaptiveDataAwareStreamer(_FeedbackController, DataAwareStreamer):
+    """Data-aware (structure-only) streamer with FDP control."""
+
+    name = "fdp-dstream"
+
+    def __init__(
+        self,
+        num_streams: int = 64,
+        start_level: int = 2,
+        thresholds: FDPLevels | None = None,
+        **kwargs,
+    ):
+        DataAwareStreamer.__init__(self, num_streams=num_streams, **kwargs)
+        self._init_feedback(thresholds, start_level)

@@ -1,0 +1,119 @@
+"""Prefetch usefulness accounting (paper Fig. 14 accuracy, Fig. 15 BPKI).
+
+The ledger tracks every issued prefetch until it is either demanded
+(useful — possibly *late* if the demand arrived before the fill) or
+evicted untouched (useless).  Accuracy is per data type, because Fig. 14
+reports structure and property accuracy separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trace.record import DataType
+
+__all__ = ["PrefetchLedger", "PrefetchCounters"]
+
+
+def _zero_by_type() -> dict[DataType, int]:
+    return {dt: 0 for dt in DataType}
+
+
+@dataclass
+class PrefetchCounters:
+    """Counters for one prefetch issuer."""
+
+    issued: dict[DataType, int] = field(default_factory=_zero_by_type)
+    useful: dict[DataType, int] = field(default_factory=_zero_by_type)
+    late: dict[DataType, int] = field(default_factory=_zero_by_type)
+    evicted_unused: dict[DataType, int] = field(default_factory=_zero_by_type)
+    dropped: int = 0  # e.g. page-faulting MPP addresses
+
+    @property
+    def total_issued(self) -> int:
+        """All issued prefetches."""
+        return sum(self.issued.values())
+
+    @property
+    def total_useful(self) -> int:
+        """All prefetches that serviced a demand before eviction."""
+        return sum(self.useful.values())
+
+    def accuracy(self, kind: DataType | None = None) -> float:
+        """Useful / issued, overall or for one data type."""
+        if kind is None:
+            issued = self.total_issued
+            useful = self.total_useful
+        else:
+            issued = self.issued[kind]
+            useful = self.useful[kind]
+        return useful / issued if issued else 0.0
+
+    def coverage(self, demand_misses: int, kind: DataType | None = None) -> float:
+        """Useful prefetches over (useful + remaining demand misses)."""
+        useful = self.total_useful if kind is None else self.useful[kind]
+        denom = useful + demand_misses
+        return useful / denom if denom else 0.0
+
+
+@dataclass
+class _LedgerEntry:
+    issuer: str
+    kind: DataType
+    ready: float
+
+
+class PrefetchLedger:
+    """In-flight + resident prefetch tracking keyed by line number."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, PrefetchCounters] = {}
+        self._entries: dict[int, _LedgerEntry] = {}
+
+    def counters_for(self, issuer: str) -> PrefetchCounters:
+        """Counters of one issuer, created on first use."""
+        if issuer not in self.counters:
+            self.counters[issuer] = PrefetchCounters()
+        return self.counters[issuer]
+
+    def issue(self, line: int, kind: DataType, ready: float, issuer: str) -> None:
+        """Record an issued prefetch and when its fill completes."""
+        self.counters_for(issuer).issued[kind] += 1
+        self._entries[line] = _LedgerEntry(issuer, kind, ready)
+
+    def is_tracked(self, line: int) -> bool:
+        """Whether ``line`` has an outstanding/unclaimed prefetch record."""
+        return line in self._entries
+
+    def ready_time(self, line: int) -> float | None:
+        """Fill-completion time of the tracked prefetch for ``line``."""
+        entry = self._entries.get(line)
+        return entry.ready if entry else None
+
+    def claim_demand(self, line: int, now: float) -> float:
+        """A demand touched a prefetched line; returns residual latency.
+
+        Residual latency is 0 for a timely prefetch, otherwise the cycles
+        the demand still has to wait for the in-flight fill (the prefetch
+        is then counted *late* but still useful).
+        """
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            return 0.0
+        counters = self.counters_for(entry.issuer)
+        counters.useful[entry.kind] += 1
+        residual = max(0.0, entry.ready - now)
+        if residual > 0:
+            counters.late[entry.kind] += 1
+        return residual
+
+    def claim_eviction(self, line: int) -> None:
+        """A prefetched line was evicted without any demand touching it."""
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            return
+        self.counters_for(entry.issuer).evicted_unused[entry.kind] += 1
+
+    def drop(self, issuer: str) -> None:
+        """Record a prefetch dropped before issue (e.g. page fault)."""
+        self.counters_for(issuer).dropped += 1

@@ -1,0 +1,173 @@
+"""Stream prefetcher with per-page trackers (paper Table V "L2 streamer").
+
+Implements the conventional streamer of Srinath et al. [53] §2.1 as the
+paper configures it: 64 concurrent streams, prefetch distance 16 lines,
+allocation on miss, two further same-direction misses to confirm a
+stream, stop at the 4 KB page boundary.
+
+The conventional streamer snoops *all* L1 miss addresses — which is
+exactly its weakness for graphs (paper §V-B1): random property and
+intermediate misses burn trackers and emit useless prefetches.  The
+data-aware variant (:class:`DataAwareStreamer`) trains only on
+structure-tagged requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..trace.record import DataType
+from .base import PAGE_SIZE_LINES, Prefetcher
+
+__all__ = ["StreamPrefetcher", "DataAwareStreamer", "StreamTracker"]
+
+
+@dataclass
+class StreamTracker:
+    """Tracking state for one candidate/confirmed stream (one page)."""
+
+    page: int
+    last_line: int
+    direction: int = 0  # +1 ascending, -1 descending, 0 undetermined
+    confidence: int = 0
+    active: bool = False
+    next_prefetch: int = 0  # next line to prefetch once active
+
+
+class StreamPrefetcher(Prefetcher):
+    """Conventional multi-stream prefetcher: trains on every miss."""
+
+    name = "stream"
+
+    def __init__(
+        self,
+        num_streams: int = 64,
+        distance: int = 16,
+        degree: int = 4,
+        confirm: int = 2,
+        page_lines: int = PAGE_SIZE_LINES,
+    ):
+        if min(num_streams, distance, degree, confirm, page_lines) <= 0:
+            raise ValueError("streamer parameters must be positive")
+        self.num_streams = num_streams
+        self.distance = distance
+        self.degree = degree
+        self.confirm = confirm
+        self.page_lines = page_lines
+        self._trackers: OrderedDict[int, StreamTracker] = OrderedDict()
+        self.tracker_allocations = 0
+        self.tracker_evictions = 0
+
+    # ------------------------------------------------------------------
+    def _page_of(self, line: int) -> int:
+        return line // self.page_lines
+
+    def _page_end(self, page: int, direction: int) -> int:
+        """One-past-the-last line of the page in the stream direction."""
+        if direction >= 0:
+            return (page + 1) * self.page_lines
+        return page * self.page_lines - 1
+
+    def _allocate(self, page: int, line: int) -> StreamTracker:
+        tracker = StreamTracker(page=page, last_line=line)
+        self._trackers[page] = tracker
+        self.tracker_allocations += 1
+        if len(self._trackers) > self.num_streams:
+            self._trackers.popitem(last=False)
+            self.tracker_evictions += 1
+        return tracker
+
+    def _advance(self, tracker: StreamTracker, line: int) -> list[int]:
+        """Train/advance a tracker on a new access to its page."""
+        step = line - tracker.last_line
+        if step == 0:
+            return []
+        direction = 1 if step > 0 else -1
+        if not tracker.active:
+            if tracker.direction == direction:
+                tracker.confidence += 1
+            else:
+                tracker.direction = direction
+                tracker.confidence = 1
+            tracker.last_line = line
+            if tracker.confidence >= self.confirm:
+                tracker.active = True
+                tracker.next_prefetch = line + direction
+            else:
+                return []
+        tracker.last_line = max(tracker.last_line, line) if tracker.direction > 0 else min(tracker.last_line, line)
+        # Issue up to `degree` lines, staying within `distance` of the
+        # demand and inside the page.
+        out: list[int] = []
+        limit = line + tracker.direction * self.distance
+        page_end = self._page_end(tracker.page, tracker.direction)
+        for _ in range(self.degree):
+            nxt = tracker.next_prefetch
+            if tracker.direction > 0 and (nxt > limit or nxt >= page_end):
+                break
+            if tracker.direction < 0 and (nxt < limit or nxt <= page_end):
+                break
+            out.append(nxt)
+            tracker.next_prefetch = nxt + tracker.direction
+        return out
+
+    # ------------------------------------------------------------------
+    def _should_train(self, kind: DataType, is_structure: bool) -> bool:
+        return True
+
+    def observe_miss(
+        self, line: int, kind: DataType, is_structure: bool, core: int
+    ) -> list[int]:
+        """Allocate/train the page's tracker; emit prefetches when live."""
+        if not self._should_train(kind, is_structure):
+            return []
+        page = self._page_of(line)
+        tracker = self._trackers.get(page)
+        if tracker is None:
+            self._allocate(page, line)
+            return []
+        self._trackers.move_to_end(page)
+        return self._advance(tracker, line)
+
+    def observe_hit(
+        self, line: int, kind: DataType, is_structure: bool, core: int
+    ) -> list[int]:
+        """Advance a confirmed stream on a hit at the attachment level."""
+        # Hits to already-prefetched lines keep confirmed streams running
+        # (prefetched lines hit in L2, so misses alone would starve the
+        # stream); training misses are still required to confirm.
+        if not self._should_train(kind, is_structure):
+            return []
+        page = self._page_of(line)
+        tracker = self._trackers.get(page)
+        if tracker is None or not tracker.active:
+            return []
+        self._trackers.move_to_end(page)
+        return self._advance(tracker, line)
+
+    def reset(self) -> None:
+        """Drop all trackers."""
+        self._trackers.clear()
+
+    @property
+    def live_trackers(self) -> int:
+        """Number of currently allocated trackers."""
+        return len(self._trackers)
+
+    def structure_tracker_fraction(self) -> float:
+        """Diagnostic: not meaningful for the type-blind streamer."""
+        return float("nan")
+
+
+class DataAwareStreamer(StreamPrefetcher):
+    """DROPLET's structure-only streamer (paper §V-B2).
+
+    Trains exclusively on requests whose page-table structure bit is set,
+    so every tracker serves the one data type that actually streams.
+    """
+
+    name = "dstream"
+
+    def _should_train(self, kind: DataType, is_structure: bool) -> bool:
+        return is_structure

@@ -1,0 +1,100 @@
+"""Result summaries and JSON reporting.
+
+``summarize`` flattens a :class:`~repro.system.machine.SimResult` into a
+plain dict of scalars (JSON-safe), so sweeps can be dumped, archived and
+diffed without pickling simulator internals.  ``save_results`` /
+``load_results`` persist lists of summaries; ``compare_summaries``
+computes per-metric ratios between two runs of the same trace — the
+building block for regression tracking across model changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .system.machine import SimResult
+from .trace.record import DataType
+
+__all__ = [
+    "summarize",
+    "save_results",
+    "load_results",
+    "compare_summaries",
+]
+
+#: Format marker for saved result files.
+RESULTS_FORMAT = "repro-results-v1"
+
+
+def summarize(result: SimResult) -> dict:
+    """Flatten one simulation result into JSON-safe scalars."""
+    stack = result.cycle_stack.fractions()
+    summary: dict = {
+        "trace": result.trace_name,
+        "setup": result.setup_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "mlp": result.mlp,
+        "llc_mpki": result.llc_mpki(),
+        "l2_hit_rate": result.l2_hit_rate(),
+        "bpki": result.bpki(),
+        "dram_bw_utilization": result.dram_bandwidth_utilization(),
+        "cycle_stack": {k: round(v, 6) for k, v in stack.items()},
+    }
+    for dt in DataType:
+        key = dt.short_name
+        summary["llc_mpki_" + key] = result.llc_mpki(dt)
+        summary["offchip_frac_" + key] = result.offchip_fraction(dt)
+        summary["pf_accuracy_" + key] = result.prefetch_accuracy(dt)
+    summary["pf_accuracy"] = result.prefetch_accuracy()
+    summary["pf_issued"] = sum(
+        c.total_issued for c in result.ledger.counters.values()
+    )
+    summary["pf_useful"] = sum(
+        c.total_useful for c in result.ledger.counters.values()
+    )
+    return summary
+
+
+def save_results(summaries: list[dict], path: str | Path) -> None:
+    """Write a list of summaries (or any JSON-safe dicts) to disk."""
+    payload = {"format": RESULTS_FORMAT, "results": summaries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: str | Path) -> list[dict]:
+    """Read summaries written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != RESULTS_FORMAT:
+        raise ValueError(
+            "%s is not a %s file (format=%r)"
+            % (path, RESULTS_FORMAT, payload.get("format"))
+        )
+    return payload["results"]
+
+
+def compare_summaries(before: dict, after: dict) -> dict[str, float]:
+    """Per-metric ``after / before`` ratios for two runs of one trace.
+
+    Only numeric, strictly positive metrics present in both summaries are
+    compared; the result maps metric name → ratio (1.0 = unchanged,
+    <1.0 = decreased).
+    """
+    if before.get("trace") != after.get("trace"):
+        raise ValueError(
+            "summaries compare different traces: %r vs %r"
+            % (before.get("trace"), after.get("trace"))
+        )
+    ratios: dict[str, float] = {}
+    for key, value in before.items():
+        other = after.get(key)
+        if (
+            isinstance(value, (int, float))
+            and isinstance(other, (int, float))
+            and not isinstance(value, bool)
+            and value > 0
+        ):
+            ratios[key] = other / value
+    return ratios

@@ -1,0 +1,428 @@
+"""The full-system simulator: core model + hierarchy + MC + prefetchers.
+
+``Machine.run`` replays an annotated trace through the inclusive cache
+hierarchy and the banked DRAM, window by window (interval-style core
+model), with the configured prefetcher setup injecting fills along the
+way.  It produces a :class:`SimResult` carrying every statistic the
+paper's figures need: cycle stacks, per-type MPKI at each level, L2 hit
+rates, prefetch accuracy, and bus traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..cache.hierarchy import CacheHierarchy
+from ..core.cycles import CycleStack
+from ..core.mlp import compute_window_timing
+from ..dram.model import DRAMModel
+from ..dram.multichannel import MultiChannelDRAM
+from ..dram.mrb import MemoryRequestBuffer
+from ..droplet.composite import PrefetchSetup, make_prefetch_setup
+from ..droplet.mpp import MPP
+from ..memory.allocator import GraphLayout
+from ..prefetch.stats import PrefetchLedger
+from ..prefetch.stream import DataAwareStreamer
+from ..trace.buffer import Trace
+from ..trace.record import NO_DEP, DataType
+from .config import SystemConfig
+
+__all__ = ["Machine", "SimResult", "RegionClassifier"]
+
+_STRUCTURE = int(DataType.STRUCTURE)
+_PROPERTY = int(DataType.PROPERTY)
+_INTERMEDIATE = int(DataType.INTERMEDIATE)
+
+
+class RegionClassifier:
+    """Fast byte-address → :class:`DataType` classification via bisect."""
+
+    def __init__(self, layout: GraphLayout | None):
+        self._bases: list[int] = []
+        self._ends: list[int] = []
+        self._kinds: list[int] = []
+        if layout is not None:
+            regions = sorted(layout.space.regions.values(), key=lambda r: r.base)
+            for region in regions:
+                self._bases.append(region.base)
+                self._ends.append(region.end)
+                self._kinds.append(int(region.kind))
+
+    def classify(self, addr: int) -> int:
+        """Data type of ``addr`` (INTERMEDIATE for unknown addresses)."""
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return self._kinds[i]
+        return _INTERMEDIATE
+
+
+@dataclass
+class SimResult:
+    """Everything measured by one simulation run."""
+
+    trace_name: str
+    setup_name: str
+    instructions: int
+    cycles: float
+    cycle_stack: CycleStack
+    hierarchy: CacheHierarchy
+    dram: DRAMModel
+    ledger: PrefetchLedger
+    mrb: MemoryRequestBuffer
+    mpp: MPP | None
+    total_miss_latency: float = 0.0
+    total_exposed_latency: float = 0.0
+    refs_by_type: dict[DataType, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mlp(self) -> float:
+        """Average overlap of outstanding miss latency."""
+        if self.total_exposed_latency <= 0:
+            return 0.0
+        return self.total_miss_latency / self.total_exposed_latency
+
+    def speedup_vs(self, baseline: "SimResult") -> float:
+        """Speedup over a baseline run of the *same trace*."""
+        if baseline.trace_name != self.trace_name:
+            raise ValueError(
+                "speedup requires identical traces (%r vs %r)"
+                % (self.trace_name, baseline.trace_name)
+            )
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    # ------------------------------------------------------------------
+    def llc_mpki(self, kind: DataType | None = None) -> float:
+        """LLC demand misses per kilo-instruction (per type if given)."""
+        stats = self.hierarchy.l3.stats
+        if kind is None:
+            return stats.mpki(self.instructions)
+        return stats.mpki_of(kind, self.instructions)
+
+    def l2_hit_rate(self) -> float:
+        """Aggregate private-L2 demand hit rate."""
+        if self.hierarchy.l2s is None:
+            return 0.0
+        hits = sum(c.stats.total_hits for c in self.hierarchy.l2s)
+        total = sum(c.stats.total_accesses for c in self.hierarchy.l2s)
+        return hits / total if total else 0.0
+
+    def offchip_fraction(self, kind: DataType) -> float:
+        """Fraction of ``kind`` references serviced by DRAM (Fig. 4c)."""
+        refs = self.refs_by_type.get(kind, 0)
+        if refs == 0:
+            return 0.0
+        return self.hierarchy.l3.stats.misses[kind] / refs
+
+    def bpki(self) -> float:
+        """DRAM bus accesses per kilo-instruction (Fig. 15)."""
+        return self.dram.stats.bpki(self.instructions)
+
+    def dram_bandwidth_utilization(self) -> float:
+        """Fraction of peak DRAM bandwidth consumed (Fig. 3a)."""
+        return self.dram.utilization(int(self.cycles))
+
+    def prefetch_accuracy(self, kind: DataType | None = None) -> float:
+        """Useful/issued over all issuers (Fig. 14)."""
+        issued = useful = 0
+        for counters in self.ledger.counters.values():
+            if kind is None:
+                issued += counters.total_issued
+                useful += counters.total_useful
+            else:
+                issued += counters.issued[kind]
+                useful += counters.useful[kind]
+        return useful / issued if issued else 0.0
+
+
+class Machine:
+    """A configured machine ready to replay traces."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        layout: GraphLayout | None = None,
+        setup: PrefetchSetup | str | None = None,
+        chased_property: str | tuple[str, ...] | None = None,
+    ):
+        self.config = config or SystemConfig.scaled_baseline()
+        if isinstance(setup, str):
+            setup = make_prefetch_setup(setup)
+        self.setup = setup or make_prefetch_setup("none")
+        self.layout = layout
+        self.hierarchy = CacheHierarchy(
+            self.config.l1, self.config.l2, self.config.l3, self.config.num_cores
+        )
+        if self.config.num_mcs > 1:
+            self.dram = MultiChannelDRAM(self.config.dram, self.config.num_mcs)
+        else:
+            self.dram = DRAMModel(self.config.dram)
+        #: §VI: property prefetches forwarded to a different MC than the
+        #: one whose structure fill generated them.
+        self.mpp_forwarded = 0
+        self.mrb = MemoryRequestBuffer()
+        self.ledger = PrefetchLedger()
+        self.classifier = RegionClassifier(layout)
+        self.mpp: MPP | None = None
+        if self.setup.use_mpp:
+            if layout is None:
+                raise ValueError("an MPP-based setup requires a GraphLayout")
+            self.mpp = MPP(layout.space.page_table, self.setup.mpp_config)
+            prop = chased_property or next(iter(layout.properties))
+            self.mpp.configure_from_layout(layout, prop)
+        self._streamer_is_data_aware = isinstance(
+            self.setup.l2_prefetcher, DataAwareStreamer
+        )
+        if self.setup.imp_engine is not None and layout is None:
+            raise ValueError("the IMP setup requires a GraphLayout (index values)")
+        self._line_size = self.config.l3.line_size
+
+    # ------------------------------------------------------------------
+    # Prefetch issue paths
+    # ------------------------------------------------------------------
+    def _issue_stream_prefetch(
+        self, line: int, core: int, now: float, issuer: str | None = None
+    ) -> bool:
+        """Issue one L2-prefetcher candidate; returns whether issued."""
+        if self.hierarchy.on_chip(line) or self.ledger.is_tracked(line):
+            return False
+        kind = self.classifier.classify(line * self._line_size)
+        latency = self.dram.access(line, int(now), is_prefetch=True)
+        ready = now + latency + self.config.dram_base_latency
+        self.hierarchy.prefetch_fill(
+            core, line, kind, into_l1=self.setup.fill_into_l1
+        )
+        issuer = issuer or self.setup.l2_prefetcher.name
+        self.ledger.issue(line, DataType(kind), ready, issuer)
+        imp = self.setup.imp_engine
+        if imp is not None and kind == _STRUCTURE and issuer != "imp":
+            # IMP also scans *prefetched* index lines on their fill path —
+            # that is where its indirect lookahead comes from.
+            values = self.layout.scan_structure_line(
+                line * self._line_size, self._line_size
+            )
+            for cand in imp.observe_index_values(values):
+                self._issue_stream_prefetch(cand, core, ready, issuer="imp")
+        self.mrb.enqueue(line, c_bit=True, core=core)
+        entry = self.mrb.retire(line)
+        if (
+            self.mpp is not None
+            and self.setup.mpp_trigger == "prefetch"
+            and entry is not None
+            and entry.c_bit
+        ):
+            if self.setup.mpp_config.identifies_structure:
+                is_structure = self.mpp.classifies_as_structure(line)
+            else:
+                # DROPLET proper: the C-bit from the data-aware streamer
+                # *is* the structure guarantee (paper §V-C1).
+                is_structure = self._streamer_is_data_aware
+            if is_structure:
+                self._chase_properties(line, core, ready)
+        return True
+
+    def _chase_properties(self, structure_line: int, core: int, fill_ready: float) -> None:
+        """MPP reaction to one structure prefetch fill."""
+        multi_mc = isinstance(self.dram, MultiChannelDRAM)
+        home_mc = self.dram.mc_of(structure_line) if multi_mc else 0
+        for req in self.mpp.on_structure_fill(structure_line, core):
+            if multi_mc and self.dram.mc_of(req.line) != home_mc:
+                # Forward the request (with core ID) to the destination
+                # MC's MRB, as in [52] / paper §VI.
+                self.mpp_forwarded += 1
+            issue_time = fill_ready + req.issue_delay + self.setup.mpp_issue_penalty
+            pline = req.line
+            if self.ledger.is_tracked(pline):
+                continue
+            if self.hierarchy.on_chip(pline):
+                # Already on chip: copy from the inclusive LLC into the
+                # requesting core's private L2 (paper §V-A).
+                self.hierarchy.copy_to_l2(req.core, pline, _PROPERTY)
+                self.ledger.issue(
+                    pline,
+                    DataType.PROPERTY,
+                    issue_time + self.config.l3_service_latency,
+                    "mpp",
+                )
+            else:
+                latency = self.dram.access(pline, int(issue_time), is_prefetch=True)
+                self.hierarchy.prefetch_fill(
+                    req.core, pline, _PROPERTY, into_l1=self.setup.fill_into_l1
+                )
+                self.ledger.issue(
+                    pline, DataType.PROPERTY, issue_time + latency, "mpp"
+                )
+                self.mrb.enqueue(pline, c_bit=True, core=req.core)
+                self.mrb.retire(pline)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> SimResult:
+        """Replay ``trace`` and return the measured statistics."""
+        cfg = self.config
+        hierarchy = self.hierarchy
+        dram = self.dram
+        ledger = self.ledger
+        prefetcher = self.setup.l2_prefetcher
+        imp = self.setup.imp_engine
+        events = hierarchy.events
+
+        # Plain Python lists iterate ~2x faster than numpy scalars here.
+        lines = (trace.addr // self._line_size).tolist()
+        kinds = trace.kind.tolist()
+        is_load = trace.is_load.tolist()
+        deps = trace.dep.tolist()
+        gaps = trace.gap.tolist()
+        n = len(trace)
+        core = trace.core
+
+        l2_lat = cfg.l2_service_latency
+        l3_lat = cfg.l3_service_latency
+        dram_path = cfg.dram_base_latency
+        dispatch = cfg.dispatch_width
+        rob = cfg.rob_entries
+        mshr = cfg.mshr_entries
+        lq = cfg.load_queue
+
+        has_feedback = hasattr(prefetcher, "feedback")
+        clock = 0.0
+        stack = CycleStack()
+        total_miss_latency = 0.0
+        total_exposed = 0.0
+        window_loads: list[tuple[int, int, str, float]] = []
+        window_start = 0
+        instr_in_window = 0
+        budget = cfg.prefetch_budget_per_window
+
+        for i in range(n):
+            now = clock + instr_in_window / dispatch
+            instr_in_window += 1 + gaps[i]
+            line = lines[i]
+            kind = kinds[i]
+            load = is_load[i]
+
+            outcome = hierarchy.demand_access(core, line, kind, is_store=not load)
+            level = outcome.level
+            if level == "L1":
+                latency = 0.0
+            elif level == "L2":
+                latency = float(l2_lat)
+            elif level == "L3":
+                latency = float(l3_lat)
+            else:  # DRAM
+                self.mrb.enqueue(line, c_bit=False, core=core)
+                latency = float(dram.access(line, int(now)) + dram_path)
+                self.mrb.retire(line)
+                if (
+                    self.mpp is not None
+                    and self.setup.mpp_trigger == "demand"
+                    and kind == _STRUCTURE
+                ):
+                    # Table IV counterfactual: chase structure *demand*
+                    # fills.  The structure line reaches the MC at
+                    # ``now + latency``; property prefetches start there —
+                    # typically too late for the imminent consumer loads.
+                    self._chase_properties(line, core, now + latency)
+
+            if outcome.prefetched:
+                residual = ledger.claim_demand(line, now)
+                if residual > 0:
+                    latency += residual
+
+            if load:
+                window_loads.append((i, deps[i], level, latency))
+
+            if events:
+                for ev in events:
+                    if ev.kind == "writeback":
+                        dram.writeback(ev.line, int(now))
+                    elif ev.kind == "evict_unused_pf" and ev.level == "L3":
+                        ledger.claim_eviction(ev.line)
+                events.clear()
+
+            if level != "L1":
+                # The L2-attached prefetchers snoop every L1 miss address
+                # (paper Fig. 9); structure tagging comes from the page
+                # table bit, which our allocator guarantees equals the
+                # data type.
+                candidates = prefetcher.observe_miss(
+                    line, kind, kind == _STRUCTURE, core
+                )
+                for cand in candidates:
+                    if budget <= 0:
+                        break
+                    if self._issue_stream_prefetch(cand, core, now):
+                        budget -= 1
+                if imp is not None:
+                    if kind == _STRUCTURE:
+                        # The index line arrives at the L1; IMP sees the
+                        # values inside it and chases active patterns.
+                        values = self.layout.scan_structure_line(
+                            line * self._line_size, self._line_size
+                        )
+                        imp_candidates = imp.observe_index_values(values)
+                        for cand in imp_candidates:
+                            if budget <= 0:
+                                break
+                            if self._issue_stream_prefetch(
+                                cand, core, now, issuer="imp"
+                            ):
+                                budget -= 1
+                    else:
+                        imp.observe_miss(line, kind, False, core)
+
+            if instr_in_window >= rob:
+                timing = compute_window_timing(window_loads, window_start, mshr, lq)
+                base = instr_in_window / dispatch
+                clock += base + timing.exposed
+                stack.add_window(base, timing.exposed_by_level(), instr_in_window)
+                total_miss_latency += timing.total_miss_latency
+                total_exposed += timing.exposed
+                window_loads = []
+                window_start = i + 1
+                instr_in_window = 0
+                budget = cfg.prefetch_budget_per_window
+                if has_feedback:
+                    # Feedback-directed prefetching [53]: hand the issuer
+                    # its own cumulative accuracy/lateness counters.
+                    counters = ledger.counters.get(prefetcher.name)
+                    if counters is not None:
+                        prefetcher.feedback(
+                            counters.total_issued,
+                            counters.total_useful,
+                            sum(counters.late.values()),
+                        )
+
+        if instr_in_window > 0 or window_loads:
+            timing = compute_window_timing(window_loads, window_start, mshr, lq)
+            base = instr_in_window / dispatch
+            clock += base + timing.exposed
+            stack.add_window(base, timing.exposed_by_level(), instr_in_window)
+            total_miss_latency += timing.total_miss_latency
+            total_exposed += timing.exposed
+
+        refs_by_type = {
+            dt: int((trace.kind == int(dt)).sum()) for dt in DataType
+        }
+        return SimResult(
+            trace_name=trace.name,
+            setup_name=self.setup.name,
+            instructions=trace.num_instructions,
+            cycles=clock,
+            cycle_stack=stack,
+            hierarchy=hierarchy,
+            dram=dram,
+            ledger=ledger,
+            mrb=self.mrb,
+            mpp=self.mpp,
+            total_miss_latency=total_miss_latency,
+            total_exposed_latency=total_exposed,
+            refs_by_type=refs_by_type,
+        )

@@ -1,0 +1,222 @@
+"""Multi-core simulation: interleaved replay of per-core traces.
+
+The paper's platform is a quad-core with private L1/L2 and a shared LLC
++ memory controller (Table I); it notes (§III-A) that resource
+utilization matches single-core behaviour for these workloads, which is
+why the experiment harness defaults to one core.  This module provides
+the quad-core mode for completeness: per-core traces (from
+``Workload.run_partitioned``) replay through one shared
+:class:`~repro.cache.hierarchy.CacheHierarchy` and DRAM, interleaved
+window-by-window in per-core virtual time (the least-advanced core runs
+next), so shared-LLC contention and bank contention across cores are
+modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cycles import CycleStack
+from ..core.mlp import compute_window_timing
+from ..droplet.composite import PrefetchSetup
+from ..memory.allocator import GraphLayout
+from ..trace.buffer import Trace
+from ..trace.record import DataType
+from .config import SystemConfig
+from .machine import Machine
+
+__all__ = ["MulticoreResult", "run_multicore"]
+
+
+@dataclass
+class MulticoreResult:
+    """Aggregate outcome of one multi-core simulation."""
+
+    per_core_cycles: list[float]
+    per_core_stacks: list[CycleStack]
+    instructions: int
+    machine: Machine
+    refs_by_type: dict[DataType, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        """Wall-clock cycles: the slowest core's virtual time."""
+        return max(self.per_core_cycles) if self.per_core_cycles else 0.0
+
+    @property
+    def num_cores(self) -> int:
+        """Number of simulated cores."""
+        return len(self.per_core_cycles)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Total instructions over wall-clock cycles."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def llc_mpki(self) -> float:
+        """Shared-LLC demand misses per kilo-instruction (all cores)."""
+        return self.machine.hierarchy.l3.stats.mpki(self.instructions)
+
+    def bpki(self) -> float:
+        """DRAM bus accesses per kilo-instruction (all cores)."""
+        return self.machine.dram.stats.bpki(self.instructions)
+
+    def speedup_vs(self, baseline: "MulticoreResult") -> float:
+        """Wall-clock speedup over another multi-core run."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+
+class _CoreState:
+    """Replay cursor for one core's trace."""
+
+    __slots__ = (
+        "trace", "lines", "kinds", "is_load", "deps", "gaps",
+        "pos", "clock", "stack", "done",
+    )
+
+    def __init__(self, trace: Trace, line_size: int):
+        self.trace = trace
+        self.lines = (trace.addr // line_size).tolist()
+        self.kinds = trace.kind.tolist()
+        self.is_load = trace.is_load.tolist()
+        self.deps = trace.dep.tolist()
+        self.gaps = trace.gap.tolist()
+        self.pos = 0
+        self.clock = 0.0
+        self.stack = CycleStack()
+        self.done = len(trace) == 0
+
+
+def run_multicore(
+    traces: list[Trace],
+    config: SystemConfig | None = None,
+    layout: GraphLayout | None = None,
+    setup: PrefetchSetup | str = "none",
+    chased_property: str | tuple[str, ...] | None = None,
+) -> MulticoreResult:
+    """Replay per-core traces through one shared machine.
+
+    ``traces[i]`` runs on core ``traces[i].core`` (which must be unique
+    and within the configured core count).
+    """
+    if not traces:
+        raise ValueError("at least one trace is required")
+    cores = [t.core for t in traces]
+    if len(set(cores)) != len(cores):
+        raise ValueError("traces must target distinct cores")
+    config = config or SystemConfig.scaled_baseline(num_cores=max(cores) + 1)
+    if max(cores) >= config.num_cores:
+        raise ValueError(
+            "trace targets core %d but the machine has %d cores"
+            % (max(cores), config.num_cores)
+        )
+    machine = Machine(
+        config=config, layout=layout, setup=setup, chased_property=chased_property
+    )
+    if machine.setup.imp_engine is not None:
+        raise NotImplementedError(
+            "the IMP comparison point is single-core only; use Machine.run"
+        )
+    hierarchy = machine.hierarchy
+    dram = machine.dram
+    ledger = machine.ledger
+    prefetcher = machine.setup.l2_prefetcher
+    events = hierarchy.events
+    line_size = config.l3.line_size
+    l2_lat = config.l2_service_latency
+    l3_lat = config.l3_service_latency
+    dram_path = config.dram_base_latency
+    dispatch = config.dispatch_width
+    rob = config.rob_entries
+    mshr = config.mshr_entries
+    lq = config.load_queue
+    structure = int(DataType.STRUCTURE)
+
+    states = {t.core: _CoreState(t, line_size) for t in traces}
+
+    def step_window(core: int, state: _CoreState) -> None:
+        """Replay one ROB window of ``core`` at its current clock."""
+        window_loads: list[tuple[int, int, str, float]] = []
+        window_start = state.pos
+        instr = 0
+        budget = config.prefetch_budget_per_window
+        n = len(state.lines)
+        clock = state.clock
+        while state.pos < n and instr < rob:
+            i = state.pos
+            now = clock + instr / dispatch
+            instr += 1 + state.gaps[i]
+            line = state.lines[i]
+            kind = state.kinds[i]
+            load = state.is_load[i]
+            outcome = hierarchy.demand_access(core, line, kind, is_store=not load)
+            level = outcome.level
+            if level == "L1":
+                latency = 0.0
+            elif level == "L2":
+                latency = float(l2_lat)
+            elif level == "L3":
+                latency = float(l3_lat)
+            else:
+                machine.mrb.enqueue(line, c_bit=False, core=core)
+                latency = float(dram.access(line, int(now)) + dram_path)
+                machine.mrb.retire(line)
+                if (
+                    machine.mpp is not None
+                    and machine.setup.mpp_trigger == "demand"
+                    and kind == structure
+                ):
+                    machine._chase_properties(line, core, now + latency)
+            if outcome.prefetched:
+                residual = ledger.claim_demand(line, now)
+                if residual > 0:
+                    latency += residual
+            if load:
+                window_loads.append((i, state.deps[i], level, latency))
+            if events:
+                for ev in events:
+                    if ev.kind == "writeback":
+                        dram.writeback(ev.line, int(now))
+                    elif ev.kind == "evict_unused_pf" and ev.level == "L3":
+                        ledger.claim_eviction(ev.line)
+                events.clear()
+            if level != "L1":
+                candidates = prefetcher.observe_miss(
+                    line, kind, kind == structure, core
+                )
+                for cand in candidates:
+                    if budget <= 0:
+                        break
+                    if machine._issue_stream_prefetch(cand, core, now):
+                        budget -= 1
+            state.pos += 1
+        timing = compute_window_timing(window_loads, window_start, mshr, lq)
+        base = instr / dispatch
+        state.clock += base + timing.exposed
+        state.stack.add_window(base, timing.exposed_by_level(), instr)
+        if state.pos >= n:
+            state.done = True
+
+    # Elastic interleave: always advance the core with the smallest clock,
+    # approximating concurrent execution in shared structures.
+    active = dict(states)
+    while active:
+        core = min(active, key=lambda c: active[c].clock)
+        step_window(core, active[core])
+        if active[core].done:
+            del active[core]
+
+    refs_by_type = {dt: 0 for dt in DataType}
+    instructions = 0
+    for t in traces:
+        instructions += t.num_instructions
+        for dt in DataType:
+            refs_by_type[dt] += int((t.kind == int(dt)).sum())
+    ordered = [states[c] for c in sorted(states)]
+    return MulticoreResult(
+        per_core_cycles=[s.clock for s in ordered],
+        per_core_stacks=[s.stack for s in ordered],
+        instructions=instructions,
+        machine=machine,
+        refs_by_type=refs_by_type,
+    )

@@ -1,0 +1,60 @@
+"""High-level simulation entry points.
+
+``simulate`` runs one traced workload on one machine configuration;
+``compare_setups`` runs the same trace across prefetcher configurations
+(the Fig. 11 experiment shape) and returns results keyed by setup name.
+"""
+
+from __future__ import annotations
+
+from ..droplet.composite import PrefetchSetup, make_prefetch_setup
+from ..workloads.base import TraceRun
+from .config import SystemConfig
+from .machine import Machine, SimResult
+
+__all__ = ["simulate", "compare_setups"]
+
+
+def simulate(
+    run: TraceRun,
+    config: SystemConfig | None = None,
+    setup: PrefetchSetup | str = "none",
+    multi_property: bool = False,
+) -> SimResult:
+    """Simulate one traced workload run.
+
+    A fresh :class:`Machine` is built per call — caches, DRAM and
+    prefetcher state never leak between runs.  ``multi_property`` lets
+    the MPP chase *all* of the workload's structure-indexed property
+    arrays (paper §VI extension) instead of the primary one.
+    """
+    from ..workloads.registry import get_workload
+
+    workload = get_workload(run.workload)
+    chased = (
+        workload.gathered_properties if multi_property else workload.gathered_property
+    )
+    machine = Machine(
+        config=config or SystemConfig.scaled_baseline(),
+        layout=run.layout,
+        setup=setup,
+        chased_property=chased,
+    )
+    return machine.run(run.trace)
+
+
+def compare_setups(
+    run: TraceRun,
+    setups: tuple[str, ...] = ("none", "stream", "streamMPP1", "droplet"),
+    config: SystemConfig | None = None,
+) -> dict[str, SimResult]:
+    """Simulate ``run`` under several prefetcher setups.
+
+    Returns ``{setup_name: SimResult}``; speedups are available via
+    ``results[name].speedup_vs(results["none"])``.
+    """
+    config = config or SystemConfig.scaled_baseline()
+    return {
+        name: simulate(run, config=config, setup=make_prefetch_setup(name))
+        for name in setups
+    }

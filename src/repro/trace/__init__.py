@@ -1,0 +1,36 @@
+"""Annotated memory traces: records, buffers, statistics, synthetics."""
+
+from .buffer import Trace, TraceBuffer, TraceFull
+from .io import TRACE_FORMAT_VERSION, load_trace, save_trace
+from .record import NO_DEP, DataType, MemRef
+from .stats import DependencyRoles, TraceStats, dependency_roles, trace_stats
+from .synthetic import (
+    gather_trace,
+    mixed_type_trace,
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "Trace",
+    "TraceBuffer",
+    "TraceFull",
+    "TRACE_FORMAT_VERSION",
+    "load_trace",
+    "save_trace",
+    "NO_DEP",
+    "DataType",
+    "MemRef",
+    "DependencyRoles",
+    "TraceStats",
+    "dependency_roles",
+    "trace_stats",
+    "gather_trace",
+    "mixed_type_trace",
+    "pointer_chase_trace",
+    "random_trace",
+    "stream_trace",
+    "strided_trace",
+]

@@ -1,0 +1,216 @@
+"""Trace containers.
+
+``TraceBuffer`` is the append-side API used by workloads while they
+execute; ``Trace`` is the finalized, array-backed form consumed by the
+simulator.  Array backing (rather than a list of objects) keeps replay of
+hundreds of thousands of references fast enough for pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .record import NO_DEP, DataType, MemRef
+
+__all__ = ["Trace", "TraceBuffer", "TraceFull"]
+
+
+class TraceFull(RuntimeError):
+    """Raised by :meth:`TraceBuffer.append` when the capacity cap is hit.
+
+    Workload drivers catch this to stop tracing once the configured
+    instruction budget is reached (the paper similarly simulates a fixed
+    600 M-instruction region of interest).
+    """
+
+
+@dataclass
+class Trace:
+    """A finalized memory trace.
+
+    All arrays are parallel and indexed by reference position:
+
+    * ``addr``  (int64)  — virtual byte addresses,
+    * ``kind``  (int8)   — :class:`DataType` values,
+    * ``is_load`` (bool) — load vs. store,
+    * ``dep``   (int64)  — producer-load index or ``NO_DEP``,
+    * ``gap``   (int32)  — non-memory instructions before each reference.
+    """
+
+    addr: np.ndarray
+    kind: np.ndarray
+    is_load: np.ndarray
+    dep: np.ndarray
+    gap: np.ndarray
+    name: str = "trace"
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.addr),
+            len(self.kind),
+            len(self.is_load),
+            len(self.dep),
+            len(self.gap),
+        }
+        if len(lengths) != 1:
+            raise ValueError("trace arrays must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    @property
+    def num_refs(self) -> int:
+        """Number of memory references."""
+        return len(self.addr)
+
+    @property
+    def num_instructions(self) -> int:
+        """Total instruction count: memory refs plus interleaved gaps."""
+        return int(self.gap.sum()) + len(self.addr)
+
+    @property
+    def num_loads(self) -> int:
+        """Number of load references."""
+        return int(self.is_load.sum())
+
+    def ref(self, i: int) -> MemRef:
+        """Materialize reference ``i`` as a :class:`MemRef` object."""
+        return MemRef(
+            index=i,
+            addr=int(self.addr[i]),
+            kind=DataType(int(self.kind[i])),
+            is_load=bool(self.is_load[i]),
+            dep=int(self.dep[i]),
+            gap=int(self.gap[i]),
+        )
+
+    def refs(self):
+        """Iterate over all references as :class:`MemRef` objects (slow path)."""
+        for i in range(len(self)):
+            yield self.ref(i)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over ``[start, stop)`` with dependencies re-based.
+
+        Dependencies pointing before ``start`` are cleared to ``NO_DEP``
+        since their producers fall outside the sub-trace.
+        """
+        dep = self.dep[start:stop].copy()
+        dep = np.where(dep >= start, dep - start, NO_DEP)
+        return Trace(
+            self.addr[start:stop].copy(),
+            self.kind[start:stop].copy(),
+            self.is_load[start:stop].copy(),
+            dep,
+            self.gap[start:stop].copy(),
+            name="%s[%d:%d]" % (self.name, start, stop),
+            core=self.core,
+        )
+
+
+class TraceBuffer:
+    """Append-side trace builder used by the workload layer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of references to record; ``append`` raises
+        :class:`TraceFull` beyond it.  ``None`` means unbounded.
+    skip:
+        Number of leading references to *discard* before recording starts
+        (warm-up skipping, like the paper's region-of-interest entry after
+        running the setup phase in cache-warming mode).  Indices returned
+        by ``append`` remain consistent for dependency threading across
+        the skip boundary; dependencies on skipped references are cleared
+        at :meth:`finalize`.
+    name:
+        Name attached to the finalized :class:`Trace`.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        name: str = "trace",
+        core: int = 0,
+        skip: int = 0,
+    ):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if skip < 0:
+            raise ValueError("skip must be non-negative")
+        self.capacity = capacity
+        self.skip = skip
+        self.name = name
+        self.core = core
+        self._appended = 0  # virtual index counter, includes skipped refs
+        self._addr: list[int] = []
+        self._kind: list[int] = []
+        self._is_load: list[bool] = []
+        self._dep: list[int] = []
+        self._gap: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._addr)
+
+    @property
+    def full(self) -> bool:
+        """Whether the capacity cap has been reached."""
+        return self.capacity is not None and len(self._addr) >= self.capacity
+
+    def append(
+        self,
+        addr: int,
+        kind: DataType,
+        is_load: bool = True,
+        dep: int = NO_DEP,
+        gap: int = 0,
+    ) -> int:
+        """Record one reference; returns its (virtual) trace index.
+
+        The returned index is what later references pass as ``dep`` to
+        express a load→load dependency on this reference.
+        """
+        if self.full:
+            raise TraceFull(self.name)
+        v = self._appended
+        if dep != NO_DEP and not (0 <= dep < v):
+            raise ValueError("dep %d out of range for index %d" % (dep, v))
+        self._appended += 1
+        if v < self.skip:
+            return v
+        self._addr.append(addr)
+        self._kind.append(int(kind))
+        self._is_load.append(bool(is_load))
+        self._dep.append(dep)
+        self._gap.append(gap)
+        return v
+
+    def load(self, addr: int, kind: DataType, dep: int = NO_DEP, gap: int = 0) -> int:
+        """Shorthand for recording a load."""
+        return self.append(addr, kind, is_load=True, dep=dep, gap=gap)
+
+    def store(self, addr: int, kind: DataType, dep: int = NO_DEP, gap: int = 0) -> int:
+        """Shorthand for recording a store."""
+        return self.append(addr, kind, is_load=False, dep=dep, gap=gap)
+
+    def finalize(self) -> Trace:
+        """Freeze into an array-backed :class:`Trace`.
+
+        Virtual dependency indices are rebased past the skip window;
+        dependencies on skipped (unrecorded) references become NO_DEP.
+        """
+        dep = np.array(self._dep, dtype=np.int64)
+        if self.skip:
+            dep = np.where(dep >= self.skip, dep - self.skip, NO_DEP)
+        return Trace(
+            addr=np.array(self._addr, dtype=np.int64),
+            kind=np.array(self._kind, dtype=np.int8),
+            is_load=np.array(self._is_load, dtype=bool),
+            dep=dep,
+            gap=np.array(self._gap, dtype=np.int32),
+            name=self.name,
+            core=self.core,
+        )

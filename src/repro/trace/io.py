@@ -1,0 +1,57 @@
+"""Trace serialization: save/load annotated traces as ``.npz`` archives.
+
+Trace generation is the slowest part of a study on large graphs; saving
+finalized traces lets a sweep re-run machine configurations without
+re-tracing.  The format is a plain ``numpy`` archive with the five
+parallel arrays plus metadata, so it is stable and readable elsewhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .buffer import Trace
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (a ``.npz`` archive)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.int64(TRACE_FORMAT_VERSION),
+        addr=trace.addr,
+        kind=trace.kind,
+        is_load=trace.is_load,
+        dep=trace.dep,
+        gap=trace.gap,
+        name=np.bytes_(trace.name.encode()),
+        core=np.int64(trace.core),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        version = int(archive["version"])
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                "trace %s has format version %d; this build reads %d"
+                % (path, version, TRACE_FORMAT_VERSION)
+            )
+        return Trace(
+            addr=archive["addr"],
+            kind=archive["kind"],
+            is_load=archive["is_load"],
+            dep=archive["dep"],
+            gap=archive["gap"],
+            name=bytes(archive["name"]).decode(),
+            core=int(archive["core"]),
+        )

@@ -1,0 +1,103 @@
+"""Trace-level statistics (data-type mix, dependency roles).
+
+These statistics are purely properties of the reference stream and do not
+require a machine model; the core-model statistics (MLP, exposed latency)
+live in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .buffer import Trace
+from .record import NO_DEP, DataType
+
+__all__ = ["TraceStats", "trace_stats", "dependency_roles", "DependencyRoles"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate composition of a trace."""
+
+    name: str
+    num_refs: int
+    num_instructions: int
+    num_loads: int
+    num_stores: int
+    refs_by_type: dict[DataType, int]
+    loads_with_dep: int
+
+    @property
+    def dependent_load_fraction(self) -> float:
+        """Fraction of loads that name a producer load."""
+        return self.loads_with_dep / self.num_loads if self.num_loads else 0.0
+
+    def type_fraction(self, kind: DataType) -> float:
+        """Fraction of references touching ``kind`` data."""
+        return self.refs_by_type.get(kind, 0) / self.num_refs if self.num_refs else 0.0
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    loads = trace.is_load
+    refs_by_type = {
+        dt: int((trace.kind == int(dt)).sum()) for dt in DataType
+    }
+    return TraceStats(
+        name=trace.name,
+        num_refs=len(trace),
+        num_instructions=trace.num_instructions,
+        num_loads=int(loads.sum()),
+        num_stores=int((~loads).sum()),
+        refs_by_type=refs_by_type,
+        loads_with_dep=int((loads & (trace.dep != NO_DEP)).sum()),
+    )
+
+
+@dataclass(frozen=True)
+class DependencyRoles:
+    """Producer/consumer counts per data type (paper Fig. 6).
+
+    ``producers[t]`` counts loads of type ``t`` that some later load
+    depends on; ``consumers[t]`` counts loads of type ``t`` that depend on
+    an earlier load.  Fractions are over all loads of that type.
+    """
+
+    producers: dict[DataType, int] = field(default_factory=dict)
+    consumers: dict[DataType, int] = field(default_factory=dict)
+    loads_by_type: dict[DataType, int] = field(default_factory=dict)
+
+    def producer_fraction(self, kind: DataType) -> float:
+        """Fraction of ``kind`` loads acting as dependency producers."""
+        total = self.loads_by_type.get(kind, 0)
+        return self.producers.get(kind, 0) / total if total else 0.0
+
+    def consumer_fraction(self, kind: DataType) -> float:
+        """Fraction of ``kind`` loads acting as dependency consumers."""
+        total = self.loads_by_type.get(kind, 0)
+        return self.consumers.get(kind, 0) / total if total else 0.0
+
+
+def dependency_roles(trace: Trace) -> DependencyRoles:
+    """Classify loads into producers/consumers by data type (Fig. 6)."""
+    is_load = trace.is_load
+    dep = trace.dep
+    kind = trace.kind
+
+    consumer_mask = is_load & (dep != NO_DEP)
+    producer_flags = np.zeros(len(trace), dtype=bool)
+    valid_deps = dep[consumer_mask]
+    producer_flags[valid_deps] = True
+    producer_mask = is_load & producer_flags
+
+    producers: dict[DataType, int] = {}
+    consumers: dict[DataType, int] = {}
+    loads_by_type: dict[DataType, int] = {}
+    for dt in DataType:
+        type_mask = kind == int(dt)
+        producers[dt] = int((producer_mask & type_mask).sum())
+        consumers[dt] = int((consumer_mask & type_mask).sum())
+        loads_by_type[dt] = int((is_load & type_mask).sum())
+    return DependencyRoles(producers, consumers, loads_by_type)

@@ -1,0 +1,159 @@
+"""Synthetic traces for unit tests and prefetcher micro-validation.
+
+Real traces come from :mod:`repro.workloads`; the generators here produce
+small, fully controlled streams whose ideal prefetcher behaviour is known
+analytically, which makes them the right substrate for unit-testing cache
+and prefetcher models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .buffer import Trace, TraceBuffer
+from .record import NO_DEP, DataType
+
+__all__ = [
+    "stream_trace",
+    "strided_trace",
+    "random_trace",
+    "pointer_chase_trace",
+    "gather_trace",
+    "mixed_type_trace",
+]
+
+
+def stream_trace(
+    num_refs: int,
+    start: int = 0,
+    step: int = 4,
+    kind: DataType = DataType.STRUCTURE,
+    gap: int = 2,
+    name: str = "stream",
+) -> Trace:
+    """A perfectly sequential stream: ``start, start+step, ...``."""
+    return strided_trace(num_refs, start, step, kind, gap, name)
+
+
+def strided_trace(
+    num_refs: int,
+    start: int = 0,
+    stride: int = 4,
+    kind: DataType = DataType.STRUCTURE,
+    gap: int = 2,
+    name: str = "strided",
+) -> Trace:
+    """A constant-stride load stream."""
+    tb = TraceBuffer(name=name)
+    addr = start
+    for _ in range(num_refs):
+        tb.load(addr, kind, gap=gap)
+        addr += stride
+    return tb.finalize()
+
+
+def random_trace(
+    num_refs: int,
+    region_bytes: int = 1 << 22,
+    base: int = 0,
+    kind: DataType = DataType.PROPERTY,
+    gap: int = 2,
+    seed: int = 5,
+    name: str = "random",
+) -> Trace:
+    """Uniformly random 4-byte-aligned loads over a region."""
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, region_bytes // 4, size=num_refs) * 4
+    tb = TraceBuffer(name=name)
+    for off in offsets:
+        tb.load(base + int(off), kind, gap=gap)
+    return tb.finalize()
+
+
+def pointer_chase_trace(
+    num_refs: int,
+    region_bytes: int = 1 << 22,
+    base: int = 0,
+    gap: int = 2,
+    seed: int = 9,
+    name: str = "chase",
+) -> Trace:
+    """A serial pointer chase: every load depends on the previous one.
+
+    This is the worst case for MLP — the dependency chain covers the whole
+    trace, so no two misses can overlap.
+    """
+    rng = np.random.default_rng(seed)
+    tb = TraceBuffer(name=name)
+    prev = NO_DEP
+    for _ in range(num_refs):
+        off = int(rng.integers(0, region_bytes // 8)) * 8
+        prev = tb.load(base + off, DataType.INTERMEDIATE, dep=prev, gap=gap)
+    return tb.finalize()
+
+
+def gather_trace(
+    num_pairs: int,
+    structure_base: int = 0,
+    property_base: int = 1 << 30,
+    property_region: int = 1 << 22,
+    gap: int = 2,
+    seed: int = 3,
+    name: str = "gather",
+) -> Trace:
+    """The canonical graph access pattern: structure stream → property gather.
+
+    Each pair is a sequential *structure* load (producer) followed by a
+    random *property* load (consumer, address-dependent on the structure
+    load) — exactly the 2-long load-load chains the paper identifies as the
+    MLP bottleneck (Observations #2, #3).
+    """
+    rng = np.random.default_rng(seed)
+    tb = TraceBuffer(name=name)
+    for i in range(num_pairs):
+        s = tb.load(structure_base + 4 * i, DataType.STRUCTURE, gap=gap)
+        off = int(rng.integers(0, property_region // 4)) * 4
+        tb.load(property_base + off, DataType.PROPERTY, dep=s, gap=gap)
+    return tb.finalize()
+
+
+def mixed_type_trace(
+    num_refs: int,
+    mix: dict[DataType, float] | None = None,
+    seed: int = 21,
+    gap: int = 2,
+    name: str = "mixed",
+) -> Trace:
+    """Independent loads with a configurable data-type mix.
+
+    ``mix`` maps each data type to its fraction; defaults to the rough
+    structure/property/intermediate mix seen in PageRank traces.
+    """
+    if mix is None:
+        mix = {
+            DataType.STRUCTURE: 0.4,
+            DataType.PROPERTY: 0.4,
+            DataType.INTERMEDIATE: 0.2,
+        }
+    total = sum(mix.values())
+    if not np.isclose(total, 1.0):
+        raise ValueError("mix fractions must sum to 1.0, got %s" % total)
+    rng = np.random.default_rng(seed)
+    kinds = list(mix)
+    probs = [mix[k] for k in kinds]
+    bases = {
+        DataType.STRUCTURE: 0,
+        DataType.PROPERTY: 1 << 30,
+        DataType.INTERMEDIATE: 1 << 31,
+    }
+    counters = {k: 0 for k in kinds}
+    tb = TraceBuffer(name=name)
+    for _ in range(num_refs):
+        k = kinds[rng.choice(len(kinds), p=probs)]
+        if k is DataType.STRUCTURE:
+            addr = bases[k] + 4 * counters[k]  # streams
+            counters[k] += 1
+        else:
+            addr = bases[k] + int(rng.integers(0, 1 << 20)) * 4  # random
+        tb.load(addr, k, gap=gap)
+    return tb.finalize()

@@ -1,0 +1,114 @@
+"""Cross-model validation utilities.
+
+The library contains two independent models of cache behaviour:
+
+* the **reuse-distance profiler** (:mod:`repro.cache.reuse`) — exact
+  Mattson stack distances, predicting fully-associative LRU hit ratios
+  analytically, and
+* the **cache simulator** (:mod:`repro.cache.cache`) — set-associative
+  LRU with real geometry.
+
+By Mattson's inclusion property the two must agree exactly for a
+fully-associative cache, and closely for a set-associative one (the gap
+is conflict misses).  :func:`validate_trace` runs both on the same trace
+and reports the agreement — a structural self-check for the simulator
+that experiments can run as a sanity gate, and a measurement of how much
+conflict misses matter for a given configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache.cache import Cache, CacheConfig
+from .cache.reuse import reuse_distance_profile
+from .trace.buffer import Trace
+from .trace.record import DataType
+
+__all__ = ["ValidationReport", "validate_trace", "predicted_hit_ratio"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Agreement between analytic and simulated hit ratios."""
+
+    capacity_lines: int
+    associativity: int
+    predicted_hits: int
+    simulated_hits: int
+    accesses: int
+
+    @property
+    def predicted_ratio(self) -> float:
+        """Mattson-predicted (fully associative) hit ratio."""
+        return self.predicted_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def simulated_ratio(self) -> float:
+        """Set-associative simulated hit ratio."""
+        return self.simulated_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_miss_ratio(self) -> float:
+        """Hits lost to limited associativity (prediction − simulation)."""
+        return self.predicted_ratio - self.simulated_ratio
+
+    @property
+    def agrees(self) -> bool:
+        """Exact agreement — guaranteed when fully associative."""
+        return self.predicted_hits == self.simulated_hits
+
+
+def predicted_hit_ratio(trace: Trace, capacity_lines: int, line_size: int = 64) -> float:
+    """Analytic fully-associative LRU hit ratio for ``trace``.
+
+    A reuse at stack distance d hits iff ``d < capacity_lines``; cold
+    accesses always miss.
+    """
+    profile = reuse_distance_profile(trace, line_size)
+    hits = 0
+    total = 0
+    for dt in DataType:
+        distances = profile.distances.get(dt, [])
+        hits += sum(1 for d in distances if d < capacity_lines)
+        total += len(distances) + profile.cold.get(dt, 0)
+    return hits / total if total else 0.0
+
+
+def validate_trace(
+    trace: Trace,
+    capacity_lines: int = 512,
+    associativity: int | None = None,
+    line_size: int = 64,
+) -> ValidationReport:
+    """Run the analytic predictor against a simulated cache on ``trace``.
+
+    ``associativity=None`` builds a fully associative cache, for which
+    the two models must agree *exactly* (the report's ``agrees`` flag).
+    """
+    if capacity_lines <= 0:
+        raise ValueError("capacity_lines must be positive")
+    assoc = associativity or capacity_lines
+    cache = Cache(
+        CacheConfig("validate", capacity_lines * line_size, assoc, line_size)
+    )
+    simulated_hits = 0
+    lines = trace.addr // line_size
+    for value in lines.tolist():
+        if cache.lookup(value) is not None:
+            simulated_hits += 1
+        cache.insert(value)
+
+    profile = reuse_distance_profile(trace, line_size)
+    predicted_hits = 0
+    for dt in DataType:
+        predicted_hits += sum(
+            1 for d in profile.distances.get(dt, []) if d < capacity_lines
+        )
+    return ValidationReport(
+        capacity_lines=capacity_lines,
+        associativity=assoc,
+        predicted_hits=predicted_hits,
+        simulated_hits=simulated_hits,
+        accesses=len(trace),
+    )

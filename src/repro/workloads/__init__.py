@@ -1,0 +1,29 @@
+"""GAP-style graph workloads that emit annotated memory traces."""
+
+from .base import TraceRun, Tracer, Workload, WorkloadError
+from .bc import BetweennessCentrality
+from .bfs import BFS, default_source
+from .cc import ConnectedComponents
+from .pagerank import PageRank
+from .pagerank_edge import EdgeCentricPageRank
+from .registry import PAPER_WORKLOAD_ORDER, WORKLOADS, all_workloads, get_workload
+from .sssp import INF_DIST, SSSP
+
+__all__ = [
+    "TraceRun",
+    "Tracer",
+    "Workload",
+    "WorkloadError",
+    "BetweennessCentrality",
+    "BFS",
+    "default_source",
+    "ConnectedComponents",
+    "PageRank",
+    "EdgeCentricPageRank",
+    "PAPER_WORKLOAD_ORDER",
+    "WORKLOADS",
+    "all_workloads",
+    "get_workload",
+    "INF_DIST",
+    "SSSP",
+]

@@ -1,0 +1,116 @@
+"""Connected Components (CC): Shiloach–Vishkin style label propagation.
+
+The GAP CC kernel sweeps all vertices in sequential order (an all-active
+algorithm: no worklist), hooking each vertex's label to the minimum label
+among its neighbors, then compresses label trees by pointer jumping
+(``comp[comp[v]]`` — a pure load→load dependency chain on property data).
+
+The strictly sequential vertex order is why the paper finds CC (with PR)
+to have near-perfect structure prefetch accuracy (Fig. 14).
+
+Directed inputs are treated as undirected connectivity, matching GAP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..trace.record import NO_DEP
+from .base import Tracer, Workload
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(Workload):
+    """GAP-style Shiloach–Vishkin connected components."""
+
+    name = "CC"
+    property_names = ("comp",)
+    gathered_property = "comp"
+
+    def recommended_skip(self, graph) -> int:
+        """Short warm-up: the hooking sweep is steady state from the start."""
+        return graph.num_vertices // 8
+
+    def reference(self, graph: CSRGraph) -> np.ndarray:
+        """Exact components via scipy; labels are canonical minima."""
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        n = graph.num_vertices
+        matrix = csr_matrix(
+            (
+                np.ones(graph.num_edges, dtype=np.int8),
+                graph.neighbors.astype(np.int64),
+                graph.offsets,
+            ),
+            shape=(n, n),
+        )
+        _, labels = connected_components(matrix, directed=False)
+        # Canonicalize: each component labelled by its smallest vertex ID,
+        # so results compare directly against the traced kernel's labels.
+        canon = np.full(labels.max() + 1 if n else 0, n, dtype=np.int64)
+        np.minimum.at(canon, labels, np.arange(n))
+        return canon[labels]
+
+    def trace_into(
+        self,
+        graph: CSRGraph,
+        tracer: Tracer,
+        vertex_range: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Traced Shiloach–Vishkin label propagation with compression.
+
+        ``vertex_range`` restricts both sweeps to ``[lo, hi)`` for
+        partitioned multi-core tracing; the labels then converge only
+        within the partition's reach (a per-core partial view).
+        """
+        n = graph.num_vertices
+        v_lo, v_hi = vertex_range if vertex_range is not None else (0, n)
+        offsets, neighbors = graph.offsets, graph.neighbors
+        comp = np.arange(n, dtype=np.int64)
+        load_prop = tracer.load_property
+        store_prop = tracer.store_property
+        load_struct = tracer.load_structure
+        load_off = tracer.load_offset
+        changed = True
+        while changed:
+            changed = False
+            # Hooking sweep: sequential vertices, streaming structure.
+            for u in range(v_lo, v_hi):
+                tracer.stack_access(u)
+                load_prop("comp", u)
+                off_dep = load_off(u + 1)
+                dep = off_dep
+                cu = int(comp[u])
+                for j in range(int(offsets[u]), int(offsets[u + 1])):
+                    s = load_struct(j, dep=dep)
+                    dep = NO_DEP
+                    v = int(neighbors[j])
+                    load_prop("comp", v, dep=s)
+                    cv = int(comp[v])
+                    if cv < cu:
+                        cu = cv
+                        changed = True
+                    elif cu < cv:
+                        # Undirected hooking: pull the neighbor down too.
+                        comp[v] = cu
+                        store_prop("comp", v, dep=s)
+                        changed = True
+                if cu != comp[u]:
+                    comp[u] = cu
+                    store_prop("comp", u)
+            # Compression sweep: pointer jumping — chained property loads.
+            for u in range(v_lo, v_hi):
+                tracer.stack_access(u)
+                d1 = load_prop("comp", u)
+                c = int(comp[u])
+                d2 = load_prop("comp", c, dep=d1)
+                while comp[c] != c:
+                    c = int(comp[c])
+                    d2 = load_prop("comp", c, dep=d2)
+                if c != comp[u]:
+                    comp[u] = c
+                    store_prop("comp", u)
+        return comp

@@ -1,0 +1,118 @@
+"""PageRank (PR): rank each vertex by the ranks of its neighbors.
+
+Pull-style PageRank in the GAP idiom: a sequential contribution pass
+(``contrib[u] = score[u] / degree[u]``) followed by a gather pass where
+each vertex sums the contributions of its neighbors.  The gather is the
+canonical structure→property indirection: the ``contrib`` load's address
+is produced by the neighbor-ID load.
+
+For directed inputs the kernel interprets each vertex's CSR list as its
+in-edge list (the standard pull formulation); on symmetric graphs this
+coincides with textbook PageRank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..trace.record import NO_DEP
+from .base import Tracer, Workload
+
+__all__ = ["PageRank"]
+
+
+class PageRank(Workload):
+    """GAP-style pull PageRank."""
+
+    name = "PR"
+    property_names = ("score", "contrib")
+    gathered_property = "contrib"
+
+    def recommended_skip(self, graph) -> int:
+        """Skip the first contribution pass (3 refs/vertex) plus a margin
+        so recording starts inside the gather phase, which dominates a
+        full iteration."""
+        return 3 * graph.num_vertices + graph.num_vertices // 8
+
+    def reference(
+        self,
+        graph: CSRGraph,
+        damping: float = 0.85,
+        iterations: int = 10,
+        tolerance: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized PageRank; returns the score vector."""
+        n = graph.num_vertices
+        degrees = np.maximum(graph.out_degrees(), 1)
+        score = np.full(n, 1.0 / n)
+        base = (1.0 - damping) / n
+        seg_ids = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+        for _ in range(iterations):
+            contrib = score / degrees
+            gathered = np.bincount(
+                seg_ids, weights=contrib[graph.neighbors], minlength=n
+            )
+            new_score = base + damping * gathered
+            delta = np.abs(new_score - score).sum()
+            score = new_score
+            if tolerance and delta < tolerance:
+                break
+        return score
+
+    def trace_into(
+        self,
+        graph: CSRGraph,
+        tracer: Tracer,
+        damping: float = 0.85,
+        iterations: int = 10,
+        tolerance: float = 0.0,
+        vertex_range: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Traced PageRank mirroring :meth:`reference` access-for-access.
+
+        ``vertex_range`` restricts both passes to ``[lo, hi)`` — the
+        static vertex partitioning a parallel GAP run gives each thread.
+        Scores outside the range are not updated (they belong to other
+        cores' traces), so partitioned results are per-core partial views.
+        """
+        n = graph.num_vertices
+        v_lo, v_hi = vertex_range if vertex_range is not None else (0, n)
+        offsets = graph.offsets
+        neighbors = graph.neighbors
+        degrees = np.maximum(np.diff(offsets), 1).astype(np.float64)
+        score = np.full(n, 1.0 / n)
+        contrib = np.zeros(n)
+        base = (1.0 - damping) / n
+        load_prop = tracer.load_property
+        store_prop = tracer.store_property
+        load_struct = tracer.load_structure
+        load_off = tracer.load_offset
+        for _ in range(iterations):
+            # Contribution pass: sequential property read-modify-write.
+            for u in range(v_lo, v_hi):
+                tracer.stack_access(u)
+                load_prop("score", u)
+                contrib[u] = score[u] / degrees[u]
+                store_prop("contrib", u)
+            # Gather pass: offsets → structure stream → property gather.
+            delta = 0.0
+            for v in range(v_lo, v_hi):
+                tracer.stack_access(v)
+                off_dep = load_off(v + 1)
+                start, stop = int(offsets[v]), int(offsets[v + 1])
+                total = 0.0
+                dep = off_dep
+                for j in range(start, stop):
+                    s = load_struct(j, dep=dep)
+                    dep = NO_DEP  # only the first structure load chases the offset
+                    u = int(neighbors[j])
+                    load_prop("contrib", u, dep=s)
+                    total += contrib[u]
+                new_v = base + damping * total
+                delta += abs(new_v - score[v])
+                score[v] = new_v
+                store_prop("score", v)
+            if tolerance and delta < tolerance:
+                break
+        return score

@@ -1,0 +1,43 @@
+"""Workload registry keyed by the paper's algorithm names (Table II)."""
+
+from __future__ import annotations
+
+from .base import Workload
+from .bc import BetweennessCentrality
+from .bfs import BFS
+from .cc import ConnectedComponents
+from .pagerank import PageRank
+from .pagerank_edge import EdgeCentricPageRank
+from .sssp import SSSP
+
+__all__ = ["WORKLOADS", "PAPER_WORKLOAD_ORDER", "get_workload", "all_workloads"]
+
+#: Workload classes keyed by short name.
+WORKLOADS: dict[str, type[Workload]] = {
+    "BC": BetweennessCentrality,
+    "BFS": BFS,
+    "PR": PageRank,
+    "SSSP": SSSP,
+    "CC": ConnectedComponents,
+    # Extension (paper §VI): edge-centric layout variant, not part of the
+    # Table II evaluation matrix.
+    "PR-EDGE": EdgeCentricPageRank,
+}
+
+#: The order in which the paper's figures enumerate algorithms.
+PAPER_WORKLOAD_ORDER = ("BC", "BFS", "PR", "SSSP", "CC")
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by its paper short name (case-insensitive)."""
+    key = name.upper()
+    if key not in WORKLOADS:
+        raise KeyError(
+            "unknown workload %r; expected one of %s" % (name, sorted(WORKLOADS))
+        )
+    return WORKLOADS[key]()
+
+
+def all_workloads() -> list[Workload]:
+    """Instances of all five workloads in paper order."""
+    return [WORKLOADS[name]() for name in PAPER_WORKLOAD_ORDER]

@@ -1,0 +1,121 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.trace import DataType
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig("test", size, assoc, line))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        c = CacheConfig("c", 32 * 1024, 8, 64)
+        assert c.num_sets == 64
+        assert c.num_lines == 512
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1000, 8, 64)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 0, 8, 64)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert c.lookup(5) is None
+        c.insert(5)
+        assert c.lookup(5) is not None
+
+    def test_lru_eviction_within_set(self):
+        c = make_cache(size=2 * 64, assoc=2)  # one set, two ways
+        c.insert(0)
+        c.insert(1)
+        c.lookup(0)  # 0 becomes MRU
+        victim = c.insert(2)
+        assert victim is not None
+        assert victim[0] == 1
+        assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+    def test_set_isolation(self):
+        c = make_cache(size=4 * 64, assoc=1)  # 4 sets, direct mapped
+        c.insert(0)
+        c.insert(1)
+        assert c.contains(0) and c.contains(1)
+        victim = c.insert(4)  # maps to set 0, evicts line 0
+        assert victim[0] == 0
+
+    def test_reinsert_refreshes_lru_and_merges_dirty(self):
+        c = make_cache(size=2 * 64, assoc=2)
+        c.insert(0, dirty=True)
+        c.insert(1)
+        assert c.insert(0) is None  # refresh, no eviction
+        assert c.lookup(0, update_lru=False).dirty
+        victim = c.insert(2)  # 1 is now LRU
+        assert victim[0] == 1
+
+    def test_contains_does_not_touch_lru(self):
+        c = make_cache(size=2 * 64, assoc=2)
+        c.insert(0)
+        c.insert(1)
+        c.contains(0)
+        victim = c.insert(2)
+        assert victim[0] == 0  # 0 stayed LRU despite contains()
+
+    def test_occupancy(self):
+        c = make_cache()
+        for i in range(5):
+            c.insert(i)
+        assert c.occupancy() == 5
+        assert sorted(c.resident_lines()) == list(range(5))
+
+
+class TestMetadata:
+    def test_prefetched_flag_and_stats(self):
+        c = make_cache()
+        c.insert(7, prefetched=True)
+        assert c.stats.prefetch_fills == 1
+        assert c.lookup(7).prefetched
+
+    def test_kind_recorded(self):
+        c = make_cache()
+        c.insert(3, kind=DataType.PROPERTY)
+        assert c.lookup(3).kind == int(DataType.PROPERTY)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.insert(9)
+        meta = c.invalidate(9)
+        assert meta is not None
+        assert not c.contains(9)
+        assert c.stats.back_invalidations == 1
+        assert c.invalidate(9) is None
+
+    def test_eviction_counted(self):
+        c = make_cache(size=64, assoc=1)
+        c.insert(0)
+        c.insert(1)
+        assert c.stats.evictions == 1
+
+
+class TestStats:
+    def test_record_and_rates(self):
+        c = make_cache()
+        c.stats.record(DataType.PROPERTY, hit=True)
+        c.stats.record(DataType.PROPERTY, hit=False)
+        c.stats.record(DataType.STRUCTURE, hit=False)
+        assert c.stats.total_accesses == 3
+        assert abs(c.stats.hit_rate - 1 / 3) < 1e-9
+        assert c.stats.hit_rate_of(DataType.PROPERTY) == 0.5
+        assert c.stats.mpki(1000) == 2.0
+        assert c.stats.mpki_of(DataType.STRUCTURE, 1000) == 1.0
+
+    def test_empty_rates(self):
+        c = make_cache()
+        assert c.stats.hit_rate == 0.0
+        assert c.stats.mpki(0) == 0.0

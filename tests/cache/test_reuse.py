@@ -1,0 +1,92 @@
+"""Unit tests for the exact reuse-distance profiler."""
+
+import numpy as np
+
+from repro.cache import reuse_distance_profile
+from repro.trace import DataType, TraceBuffer, gather_trace, stream_trace
+
+
+def trace_of_lines(lines, kind=DataType.PROPERTY):
+    tb = TraceBuffer()
+    for line in lines:
+        tb.load(line * 64, kind)
+    return tb.finalize()
+
+
+class TestStackDistance:
+    def test_immediate_reuse_distance_zero(self):
+        p = reuse_distance_profile(trace_of_lines([1, 1]))
+        assert p.distances[DataType.PROPERTY] == [0]
+
+    def test_classic_sequence(self):
+        # a b c a : reuse of a sees 2 distinct lines (b, c).
+        p = reuse_distance_profile(trace_of_lines([1, 2, 3, 1]))
+        assert p.distances[DataType.PROPERTY] == [2]
+
+    def test_repeats_do_not_inflate_distance(self):
+        # a b b b a : only one distinct line between the two a's.
+        p = reuse_distance_profile(trace_of_lines([1, 2, 2, 2, 1]))
+        assert p.distances[DataType.PROPERTY] == [0, 0, 2 - 1]
+
+    def test_cold_counts(self):
+        p = reuse_distance_profile(trace_of_lines([1, 2, 3]))
+        assert p.cold[DataType.PROPERTY] == 3
+        assert p.distances[DataType.PROPERTY] == []
+
+    def test_same_line_different_words(self):
+        tb = TraceBuffer()
+        tb.load(0, DataType.PROPERTY)
+        tb.load(4, DataType.PROPERTY)  # same 64 B line
+        p = reuse_distance_profile(tb.finalize())
+        assert p.distances[DataType.PROPERTY] == [0]
+
+    def test_stream_never_reuses(self):
+        p = reuse_distance_profile(stream_trace(100, step=64))
+        assert p.distances[DataType.STRUCTURE] == []
+        assert p.cold[DataType.STRUCTURE] == 100
+
+
+class TestMattsonProperty:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 12, size=200).tolist()
+        p = reuse_distance_profile(trace_of_lines(lines))
+        # Brute force stack distances.
+        expected = []
+        last = {}
+        for t, line in enumerate(lines):
+            if line in last:
+                expected.append(len(set(lines[last[line] + 1 : t])))
+            last[line] = t
+        assert p.distances[DataType.PROPERTY] == expected
+
+
+class TestDerivedViews:
+    def test_fraction_beyond(self):
+        p = reuse_distance_profile(trace_of_lines([1, 2, 3, 1, 2, 3, 1]))
+        # distances: [2, 2, 2]
+        assert p.fraction_beyond(DataType.PROPERTY, 3) == 0.0
+        assert p.fraction_beyond(DataType.PROPERTY, 2) == 1.0
+
+    def test_percentiles(self):
+        p = reuse_distance_profile(trace_of_lines([1, 2, 1, 2]))
+        assert p.median(DataType.PROPERTY) == 1.0
+
+    def test_serviced_level_fractions(self):
+        p = reuse_distance_profile(trace_of_lines([1, 2, 3, 1, 1]))
+        # distances: [2, 0]; cold: 3
+        out = p.serviced_level_fractions(
+            DataType.PROPERTY, {"L1": 1, "L2": 4}
+        )
+        assert abs(out["L1"] - 1 / 5) < 1e-9   # the distance-0 reuse
+        assert abs(out["L2"] - 1 / 5) < 1e-9   # the distance-2 reuse
+        assert abs(out["DRAM"] - 3 / 5) < 1e-9  # cold misses
+
+    def test_gather_heterogeneous_distances(self):
+        """Structure streams (no reuse) vs property gathers (finite reuse)
+        — the paper's Observation #6 in miniature."""
+        t = gather_trace(2000, property_region=1 << 12)
+        p = reuse_distance_profile(t)
+        assert p.distances[DataType.STRUCTURE] != [] or p.cold[DataType.STRUCTURE] > 0
+        assert len(p.distances[DataType.PROPERTY]) > 0
+        assert p.median(DataType.PROPERTY) > 0

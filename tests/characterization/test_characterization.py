@@ -1,0 +1,125 @@
+"""Tests for the characterization analyses (§IV machinery)."""
+
+import pytest
+
+from repro.characterization import (
+    hierarchy_usage,
+    l2_sweep,
+    llc_sweep,
+    profile_dependencies,
+    rob_sweep,
+)
+from repro.graph import kronecker
+from repro.system import SystemConfig, simulate
+from repro.trace import DataType
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def pr_run():
+    # Sized so the property array (512 KB) exceeds the scaled LLC and the
+    # structure array (~4 MB) exceeds every swept LLC — the paper's regime.
+    g = kronecker(scale=17, edge_factor=8, seed=5, name="kron-s17e8")
+    w = get_workload("PR")
+    return w.run(g, max_refs=40_000, skip_refs=w.recommended_skip(g))
+
+
+class TestRobSweep:
+    def test_points_in_order(self, pr_run):
+        points = rob_sweep(pr_run, rob_sizes=(128, 512))
+        assert [p.rob_entries for p in points] == [128, 512]
+
+    def test_observation1_small_speedup(self, pr_run):
+        """Fig. 3: a 4x window changes performance by only a few percent."""
+        base, big = rob_sweep(pr_run, rob_sizes=(128, 512))
+        assert abs(big.speedup_vs(base) - 1.0) < 0.10
+
+    def test_bandwidth_utilization_bounded(self, pr_run):
+        for p in rob_sweep(pr_run, rob_sizes=(128,)):
+            assert 0.0 <= p.bandwidth_utilization <= 1.5
+
+
+class TestLLCSweep:
+    def test_mpki_monotone_nonincreasing(self, pr_run):
+        points = llc_sweep(pr_run, multipliers=(1, 2, 4))
+        mpki = [p.llc_mpki for p in points]
+        assert mpki == sorted(mpki, reverse=True)
+
+    def test_property_benefits_most(self, pr_run):
+        """Observation #5: a larger LLC mostly rescues property data."""
+        points = llc_sweep(pr_run, multipliers=(1, 8))
+        drop = {
+            dt: points[0].offchip_fraction[dt] - points[1].offchip_fraction[dt]
+            for dt in DataType
+        }
+        assert drop[DataType.PROPERTY] > drop[DataType.STRUCTURE]
+        assert drop[DataType.PROPERTY] > drop[DataType.INTERMEDIATE]
+
+    def test_structure_irresponsive(self, pr_run):
+        """Observation #6: structure stays DRAM-bound at any LLC size."""
+        points = llc_sweep(pr_run, multipliers=(1, 8))
+        assert points[1].offchip_fraction[DataType.STRUCTURE] > 0.5 * points[
+            0
+        ].offchip_fraction[DataType.STRUCTURE]
+
+
+class TestL2Sweep:
+    def test_no_l2_point_present(self, pr_run):
+        points = l2_sweep(pr_run)
+        labels = [p.label for p in points]
+        assert "no-L2" in labels and "1x" in labels
+
+    def test_observation4_l2_insensitive(self, pr_run):
+        """Fig. 4b: removing or doubling the L2 barely moves performance."""
+        points = {p.label: p for p in l2_sweep(pr_run)}
+        base = points["1x"]
+        for label in ("no-L2", "2x", "1x-4xassoc"):
+            assert abs(points[label].speedup_vs(base) - 1.0) < 0.10
+
+    def test_l2_hit_rate_low_at_baseline(self, pr_run):
+        points = {p.label: p for p in l2_sweep(pr_run)}
+        assert points["1x"].l2_hit_rate < 0.40
+
+    def test_requires_l2_in_base_config(self, pr_run):
+        with pytest.raises(ValueError):
+            l2_sweep(pr_run, config=SystemConfig.scaled_baseline().with_l2(None))
+
+
+class TestHierarchyUsage:
+    def test_fractions_sum_to_one(self, pr_run):
+        res = simulate(pr_run)
+        usage = hierarchy_usage(res)
+        for dt in DataType:
+            assert abs(sum(usage[dt].fractions.values()) - 1.0) < 1e-9
+
+    def test_observation6_shapes(self, pr_run):
+        """Structure: L1 + DRAM dominant, tiny L2. Property: notable DRAM."""
+        usage = hierarchy_usage(simulate(pr_run))
+        structure = usage[DataType.STRUCTURE].fractions
+        assert structure["L1"] + structure["DRAM"] > 0.8
+        assert structure["L2"] < 0.1
+        prop = usage[DataType.PROPERTY].fractions
+        assert prop["DRAM"] > 0.1
+
+    def test_intermediate_mostly_onchip(self, pr_run):
+        usage = hierarchy_usage(simulate(pr_run))
+        inter = usage[DataType.INTERMEDIATE].fractions
+        assert inter["DRAM"] < 0.25
+
+
+class TestDependencyProfile:
+    def test_row_fields(self, pr_run):
+        profile = profile_dependencies(pr_run.trace)
+        row = profile.as_row()
+        assert 0 <= row["chained_loads_%"] <= 100
+        assert row["mean_chain_len"] >= 2 or row["mean_chain_len"] == 0
+
+    def test_property_is_consumer(self, pr_run):
+        profile = profile_dependencies(pr_run.trace)
+        roles = profile.roles
+        assert roles.consumer_fraction(DataType.PROPERTY) > roles.producer_fraction(
+            DataType.PROPERTY
+        )
+        assert roles.producer_fraction(DataType.STRUCTURE) > roles.consumer_fraction(
+            DataType.STRUCTURE
+        )

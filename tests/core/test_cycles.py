@@ -1,0 +1,35 @@
+"""Unit tests for cycle-stack accounting."""
+
+from repro.core import CycleStack
+
+
+class TestCycleStack:
+    def test_accumulation(self):
+        s = CycleStack()
+        s.add_window(10.0, {"DRAM": 30.0}, instructions=40)
+        s.add_window(10.0, {"DRAM": 20.0, "L3": 10.0}, instructions=40)
+        assert s.base == 20.0
+        assert s.stall == {"DRAM": 50.0, "L3": 10.0}
+        assert s.total_cycles == 80.0
+        assert s.instructions == 80
+
+    def test_cpi_ipc(self):
+        s = CycleStack()
+        s.add_window(50.0, {"DRAM": 50.0}, instructions=200)
+        assert s.cpi == 0.5
+        assert s.ipc == 2.0
+
+    def test_fractions_sum_to_one(self):
+        s = CycleStack()
+        s.add_window(15.0, {"DRAM": 45.0, "L3": 30.0, "L2": 10.0}, 100)
+        fr = s.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+        assert fr["base"] == 0.15
+        assert s.dram_bound_fraction() == 0.45
+
+    def test_empty(self):
+        s = CycleStack()
+        assert s.cpi == 0.0
+        assert s.ipc == 0.0
+        assert s.dram_bound_fraction() == 0.0
+        assert s.fractions() == {"base": 0.0}

@@ -1,0 +1,60 @@
+"""Unit tests for dependency-chain analysis (Figs. 5/6 machinery)."""
+
+from repro.core import chain_stats
+from repro.trace import (
+    DataType,
+    TraceBuffer,
+    gather_trace,
+    pointer_chase_trace,
+    stream_trace,
+)
+
+
+class TestChainStats:
+    def test_independent_loads_have_no_chains(self):
+        cs = chain_stats(stream_trace(100))
+        assert cs.num_chains == 0
+        assert cs.chained_load_fraction == 0.0
+        assert cs.mean_chain_length == 0.0
+
+    def test_gather_pairs(self):
+        """Producer-consumer pairs: chains of length exactly 2."""
+        cs = chain_stats(gather_trace(50, gap=0), rob_entries=1000)
+        assert cs.mean_chain_length == 2.0
+        assert cs.chained_load_fraction == 1.0
+        assert cs.num_chains == 50
+
+    def test_pointer_chase_single_window(self):
+        t = pointer_chase_trace(20, gap=0)
+        cs = chain_stats(t, rob_entries=100)
+        assert cs.num_chains == 1
+        assert cs.sum_chain_length == 20
+        assert cs.max_chain_length == 20
+
+    def test_window_boundary_breaks_chains(self):
+        """Dependencies across ROB windows don't constrain the window."""
+        t = pointer_chase_trace(20, gap=0)
+        cs = chain_stats(t, rob_entries=10)  # 10 loads per window
+        assert cs.max_chain_length == 10
+        assert cs.num_chains == 2
+
+    def test_dep_on_store_ignored(self):
+        tb = TraceBuffer()
+        s = tb.store(0, DataType.PROPERTY)
+        tb.load(8, DataType.PROPERTY, dep=s)
+        cs = chain_stats(tb.finalize())
+        assert cs.num_chains == 0
+
+    def test_fanout_counts_once(self):
+        """One producer feeding three consumers is one 4-load chain."""
+        tb = TraceBuffer()
+        p = tb.load(0, DataType.STRUCTURE)
+        for i in range(3):
+            tb.load(100 + 8 * i, DataType.PROPERTY, dep=p)
+        cs = chain_stats(tb.finalize(), rob_entries=100)
+        assert cs.num_chains == 1
+        assert cs.sum_chain_length == 4
+
+    def test_total_loads_counted(self):
+        cs = chain_stats(gather_trace(10))
+        assert cs.total_loads == 20

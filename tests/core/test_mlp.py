@@ -1,0 +1,88 @@
+"""Unit tests for window timing / MLP computation."""
+
+import pytest
+
+from repro.core import compute_window_timing
+
+
+class TestWindowTiming:
+    def test_empty_window(self):
+        t = compute_window_timing([], window_start=0)
+        assert t.exposed == 0.0
+        assert t.mlp == 0.0
+
+    def test_single_miss(self):
+        t = compute_window_timing([(0, -1, "DRAM", 120.0)], 0)
+        assert t.critical_path == 120.0
+        assert t.exposed == 120.0
+        assert t.mlp == 1.0
+
+    def test_independent_misses_overlap_up_to_mshr(self):
+        loads = [(i, -1, "DRAM", 100.0) for i in range(5)]
+        t = compute_window_timing(loads, 0, mshr=10)
+        assert t.critical_path == 100.0
+        assert t.exposed == 100.0
+        assert t.mlp == 5.0
+
+    def test_mshr_bound_caps_overlap(self):
+        loads = [(i, -1, "DRAM", 100.0) for i in range(40)]
+        t = compute_window_timing(loads, 0, mshr=10)
+        assert t.bandwidth_bound == 400.0
+        assert t.exposed == 400.0
+        assert t.mlp == 10.0
+
+    def test_dependency_serializes(self):
+        loads = [(0, -1, "DRAM", 100.0), (1, 0, "DRAM", 100.0)]
+        t = compute_window_timing(loads, 0)
+        assert t.critical_path == 200.0
+        assert t.exposed == 200.0
+        assert t.mlp == 1.0
+
+    def test_dep_outside_window_ignored(self):
+        loads = [(5, 2, "DRAM", 100.0)]
+        t = compute_window_timing(loads, window_start=5)
+        assert t.critical_path == 100.0
+
+    def test_chain_through_zero_latency_hit(self):
+        """An L1-hit producer still propagates its own producer's delay."""
+        loads = [
+            (0, -1, "DRAM", 100.0),
+            (1, 0, "L1", 0.0),
+            (2, 1, "DRAM", 100.0),
+        ]
+        t = compute_window_timing(loads, 0)
+        assert t.critical_path == 200.0
+
+    def test_only_dram_counts_toward_bandwidth_bound(self):
+        loads = [(0, -1, "L3", 40.0), (1, -1, "DRAM", 100.0)]
+        t = compute_window_timing(loads, 0, mshr=1)
+        assert t.bandwidth_bound == 100.0
+        assert t.total_miss_latency == 140.0
+
+    def test_exposed_by_level_prorates(self):
+        loads = [(0, -1, "L3", 50.0), (1, -1, "DRAM", 150.0)]
+        t = compute_window_timing(loads, 0, mshr=10)
+        by_level = t.exposed_by_level()
+        assert abs(sum(by_level.values()) - t.exposed) < 1e-9
+        assert by_level["DRAM"] == 3 * by_level["L3"]
+
+    def test_invalid_mshr(self):
+        with pytest.raises(ValueError):
+            compute_window_timing([], 0, mshr=0)
+
+
+class TestRobInsensitivity:
+    def test_doubling_window_does_not_help_when_mshr_bound(self):
+        """The Fig. 3 effect in miniature: once the MSHR bound dominates,
+        a larger window processes more misses but exposes proportionally
+        more latency — zero speedup."""
+        small = [
+            compute_window_timing(
+                [(i, -1, "DRAM", 100.0) for i in range(20)], 0, mshr=10
+            )
+            for _ in range(2)
+        ]
+        big = compute_window_timing(
+            [(i, -1, "DRAM", 100.0) for i in range(40)], 0, mshr=10
+        )
+        assert sum(t.exposed for t in small) == big.exposed

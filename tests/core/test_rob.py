@@ -1,0 +1,44 @@
+"""Unit tests for ROB windowing."""
+
+import pytest
+
+from repro.core import iter_windows
+from repro.trace import DataType, TraceBuffer, stream_trace
+
+
+class TestIterWindows:
+    def test_window_instruction_budget(self):
+        t = stream_trace(100, gap=3)  # 4 instructions per ref
+        windows = list(iter_windows(t, rob_entries=128))
+        # 128 / 4 = 32 refs per window.
+        assert windows[0].num_refs == 32
+        assert windows[0].instructions == 128
+        assert sum(w.num_refs for w in windows) == 100
+
+    def test_windows_are_contiguous(self):
+        t = stream_trace(50, gap=1)
+        windows = list(iter_windows(t, 16))
+        assert windows[0].start == 0
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.start == prev.stop
+        assert windows[-1].stop == 50
+
+    def test_tail_window(self):
+        t = stream_trace(10, gap=0)
+        windows = list(iter_windows(t, 8))
+        assert len(windows) == 2
+        assert windows[1].num_refs == 2
+
+    def test_oversized_single_ref(self):
+        tb = TraceBuffer()
+        tb.load(0, DataType.STRUCTURE, gap=1000)
+        windows = list(iter_windows(tb.finalize(), 128))
+        assert len(windows) == 1
+        assert windows[0].instructions == 1001
+
+    def test_empty_trace(self):
+        assert list(iter_windows(TraceBuffer().finalize(), 128)) == []
+
+    def test_invalid_rob(self):
+        with pytest.raises(ValueError):
+            list(iter_windows(stream_trace(5), 0))

@@ -1,0 +1,83 @@
+"""Unit tests for the DRAM timing model."""
+
+import pytest
+
+from repro.dram import DRAMConfig, DRAMModel
+
+
+class TestLatency:
+    def test_isolated_access_sees_device_latency(self):
+        dram = DRAMModel(DRAMConfig(device_latency=120, bank_busy=40))
+        assert dram.access(0, now=0) == 120
+        assert dram.stats.total_queue_delay == 0
+
+    def test_same_bank_burst_queues(self):
+        cfg = DRAMConfig(device_latency=120, bank_busy=40, num_banks=16)
+        dram = DRAMModel(cfg)
+        assert dram.access(0, now=0) == 120
+        assert dram.access(16, now=0) == 160  # same bank, queued 40
+        assert dram.access(32, now=0) == 200
+
+    def test_different_banks_parallel(self):
+        dram = DRAMModel()
+        assert dram.access(0, now=0) == 120
+        assert dram.access(1, now=0) == 120
+
+    def test_bank_drains_over_time(self):
+        dram = DRAMModel()
+        dram.access(0, now=0)
+        assert dram.access(16, now=1000) == 120  # long after the bank freed
+
+    def test_negative_now_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel().access(0, now=-1)
+
+
+class TestDemandPriority:
+    def test_prefetch_does_not_delay_demand(self):
+        dram = DRAMModel()
+        for _ in range(4):
+            dram.access(0, now=0, is_prefetch=True)
+        assert dram.access(0, now=0) == 120  # same bank: demand priority
+        assert dram.access(3, now=0) == 120  # untouched bank
+
+    def test_demand_delays_prefetch(self):
+        dram = DRAMModel()
+        dram.access(0, now=0)
+        assert dram.access(16, now=0, is_prefetch=True) == 160
+
+    def test_prefetch_queues_behind_prefetch(self):
+        dram = DRAMModel()
+        dram.access(0, now=0, is_prefetch=True)
+        assert dram.access(16, now=0, is_prefetch=True) == 160
+
+
+class TestStats:
+    def test_read_classification(self):
+        dram = DRAMModel()
+        dram.access(0, 0)
+        dram.access(1, 0, is_prefetch=True)
+        dram.writeback(2, 0)
+        assert dram.stats.demand_reads == 1
+        assert dram.stats.prefetch_reads == 1
+        assert dram.stats.writebacks == 1
+        assert dram.stats.bus_accesses == 3
+
+    def test_bpki(self):
+        dram = DRAMModel()
+        for i in range(10):
+            dram.access(i, 0)
+        assert dram.stats.bpki(1000) == 10.0
+        assert dram.stats.bpki(0) == 0.0
+
+    def test_bytes_and_utilization(self):
+        dram = DRAMModel()
+        for i in range(10):
+            dram.access(i, 0)
+        assert dram.stats.bytes_transferred() == 640
+        assert dram.utilization(1000, peak_bytes_per_cycle=0.64) == 1.0
+        assert dram.utilization(0) == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(device_latency=0)

@@ -1,0 +1,47 @@
+"""Unit tests for the memory request buffer."""
+
+import pytest
+
+from repro.dram import MemoryRequestBuffer
+
+
+class TestMRB:
+    def test_enqueue_retire(self):
+        mrb = MemoryRequestBuffer()
+        mrb.enqueue(10, c_bit=True, core=2)
+        entry = mrb.retire(10)
+        assert entry.c_bit and entry.core == 2
+        assert mrb.retire(10) is None
+
+    def test_demand_merge_keeps_prefetch_tag(self):
+        """A demand merging with an in-flight prefetch must not clear the
+        C-bit, or the MPP would miss the structure fill (paper §V-C1)."""
+        mrb = MemoryRequestBuffer()
+        mrb.enqueue(5, c_bit=True, core=0)
+        mrb.enqueue(5, c_bit=False, core=0)
+        assert mrb.retire(5).c_bit
+
+    def test_capacity_overflow_drops_oldest(self):
+        mrb = MemoryRequestBuffer(capacity=2)
+        mrb.enqueue(1, False, 0)
+        mrb.enqueue(2, False, 0)
+        mrb.enqueue(3, False, 0)
+        assert mrb.overflows == 1
+        assert mrb.retire(1) is None
+        assert mrb.retire(3) is not None
+
+    def test_len(self):
+        mrb = MemoryRequestBuffer()
+        mrb.enqueue(1, False, 0)
+        mrb.enqueue(2, False, 0)
+        assert len(mrb) == 2
+
+    def test_storage_overhead(self):
+        mrb = MemoryRequestBuffer(capacity=256)
+        # Quad-core: 2 bits x 256 entries = 64 B (the paper's number).
+        assert mrb.storage_overhead_bytes(num_cores=4) == 64
+        assert mrb.storage_overhead_bytes(num_cores=1) == 32
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryRequestBuffer(capacity=0)

@@ -1,0 +1,39 @@
+"""Unit tests for the §V-D overhead model."""
+
+import pytest
+
+from repro.droplet import AreaModel, MPPConfig
+
+
+class TestAreaModel:
+    def test_paper_scale_numbers(self):
+        """The default configuration must land near the paper's numbers."""
+        report = AreaModel().report(MPPConfig())
+        # Paper: 7.7 KB storage, 0.0654 mm^2, 0.0348% of the chip.
+        assert 7_000 <= report.mpp_storage_bytes <= 9_000
+        assert 0.055 <= report.mpp_area_mm2 <= 0.080
+        assert 0.0002 <= report.mpp_chip_fraction <= 0.0006
+
+    def test_page_table_overhead(self):
+        report = AreaModel().report(MPPConfig(), page_table_entries=512)
+        assert report.page_table_extra_bytes == 64  # paper's 64 B
+        assert abs(report.page_table_overhead_fraction - 64 / 4096) < 1e-9
+
+    def test_l2_queue_overhead(self):
+        report = AreaModel().report(MPPConfig(), l2_queue_entries=32)
+        assert report.l2_queue_extra_bytes == 4  # paper's 4 B
+
+    def test_mrb_overhead_quad_core(self):
+        report = AreaModel(num_cores=4).report(MPPConfig(), mrb_entries=256)
+        assert report.mrb_core_id_bytes == 64  # paper's 64 B
+
+    def test_area_scales_with_buffers(self):
+        small = AreaModel().mpp_area_mm2(MPPConfig(vab_entries=64, pab_entries=64))
+        big = AreaModel().mpp_area_mm2(MPPConfig(vab_entries=1024, pab_entries=1024))
+        assert big > small
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AreaModel(chip_area_mm2=0)
+        with pytest.raises(ValueError):
+            AreaModel(storage_fraction_of_mpp=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the near-memory MTLB."""
+
+from repro.droplet import MTLB
+from repro.memory import PageTable
+
+
+def make_mtlb():
+    pt = PageTable(4096)
+    pt.map_range(0, 8 * 4096, is_structure=False)          # property pages
+    pt.map_range(16 * 4096, 4 * 4096, is_structure=True)   # structure pages
+    return MTLB(pt, entries=4), pt
+
+
+class TestTranslation:
+    def test_property_translation(self):
+        mtlb, _ = make_mtlb()
+        out = mtlb.translate_property(0x1234)
+        assert out is not None
+        paddr, latency = out
+        assert paddr == 0x1234
+        assert latency == 50  # page walk on first touch
+        paddr2, latency2 = mtlb.translate_property(0x1238)
+        assert latency2 == 0  # cached
+
+    def test_page_fault_drops_request(self):
+        mtlb, _ = make_mtlb()
+        assert mtlb.translate_property(10**9) is None
+        assert mtlb.stats.dropped_faults == 1
+
+    def test_structure_page_rejected_and_not_cached(self):
+        mtlb, pt = make_mtlb()
+        addr = 16 * 4096 + 8
+        assert mtlb.translate_property(addr) is None
+        assert len(mtlb) == 0  # the walked-in entry was purged
+
+
+class TestShootdown:
+    def test_property_shootdown_forwarded(self):
+        mtlb, pt = make_mtlb()
+        mtlb.translate_property(0)
+        assert mtlb.shootdown(page=0, extra_bit_structure=False)
+        assert mtlb.stats.shootdowns_received == 1
+        assert mtlb.stats.shootdowns_filtered == 0
+        # Entry gone: next translation walks again.
+        _, latency = mtlb.translate_property(0)
+        assert latency == 50
+
+    def test_structure_shootdown_filtered(self):
+        """Paper §V-C3: structure-page invalidations never reach the MTLB."""
+        mtlb, _ = make_mtlb()
+        mtlb.translate_property(0)
+        assert not mtlb.shootdown(page=0, extra_bit_structure=True)
+        assert mtlb.stats.shootdowns_filtered == 1
+        _, latency = mtlb.translate_property(4)
+        assert latency == 0  # entry survived
+
+    def test_tlb_stats_exposed(self):
+        mtlb, _ = make_mtlb()
+        mtlb.translate_property(0)
+        mtlb.translate_property(4)
+        assert mtlb.tlb_stats.hits == 1
+        assert mtlb.tlb_stats.misses == 1

@@ -1,0 +1,70 @@
+"""Unit tests for the Property Address Generator."""
+
+import numpy as np
+import pytest
+
+from repro.droplet import PAG
+from repro.graph import build_csr
+from repro.memory import GraphLayout
+
+
+def make_layout(weighted=False):
+    edges = [(0, i % 5) for i in range(40)]
+    weights = list(range(1, 41)) if weighted else None
+    g = build_csr(
+        5, np.array(edges), weights=np.array(weights) if weighted else None
+    )
+    return GraphLayout(g, property_names=("rank",)), g
+
+
+class TestConfiguration:
+    def test_unconfigured_raises(self):
+        pag = PAG()
+        with pytest.raises(RuntimeError):
+            pag.scan(0)
+        with pytest.raises(RuntimeError):
+            pag.max_ids_per_line()
+
+    def test_configure_from_layout(self):
+        layout, _ = make_layout()
+        pag = PAG()
+        pag.configure_from_layout(layout, "rank")
+        assert pag.configured
+        assert pag.property_base == layout.properties["rank"].base
+        assert pag.scan_granularity == 4
+
+
+class TestScan:
+    def test_equation_one(self):
+        """property address = base + 4 * neighbor ID (paper Eq. 1)."""
+        layout, g = make_layout()
+        pag = PAG()
+        pag.configure_from_layout(layout, "rank")
+        addrs = pag.scan(layout.structure.base)
+        base = layout.properties["rank"].base
+        expected = base + 4 * g.neighbors[:16].astype(np.int64)
+        assert np.array_equal(addrs, expected)
+
+    def test_ids_per_line_unweighted_vs_weighted(self):
+        unweighted, _ = make_layout()
+        weighted, _ = make_layout(weighted=True)
+        pu, pw = PAG(), PAG()
+        pu.configure_from_layout(unweighted, "rank")
+        pw.configure_from_layout(weighted, "rank")
+        assert pu.max_ids_per_line() == 16
+        assert pw.max_ids_per_line() == 8
+
+    def test_scan_counts(self):
+        layout, _ = make_layout()
+        pag = PAG()
+        pag.configure_from_layout(layout, "rank")
+        pag.scan(layout.structure.base)
+        pag.scan(layout.structure.base + 64)
+        assert pag.lines_scanned == 2
+        assert pag.addresses_generated == 32
+
+    def test_scan_outside_structure_is_empty(self):
+        layout, _ = make_layout()
+        pag = PAG()
+        pag.configure_from_layout(layout, "rank")
+        assert len(pag.scan(layout.offsets.base)) == 0

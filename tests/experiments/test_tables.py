@@ -1,0 +1,65 @@
+"""Tests for the table-rendering experiments (Tables I–V, §V-D)."""
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_overheads,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+class TestTable1:
+    def test_components_present(self):
+        res = run_table1()
+        components = [row["component"] for row in res.rows]
+        assert components == ["core", "L1", "L2", "L3", "DRAM"]
+
+    def test_paper_scale_values(self):
+        res = run_table1(paper_scale=True)
+        values = {row["component"]: row["value"] for row in res.rows}
+        assert "ROB=128" in values["core"]
+        assert values["L3"].startswith("8192 KB")
+        assert "device 120 cyc" in values["DRAM"]
+
+
+class TestTable2:
+    def test_five_algorithms(self):
+        res = run_table2()
+        assert [r["algorithm"] for r in res.rows] == ["BC", "BFS", "PR", "SSSP", "CC"]
+        sssp = next(r for r in res.rows if r["algorithm"] == "SSSP")
+        assert sssp["weighted"] == "yes"
+
+
+class TestTable3:
+    def test_dataset_rows(self):
+        res = run_table3(ExperimentConfig.quick())
+        assert {r["dataset"] for r in res.rows} == {"kron", "road"}
+        kron = next(r for r in res.rows if r["dataset"] == "kron")
+        road = next(r for r in res.rows if r["dataset"] == "road")
+        # Topology classes: kron heavy-tailed, road not.
+        assert kron["top1%_edge_share"] > road["top1%_edge_share"]
+
+
+class TestTable4and5:
+    def test_table4_decisions(self):
+        res = run_table4()
+        text = res.to_text()
+        assert "L2" in text and "decoupled" in text.lower()
+
+    def test_table5_parameters(self):
+        res = run_table5()
+        text = res.to_text()
+        assert "distance 16" in text
+        assert "512-entry VAB" in text
+        assert "index table 512" in text
+
+
+class TestOverheads:
+    def test_report_rows(self):
+        res = run_overheads()
+        items = {row["item"]: row["value"] for row in res.rows}
+        assert "MPP area" in items
+        assert items["page table extra"].startswith("64 B")

@@ -1,0 +1,69 @@
+"""Unit tests for edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GraphError,
+    build_csr,
+    dumps_edge_list,
+    loads_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestLoads:
+    def test_basic(self):
+        g = loads_edge_list("0 1\n1 2\n")
+        assert g.num_vertices == 3
+        assert list(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_comments_and_blanks(self):
+        g = loads_edge_list("# header\n\n0 1\n  \n# more\n1 0\n")
+        assert g.num_edges == 2
+
+    def test_weighted(self):
+        g = loads_edge_list("0 1 5\n1 2 7\n")
+        assert g.is_weighted
+        assert list(g.weights_of(0)) == [5]
+
+    def test_explicit_num_vertices(self):
+        g = loads_edge_list("0 1\n", num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_empty_text(self):
+        g = loads_edge_list("")
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_inconsistent_weight_column(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("0 1 5\n1 2\n")
+
+    def test_bad_field_count(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("0 1 2 3\n")
+
+    def test_non_integer(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("a b\n")
+
+
+class TestRoundTrip:
+    def test_unweighted_roundtrip(self, tiny_graph):
+        g2 = loads_edge_list(dumps_edge_list(tiny_graph))
+        assert np.array_equal(g2.offsets, tiny_graph.offsets)
+        assert np.array_equal(g2.neighbors, tiny_graph.neighbors)
+
+    def test_weighted_roundtrip(self):
+        g = build_csr(4, [(0, 1), (2, 3)], weights=[9, 4])
+        g2 = loads_edge_list(dumps_edge_list(g), num_vertices=4)
+        assert np.array_equal(g2.weights, g.weights)
+
+    def test_file_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.el"
+        write_edge_list(tiny_graph, path)
+        g2 = read_edge_list(path)
+        assert np.array_equal(g2.neighbors, tiny_graph.neighbors)
+        assert g2.name == "g"

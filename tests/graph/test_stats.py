@@ -1,0 +1,63 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+
+from repro.graph import (
+    build_csr,
+    degree_histogram,
+    graph_stats,
+    powerlaw_tail_ratio,
+)
+
+
+class TestGraphStats:
+    def test_basic_fields(self, tiny_graph):
+        s = graph_stats(tiny_graph)
+        assert s.num_vertices == 8
+        assert s.num_edges == 16
+        assert s.avg_degree == 2.0
+        assert s.max_degree == 3
+        assert s.isolated_vertices == 0
+
+    def test_isolated_counted(self, two_component_graph):
+        s = graph_stats(two_component_graph)
+        assert s.isolated_vertices == 1
+
+    def test_as_row_keys(self, tiny_graph):
+        row = graph_stats(tiny_graph).as_row()
+        assert {"dataset", "vertices", "edges", "avg_deg"} <= set(row)
+
+    def test_empty_graph(self):
+        g = build_csr(0, np.empty((0, 2)))
+        s = graph_stats(g)
+        assert s.avg_degree == 0.0
+        assert s.max_degree == 0
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_vertices(self, tiny_graph):
+        _, counts = degree_histogram(tiny_graph)
+        assert counts.sum() == tiny_graph.num_vertices
+
+    def test_handles_zero_max_degree(self):
+        g = build_csr(3, np.empty((0, 2)))
+        edges, counts = degree_histogram(g)
+        assert counts.sum() == 3
+
+
+class TestPowerlawTail:
+    def test_empty_graph(self):
+        g = build_csr(5, np.empty((0, 2)))
+        assert powerlaw_tail_ratio(g) == 0.0
+
+    def test_star_graph_concentrated(self):
+        # 200 vertices, all edges from vertex 0.
+        edges = [(0, i) for i in range(1, 200)]
+        g = build_csr(200, edges)
+        assert powerlaw_tail_ratio(g) == 1.0
+
+    def test_ring_graph_uniform(self):
+        n = 200
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = build_csr(n, edges)
+        assert powerlaw_tail_ratio(g) < 0.05

@@ -1,0 +1,66 @@
+"""End-to-end integration: graph → workload → trace → machine → stats."""
+
+import pytest
+
+from repro.graph import make_dataset
+from repro.system import SystemConfig, compare_setups, simulate
+from repro.trace import DataType, trace_stats
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return make_dataset("kron", scale_shift=-2)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("name", ["BC", "BFS", "PR", "CC"])
+    def test_each_workload_simulates(self, kron, name):
+        w = get_workload(name)
+        run = w.run(kron, max_refs=15_000, skip_refs=w.recommended_skip(kron))
+        res = simulate(run)
+        assert res.cycles > 0
+        assert res.instructions == run.trace.num_instructions
+        stats = trace_stats(run.trace)
+        assert stats.refs_by_type[DataType.STRUCTURE] > 0
+
+    def test_sssp_simulates(self):
+        g = make_dataset("kron", scale_shift=-2, weighted=True)
+        w = get_workload("SSSP")
+        run = w.run(g, max_refs=15_000, skip_refs=w.recommended_skip(g))
+        res = simulate(run, setup="droplet")
+        # Weighted structure: the PAG scans at 8 B granularity.
+        assert res.mpp is not None
+        assert res.mpp.pag.scan_granularity == 8
+        assert res.mpp.requests_generated > 0
+
+    def test_all_setups_complete_on_one_run(self, kron):
+        w = get_workload("PR")
+        run = w.run(kron, max_refs=15_000, skip_refs=w.recommended_skip(kron))
+        results = compare_setups(
+            run,
+            ("none", "ghb", "vldp", "stream", "streamMPP1", "droplet", "monoDROPLETL1"),
+        )
+        assert len(results) == 7
+        for res in results.values():
+            assert res.cycles > 0
+
+    def test_multicore_machine_accepts_trace(self, kron):
+        w = get_workload("PR")
+        run = w.run(kron, max_refs=10_000)
+        res = simulate(run, config=SystemConfig.scaled_baseline(num_cores=4))
+        assert res.cycles > 0
+
+    def test_mpp_stats_wired_through(self, kron):
+        w = get_workload("PR")
+        run = w.run(kron, max_refs=15_000, skip_refs=w.recommended_skip(kron))
+        res = simulate(run, setup="droplet")
+        assert res.mpp.structure_fills_seen > 0
+        assert res.mpp.mtlb.tlb_stats.page_walks > 0
+
+    def test_paper_scale_config_also_runs(self, kron):
+        """The unscaled Table I machine is usable, just bigger."""
+        w = get_workload("PR")
+        run = w.run(kron, max_refs=10_000)
+        res = simulate(run, config=SystemConfig.paper_baseline())
+        assert res.cycles > 0

@@ -1,0 +1,139 @@
+"""Unit tests for the graph data allocation layer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_csr
+from repro.memory import AddressSpace, AllocationError, GraphLayout
+from repro.trace import DataType
+
+
+class TestAddressSpace:
+    def test_alloc_page_aligned_and_mapped(self):
+        space = AddressSpace()
+        r = space.alloc("a", 100, DataType.PROPERTY, element_size=4)
+        assert r.base % space.page_size == 0
+        assert space.page_table.is_mapped(r.base)
+        assert not space.page_table.is_structure(r.base)
+
+    def test_structure_alloc_sets_bit(self):
+        space = AddressSpace()
+        r = space.alloc("s", 4096 * 3, DataType.STRUCTURE)
+        assert space.page_table.is_structure(r.base)
+        assert space.page_table.is_structure(r.end - 1)
+
+    def test_regions_do_not_share_pages(self):
+        space = AddressSpace()
+        a = space.alloc("a", 8, DataType.STRUCTURE)
+        b = space.alloc("b", 8, DataType.PROPERTY)
+        assert a.base // space.page_size != b.base // space.page_size
+        # The guard ensures the property page is not structure-tagged.
+        assert not space.page_table.is_structure(b.base)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 8, DataType.PROPERTY)
+        with pytest.raises(AllocationError):
+            space.alloc("a", 8, DataType.PROPERTY)
+
+    def test_bad_sizes_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.alloc("z", 0, DataType.PROPERTY)
+        with pytest.raises(AllocationError):
+            space.alloc("y", 10, DataType.PROPERTY, element_size=4)
+
+    def test_region_of(self):
+        space = AddressSpace()
+        r = space.alloc("a", 64, DataType.PROPERTY)
+        assert space.region_of(r.base + 4) is r
+        assert space.region_of(0) is None
+
+
+class TestRegion:
+    def test_addr_and_index_roundtrip(self):
+        space = AddressSpace()
+        r = space.alloc("a", 400, DataType.PROPERTY, element_size=4)
+        addr = r.addr(13)
+        assert r.index_of(addr) == 13
+        assert r.contains(addr)
+
+    def test_addr_bounds_checked(self):
+        space = AddressSpace()
+        r = space.alloc("a", 40, DataType.PROPERTY, element_size=4)
+        with pytest.raises(IndexError):
+            r.addr(10)
+        with pytest.raises(IndexError):
+            r.addr(-1)
+
+    def test_index_of_outside_rejected(self):
+        space = AddressSpace()
+        r = space.alloc("a", 40, DataType.PROPERTY, element_size=4)
+        with pytest.raises(IndexError):
+            r.index_of(r.end)
+
+
+class TestGraphLayout:
+    def _layout(self, weighted=False):
+        edges = np.array([(0, 1), (0, 2), (1, 2), (2, 0)])
+        weights = np.array([1, 2, 3, 4]) if weighted else None
+        g = build_csr(3, edges, weights=weights)
+        return GraphLayout(g, property_names=("rank",)), g
+
+    def test_region_kinds(self):
+        layout, _ = self._layout()
+        assert layout.offsets.kind is DataType.INTERMEDIATE
+        assert layout.structure.kind is DataType.STRUCTURE
+        assert layout.properties["rank"].kind is DataType.PROPERTY
+
+    def test_structure_element_size(self):
+        unweighted, _ = self._layout()
+        weighted, _ = self._layout(weighted=True)
+        assert unweighted.structure_element_size == 4
+        assert weighted.structure_element_size == 8
+
+    def test_address_arithmetic(self):
+        layout, _ = self._layout()
+        assert layout.offsets_addr(2) == layout.offsets.base + 16
+        assert layout.structure_addr(3) == layout.structure.base + 12
+        assert layout.property_addr("rank", 1) == layout.properties["rank"].base + 4
+
+    def test_add_property_and_intermediate(self):
+        layout, _ = self._layout()
+        p = layout.add_property("extra")
+        i = layout.add_intermediate("work", 10)
+        assert p.kind is DataType.PROPERTY
+        assert i.kind is DataType.INTERMEDIATE
+        assert i.num_elements == 10
+
+    def test_stack_region_exists(self):
+        layout, _ = self._layout()
+        assert layout.stack.kind is DataType.INTERMEDIATE
+
+    def test_is_structure_line(self):
+        layout, _ = self._layout()
+        assert layout.is_structure_line(layout.structure.base)
+        assert not layout.is_structure_line(layout.offsets.base)
+
+    def test_scan_structure_line_reads_neighbor_ids(self):
+        layout, g = self._layout()
+        ids = layout.scan_structure_line(layout.structure.base)
+        assert list(ids) == list(g.neighbors[:4])
+
+    def test_scan_weighted_honours_granularity(self):
+        layout, g = self._layout(weighted=True)
+        # 8-byte entries: one 64 B line covers 8 entries; graph has 4.
+        ids = layout.scan_structure_line(layout.structure.base)
+        assert list(ids) == list(g.neighbors)
+
+    def test_scan_outside_structure_is_empty(self):
+        layout, _ = self._layout()
+        assert len(layout.scan_structure_line(layout.offsets.base)) == 0
+
+    def test_scan_partial_last_line(self):
+        # 20 edges * 4B = 80 B: second line holds entries 16..19 only.
+        edges = [(0, i % 3) for i in range(20)]
+        g = build_csr(3, np.array(edges))
+        layout = GraphLayout(g)
+        ids = layout.scan_structure_line(layout.structure.base + 64)
+        assert len(ids) == 4

@@ -1,0 +1,60 @@
+"""Unit tests for the page table with structure bit."""
+
+import pytest
+
+from repro.memory import PageFault, PageTable
+
+
+class TestPageTable:
+    def test_map_and_translate(self):
+        pt = PageTable(4096)
+        pt.map_range(0x1000, 4096)
+        assert pt.translate(0x1234) == 0x1234  # identity mapping
+
+    def test_unmapped_faults(self):
+        pt = PageTable()
+        with pytest.raises(PageFault):
+            pt.lookup(0x5000)
+        assert not pt.is_mapped(0x5000)
+
+    def test_map_range_page_count(self):
+        pt = PageTable(4096)
+        assert pt.map_range(0, 4096) == 1
+        assert pt.map_range(8192, 4097) == 2  # crosses into a second page
+        assert pt.map_range(100_000, 0) == 0
+
+    def test_partial_page_mapping_covers_whole_page(self):
+        pt = PageTable(4096)
+        pt.map_range(4096 + 100, 8)
+        assert pt.is_mapped(4096)
+        assert pt.is_mapped(4096 + 4095)
+
+    def test_structure_bit(self):
+        pt = PageTable()
+        pt.map_range(0, 4096, is_structure=True)
+        pt.map_range(4096, 4096, is_structure=False)
+        assert pt.is_structure(100)
+        assert not pt.is_structure(5000)
+        assert pt.structure_pages() == 1
+
+    def test_structure_bit_of_unmapped_is_false(self):
+        pt = PageTable()
+        assert not pt.is_structure(0)
+
+    def test_remap_updates_bit(self):
+        pt = PageTable()
+        pt.map_range(0, 4096, is_structure=False)
+        pt.map_range(0, 4096, is_structure=True)
+        assert pt.is_structure(0)
+        assert len(pt) == 1
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            PageTable(page_size=3000)
+        with pytest.raises(ValueError):
+            PageTable(page_size=0)
+
+    def test_negative_size_rejected(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.map_range(0, -1)

@@ -1,0 +1,81 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.memory import TLB, PageFault, PageTable
+
+
+def make_tlb(entries=4, walk_latency=50):
+    pt = PageTable(4096)
+    pt.map_range(0, 64 * 4096, is_structure=False)
+    pt.map_range(64 * 4096, 64 * 4096, is_structure=True)
+    return TLB(pt, entries=entries, walk_latency=walk_latency), pt
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb, _ = make_tlb()
+        paddr, is_struct, lat = tlb.translate(0x1000)
+        assert (paddr, is_struct, lat) == (0x1000, False, 50)
+        assert tlb.stats.misses == 1
+        _, _, lat2 = tlb.translate(0x1004)
+        assert lat2 == 0
+        assert tlb.stats.hits == 1
+
+    def test_structure_bit_cached(self):
+        tlb, _ = make_tlb()
+        _, is_struct, _ = tlb.translate(64 * 4096 + 8)
+        assert is_struct
+        assert tlb.cached_structure_bit(64 * 4096) is True
+        assert tlb.cached_structure_bit(0) is None
+
+    def test_lru_eviction(self):
+        tlb, _ = make_tlb(entries=2)
+        tlb.translate(0 * 4096)
+        tlb.translate(1 * 4096)
+        tlb.translate(0 * 4096)  # refresh page 0
+        tlb.translate(2 * 4096)  # evicts page 1
+        assert tlb.contains(0 * 4096)
+        assert not tlb.contains(1 * 4096)
+        assert len(tlb) == 2
+
+    def test_page_fault_counted(self):
+        tlb, _ = make_tlb()
+        with pytest.raises(PageFault):
+            tlb.translate(10**9)
+        assert tlb.stats.faults == 1
+
+    def test_invalidate_page(self):
+        tlb, pt = make_tlb()
+        tlb.translate(0)
+        assert tlb.invalidate_page(pt.page_of(0))
+        assert not tlb.contains(0)
+        assert tlb.stats.invalidations == 1
+        assert not tlb.invalidate_page(pt.page_of(0))  # already gone
+
+    def test_invalidate_all(self):
+        tlb, _ = make_tlb()
+        tlb.translate(0)
+        tlb.translate(4096)
+        tlb.invalidate_all()
+        assert len(tlb) == 0
+        assert tlb.stats.invalidations == 2
+
+    def test_hit_rate(self):
+        tlb, _ = make_tlb()
+        tlb.translate(0)
+        tlb.translate(4)
+        tlb.translate(8)
+        assert abs(tlb.stats.hit_rate - 2 / 3) < 1e-9
+
+    def test_resident_pages_lru_order(self):
+        tlb, _ = make_tlb(entries=3)
+        tlb.translate(0 * 4096)
+        tlb.translate(1 * 4096)
+        tlb.translate(0 * 4096)
+        assert tlb.resident_pages() == [1, 0]
+
+    def test_invalid_entries(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            TLB(pt, entries=0)

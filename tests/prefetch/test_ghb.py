@@ -1,0 +1,61 @@
+"""Unit tests for the GHB G/DC prefetcher."""
+
+from repro.prefetch import GHBPrefetcher
+from repro.trace import DataType
+
+
+def misses(pf, lines):
+    out = []
+    for line in lines:
+        out.extend(pf.observe_miss(line, DataType.PROPERTY, False, 0))
+    return out
+
+
+class TestGHB:
+    def test_constant_stride_learned(self):
+        pf = GHBPrefetcher(degree=2)
+        # Deltas: all +2. The pair (2, 2) repeats, so predictions replay +2.
+        out = misses(pf, [0, 2, 4, 6, 8])
+        assert out
+        assert all((line - 8) % 2 == 0 or line > 8 for line in out[-2:])
+
+    def test_repeating_delta_pattern(self):
+        pf = GHBPrefetcher(degree=3)
+        # Pattern +1, +3 repeating: 0 1 4 5 8 9 12 ...
+        seq = [0, 1, 4, 5, 8, 9, 12]
+        out = misses(pf, seq)
+        # After the second (1,3) pair occurrence the follower deltas replay.
+        assert 13 in out or 16 in out
+
+    def test_random_stream_learns_nothing(self):
+        import random
+
+        rng = random.Random(9)
+        pf = GHBPrefetcher()
+        out = misses(pf, [rng.randrange(1 << 20) for _ in range(50)])
+        assert out == []  # no delta pair repeats
+
+    def test_no_prediction_before_history(self):
+        pf = GHBPrefetcher()
+        assert misses(pf, [10, 20]) == []
+
+    def test_negative_addresses_not_emitted(self):
+        pf = GHBPrefetcher(degree=4)
+        out = misses(pf, [100, 50, 0, 100, 50, 0])
+        assert all(line > 0 for line in out)
+
+    def test_index_table_bounded(self):
+        pf = GHBPrefetcher(index_size=4)
+        misses(pf, list(range(0, 100, 7)) + list(range(0, 100, 11)))
+        assert len(pf._index) <= 4
+
+    def test_buffer_wraps_without_error(self):
+        pf = GHBPrefetcher(buffer_size=8)
+        misses(pf, list(range(0, 64, 2)))
+        assert pf._count > 8  # wrapped
+
+    def test_reset(self):
+        pf = GHBPrefetcher()
+        misses(pf, [0, 2, 4, 6])
+        pf.reset()
+        assert misses(pf, [0, 2]) == []

@@ -1,0 +1,108 @@
+"""Unit tests for the IMP indirect prefetcher (related-work baseline)."""
+
+import pytest
+
+from repro.prefetch.imp import IMPPrefetcher
+from repro.trace import DataType
+
+
+def train(imp, base, values, shift=2):
+    """Feed index values then the matching indirect misses."""
+    imp.observe_index_values(values)
+    for v in values:
+        line = (base + (v << shift)) // 64
+        imp.observe_miss(line, DataType.PROPERTY, False, 0)
+
+
+class TestTraining:
+    def test_learns_shift2_pattern(self):
+        imp = IMPPrefetcher(confirm=3)
+        train(imp, base=1 << 20, values=[100, 200, 300, 400])
+        assert imp.active_patterns >= 1
+        best = imp.best_pattern()
+        assert best.shift == 2
+        assert abs(best.base - (1 << 20)) < 64
+
+    def test_learns_shift3_pattern(self):
+        imp = IMPPrefetcher(confirm=3)
+        train(imp, base=1 << 21, values=[64, 1024, 4096, 128, 555], shift=3)
+        best = imp.best_pattern()
+        assert best is not None and best.shift == 3
+
+    def test_needs_confirmation(self):
+        imp = IMPPrefetcher(confirm=4)
+        train(imp, base=1 << 20, values=[100, 200])  # only 2 pairs
+        assert imp.active_patterns == 0
+
+    def test_random_misses_learn_nothing_stable(self):
+        import random
+
+        rng = random.Random(1)
+        imp = IMPPrefetcher(confirm=4)
+        imp.observe_index_values([rng.randrange(1 << 16) for _ in range(16)])
+        for _ in range(50):
+            imp.observe_miss(rng.randrange(1 << 22), DataType.PROPERTY, False, 0)
+        # Coincidental patterns may appear but accumulate few hits.
+        best = imp.best_pattern()
+        assert best is None or best.hits < 5
+
+    def test_structure_misses_not_correlated(self):
+        imp = IMPPrefetcher()
+        imp.observe_index_values([1, 2, 3])
+        assert imp.observe_miss(100, DataType.STRUCTURE, True, 0) == []
+        assert imp.active_patterns == 0
+
+
+class TestChasing:
+    def test_chases_through_learned_pattern(self):
+        imp = IMPPrefetcher(confirm=3)
+        base = 1 << 20
+        # Line-aligned value spacing (v*4 multiple of 64) makes the
+        # line-granular base estimate exact.
+        train(imp, base=base, values=[16, 32, 48, 64])
+        out = imp.observe_index_values([512, 640])
+        expected = {(base + (v << 2)) // 64 for v in (512, 640)}
+        assert expected <= set(out)
+
+    def test_no_chase_before_training(self):
+        imp = IMPPrefetcher()
+        assert imp.observe_index_values([1, 2, 3]) == []
+
+    def test_chase_capped_by_lookahead(self):
+        imp = IMPPrefetcher(confirm=3, lookahead=4)
+        train(imp, base=1 << 20, values=[10, 20, 30, 40])
+        out = imp.observe_index_values(list(range(100, 200)))
+        assert len(out) <= 4
+
+    def test_reset(self):
+        imp = IMPPrefetcher(confirm=3)
+        train(imp, base=1 << 20, values=[10, 20, 30, 40])
+        imp.reset()
+        assert imp.active_patterns == 0
+        assert imp.observe_index_values([5]) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IMPPrefetcher(confirm=0)
+
+
+class TestMachineIntegration:
+    def test_imp_setup_requires_layout(self):
+        from repro.system import Machine, SystemConfig
+
+        with pytest.raises(ValueError):
+            Machine(SystemConfig.scaled_baseline(), layout=None, setup="imp")
+
+    def test_imp_between_nothing_and_droplet_on_gather(self):
+        from repro.graph import kronecker
+        from repro.system import compare_setups
+        from repro.workloads import get_workload
+
+        g = kronecker(scale=15, edge_factor=8, seed=5, name="kron-s15")
+        w = get_workload("PR")
+        run = w.run(g, max_refs=60_000, skip_refs=w.recommended_skip(g))
+        results = compare_setups(run, ("none", "imp", "droplet"))
+        base = results["none"]
+        assert results["imp"].ledger.counters["imp"].total_issued > 0
+        # The paper's qualitative claim: DROPLET beats the IMP design.
+        assert results["droplet"].speedup_vs(base) > results["imp"].speedup_vs(base)

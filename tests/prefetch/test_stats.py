@@ -1,0 +1,76 @@
+"""Unit tests for prefetch usefulness accounting."""
+
+from repro.prefetch import NullPrefetcher, PrefetchLedger
+from repro.trace import DataType
+
+
+class TestLedger:
+    def test_issue_and_timely_claim(self):
+        ledger = PrefetchLedger()
+        ledger.issue(10, DataType.STRUCTURE, ready=100.0, issuer="s")
+        assert ledger.is_tracked(10)
+        residual = ledger.claim_demand(10, now=150.0)
+        assert residual == 0.0
+        c = ledger.counters["s"]
+        assert c.useful[DataType.STRUCTURE] == 1
+        assert c.late[DataType.STRUCTURE] == 0
+        assert not ledger.is_tracked(10)
+
+    def test_late_claim_returns_residual(self):
+        ledger = PrefetchLedger()
+        ledger.issue(10, DataType.PROPERTY, ready=200.0, issuer="mpp")
+        residual = ledger.claim_demand(10, now=150.0)
+        assert residual == 50.0
+        assert ledger.counters["mpp"].late[DataType.PROPERTY] == 1
+        assert ledger.counters["mpp"].useful[DataType.PROPERTY] == 1
+
+    def test_claim_untracked_is_zero(self):
+        ledger = PrefetchLedger()
+        assert ledger.claim_demand(99, now=0.0) == 0.0
+
+    def test_eviction_claims(self):
+        ledger = PrefetchLedger()
+        ledger.issue(5, DataType.PROPERTY, ready=0.0, issuer="s")
+        ledger.claim_eviction(5)
+        assert ledger.counters["s"].evicted_unused[DataType.PROPERTY] == 1
+        ledger.claim_eviction(5)  # idempotent on missing entries
+
+    def test_accuracy(self):
+        ledger = PrefetchLedger()
+        for line in range(4):
+            ledger.issue(line, DataType.STRUCTURE, 0.0, "s")
+        ledger.claim_demand(0, 10.0)
+        ledger.claim_demand(1, 10.0)
+        ledger.claim_eviction(2)
+        c = ledger.counters["s"]
+        assert c.accuracy() == 0.5
+        assert c.accuracy(DataType.STRUCTURE) == 0.5
+        assert c.accuracy(DataType.PROPERTY) == 0.0
+
+    def test_coverage(self):
+        ledger = PrefetchLedger()
+        ledger.issue(0, DataType.PROPERTY, 0.0, "s")
+        ledger.claim_demand(0, 1.0)
+        c = ledger.counters["s"]
+        assert c.coverage(demand_misses=3) == 0.25
+
+    def test_reissue_overwrites_entry(self):
+        ledger = PrefetchLedger()
+        ledger.issue(1, DataType.PROPERTY, 100.0, "a")
+        ledger.issue(1, DataType.PROPERTY, 200.0, "b")
+        assert ledger.ready_time(1) == 200.0
+        ledger.claim_demand(1, 300.0)
+        assert ledger.counters["b"].useful[DataType.PROPERTY] == 1
+        assert ledger.counters["a"].useful[DataType.PROPERTY] == 0
+
+    def test_drop(self):
+        ledger = PrefetchLedger()
+        ledger.drop("mpp")
+        assert ledger.counters["mpp"].dropped == 1
+
+
+class TestNullPrefetcher:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.observe_miss(1, DataType.STRUCTURE, True, 0) == []
+        assert pf.observe_hit(1, DataType.STRUCTURE, True, 0) == []

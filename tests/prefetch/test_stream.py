@@ -1,0 +1,122 @@
+"""Unit tests for the stream prefetcher and its data-aware variant."""
+
+from repro.prefetch import DataAwareStreamer, StreamPrefetcher
+from repro.trace import DataType
+
+
+def misses(pf, lines, kind=DataType.STRUCTURE, is_structure=None):
+    """Feed a miss sequence; returns all candidate prefetch lines."""
+    if is_structure is None:
+        is_structure = kind is DataType.STRUCTURE
+    out = []
+    for line in lines:
+        out.extend(pf.observe_miss(line, kind, is_structure, core=0))
+    return out
+
+
+class TestTraining:
+    def test_needs_confirmation_before_prefetching(self):
+        pf = StreamPrefetcher(confirm=2)
+        assert misses(pf, [10]) == []
+        assert misses(pf, [11]) == []  # first direction observation
+        out = misses(pf, [12])  # confirmed ascending
+        assert out and out[0] == 13
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher(confirm=2)
+        out = misses(pf, [40, 39, 38])
+        assert out and out[0] == 37
+        assert all(a > b for a, b in zip(out, out[1:]))
+
+    def test_direction_flip_restarts_confirmation(self):
+        pf = StreamPrefetcher(confirm=2)
+        assert misses(pf, [10, 11, 9]) == []  # flip resets confidence to 1
+        out = misses(pf, [8])  # second descending observation confirms
+        assert out and out[0] == 7
+
+    def test_same_line_repeat_is_ignored(self):
+        pf = StreamPrefetcher()
+        assert misses(pf, [10, 10, 10]) == []
+
+
+class TestIssue:
+    def test_degree_limits_burst(self):
+        pf = StreamPrefetcher(confirm=2, degree=4)
+        out = misses(pf, [0, 1, 2])
+        assert len(out) == 4
+        assert out == [3, 4, 5, 6]
+
+    def test_stream_advances_monotonically(self):
+        pf = StreamPrefetcher(confirm=2, degree=4)
+        misses(pf, [0, 1, 2])
+        out = misses(pf, [3])
+        assert out[0] == 7  # continues after the previous burst
+
+    def test_distance_caps_runahead(self):
+        pf = StreamPrefetcher(confirm=2, degree=16, distance=4)
+        out = misses(pf, [0, 1, 2])
+        assert max(out) <= 2 + 4
+
+    def test_stops_at_page_boundary(self):
+        pf = StreamPrefetcher(confirm=2, degree=16, distance=64, page_lines=64)
+        out = misses(pf, [60, 61, 62])
+        assert all(line < 64 for line in out)
+
+    def test_hit_feedback_keeps_confirmed_stream_alive(self):
+        pf = StreamPrefetcher(confirm=2, degree=2)
+        misses(pf, [0, 1, 2])
+        out = pf.observe_hit(3, DataType.STRUCTURE, True, 0)
+        assert out  # the stream keeps issuing on prefetched-line hits
+
+    def test_hit_does_not_train_unconfirmed(self):
+        pf = StreamPrefetcher(confirm=2)
+        pf.observe_miss(0, DataType.STRUCTURE, True, 0)
+        assert pf.observe_hit(1, DataType.STRUCTURE, True, 0) == []
+
+
+class TestTrackerPressure:
+    def test_lru_tracker_eviction(self):
+        pf = StreamPrefetcher(num_streams=2)
+        misses(pf, [0 * 64, 1 * 64, 2 * 64])  # three pages, two trackers
+        assert pf.live_trackers == 2
+        assert pf.tracker_evictions == 1
+
+    def test_random_pages_burn_trackers(self):
+        """The paper's §V-B1 failure mode: scattered misses allocate
+        trackers that never confirm."""
+        pf = StreamPrefetcher(num_streams=4)
+        out = misses(
+            pf, [i * 64 for i in range(100)], kind=DataType.PROPERTY
+        )
+        assert out == []
+        assert pf.tracker_allocations == 100
+
+
+class TestDataAware:
+    def test_ignores_non_structure(self):
+        pf = DataAwareStreamer(confirm=2)
+        out = misses(pf, [0, 1, 2, 3], kind=DataType.PROPERTY, is_structure=False)
+        assert out == []
+        assert pf.live_trackers == 0
+
+    def test_trains_on_structure(self):
+        pf = DataAwareStreamer(confirm=2)
+        out = misses(pf, [0, 1, 2], kind=DataType.STRUCTURE, is_structure=True)
+        assert out
+
+    def test_interleaved_noise_does_not_evict_structure_trackers(self):
+        pf = DataAwareStreamer(num_streams=1, confirm=2)
+        pf.observe_miss(0, DataType.STRUCTURE, True, 0)
+        # A flood of property misses in other pages changes nothing.
+        for i in range(50):
+            pf.observe_miss(1000 + i * 64, DataType.PROPERTY, False, 0)
+        assert pf.live_trackers == 1
+        pf.observe_miss(1, DataType.STRUCTURE, True, 0)
+        out = pf.observe_miss(2, DataType.STRUCTURE, True, 0)
+        assert out
+
+    def test_reset_clears_state(self):
+        pf = DataAwareStreamer()
+        misses(pf, [0, 1, 2])
+        pf.reset()
+        assert pf.live_trackers == 0

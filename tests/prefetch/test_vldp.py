@@ -1,0 +1,69 @@
+"""Unit tests for the VLDP prefetcher."""
+
+from repro.prefetch import VLDPPrefetcher
+from repro.trace import DataType
+
+
+def misses(pf, lines):
+    out = []
+    for line in lines:
+        out.extend(pf.observe_miss(line, DataType.PROPERTY, False, 0))
+    return out
+
+
+class TestVLDP:
+    def test_unit_stride_within_page(self):
+        pf = VLDPPrefetcher(degree=2)
+        out = misses(pf, [0, 1, 2, 3])
+        assert 4 in out
+
+    def test_longer_history_takes_precedence(self):
+        pf = VLDPPrefetcher(degree=1)
+        # Train: after history (1, 2) comes 3 (DPT2); plain (2,) maps to 9
+        # (DPT1, overwritten later in page 1).
+        misses(pf, [0, 1, 3, 6])       # deltas 1, 2, 3 in page 0
+        misses(pf, [100, 102, 111])    # deltas 2, 9 in page 1
+        # Fresh page reaching history (1, 2): DPT2 must predict +3 (206),
+        # not DPT1's (2,)->9 which would give 212.
+        misses(pf, [200, 201])
+        out = pf.observe_miss(203, DataType.PROPERTY, False, 0)
+        assert out == [206]
+
+    def test_opt_predicts_first_delta_of_fresh_page(self):
+        pf = VLDPPrefetcher(degree=1)
+        # Two pages, both first-accessed at offset 5 with first delta +3,
+        # training OPT[5] = 3.
+        misses(pf, [0 * 64 + 5, 0 * 64 + 8])
+        misses(pf, [1 * 64 + 5, 1 * 64 + 8])
+        out = misses(pf, [2 * 64 + 5])
+        assert out == [2 * 64 + 8]
+
+    def test_predictions_stay_in_page(self):
+        pf = VLDPPrefetcher(degree=8, page_lines=64)
+        out = misses(pf, [60, 61, 62])
+        assert all(line < 64 for line in out)
+
+    def test_zero_delta_ignored(self):
+        pf = VLDPPrefetcher()
+        assert misses(pf, [7, 7, 7]) == []
+
+    def test_dhb_lru_bounded(self):
+        pf = VLDPPrefetcher(dhb_pages=2)
+        misses(pf, [0 * 64, 1 * 64, 2 * 64, 3 * 64])
+        assert len(pf._dhb) <= 2
+
+    def test_random_deltas_give_garbage_not_crash(self):
+        import random
+
+        rng = random.Random(4)
+        pf = VLDPPrefetcher()
+        out = misses(pf, [rng.randrange(0, 64) for _ in range(200)])
+        # Predictions exist (tables always answer) but are noise — the
+        # paper's point about VLDP on property data.
+        assert isinstance(out, list)
+
+    def test_reset(self):
+        pf = VLDPPrefetcher()
+        misses(pf, [0, 1, 2, 3])
+        pf.reset()
+        assert len(pf._dhb) == 0

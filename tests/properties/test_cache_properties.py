@@ -1,0 +1,122 @@
+"""Property-based tests for the cache models.
+
+Two classic invariants are checked against random access streams:
+
+* **LRU inclusion property** — a larger (same-geometry) LRU cache's
+  contents always include a smaller one's, hence hits(bigger) ⊇
+  hits(smaller);
+* **hierarchy inclusivity** — every line resident in a private cache is
+  resident in the shared LLC, under any interleaving of loads/stores
+  from any core.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, CacheConfig, CacheHierarchy
+from repro.trace import DataType
+
+lines = st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300)
+
+
+class TestLRUProperties:
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
+    def test_mattson_inclusion(self, stream):
+        small = Cache(CacheConfig("s", 4 * 64, 4, 64))   # 4 lines, 1 set
+        big = Cache(CacheConfig("b", 8 * 64, 8, 64))     # 8 lines, 1 set
+        for line in stream:
+            s_hit = small.lookup(line) is not None
+            b_hit = big.lookup(line) is not None
+            if s_hit:
+                assert b_hit  # a hit in the small cache must hit in the big
+            small.insert(line)
+            big.insert(line)
+
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        c = Cache(CacheConfig("c", 8 * 64, 2, 64))
+        for line in stream:
+            c.insert(line)
+            assert c.occupancy() <= c.config.num_lines
+            for s in c._sets:
+                assert len(s) <= c.config.associativity
+
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
+    def test_resident_after_insert(self, stream):
+        c = Cache(CacheConfig("c", 8 * 64, 2, 64))
+        for line in stream:
+            c.insert(line)
+            assert c.contains(line)
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(0, 1),           # core
+        st.integers(0, 63),          # line
+        st.booleans(),               # is_store
+        st.booleans(),               # via prefetch
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+class TestHierarchyProperties:
+    @given(accesses)
+    @settings(max_examples=50, deadline=None)
+    def test_inclusivity_invariant(self, stream):
+        h = CacheHierarchy(
+            CacheConfig("L1", 2 * 64, 2, 64),
+            CacheConfig("L2", 4 * 64, 2, 64),
+            CacheConfig("L3", 16 * 64, 4, 64),
+            num_cores=2,
+        )
+        for core, line, is_store, prefetch in stream:
+            if prefetch:
+                h.prefetch_fill(core, line, DataType.PROPERTY)
+            else:
+                h.demand_access(core, line, DataType.PROPERTY, is_store=is_store)
+            for c in range(2):
+                for resident in h.l1s[c].resident_lines():
+                    assert h.l3.contains(resident)
+                for resident in h.l2s[c].resident_lines():
+                    assert h.l3.contains(resident)
+
+    @given(accesses)
+    @settings(max_examples=50, deadline=None)
+    def test_demand_always_ends_resident_in_l1(self, stream):
+        h = CacheHierarchy(
+            CacheConfig("L1", 2 * 64, 2, 64),
+            CacheConfig("L2", 4 * 64, 2, 64),
+            CacheConfig("L3", 16 * 64, 4, 64),
+            num_cores=2,
+        )
+        for core, line, is_store, _ in stream:
+            h.demand_access(core, line, DataType.PROPERTY, is_store=is_store)
+            assert h.l1s[core].contains(line)
+
+    @given(accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_accounting_consistent(self, stream):
+        h = CacheHierarchy(
+            CacheConfig("L1", 2 * 64, 2, 64),
+            CacheConfig("L2", 4 * 64, 2, 64),
+            CacheConfig("L3", 16 * 64, 4, 64),
+            num_cores=2,
+        )
+        demands = 0
+        for core, line, is_store, prefetch in stream:
+            if not prefetch:
+                h.demand_access(core, line, DataType.PROPERTY, is_store=is_store)
+                demands += 1
+        l1_total = sum(c.stats.total_accesses for c in h.l1s)
+        assert l1_total == demands
+        # Every L1 miss becomes exactly one L2 access, and so on down.
+        l1_misses = sum(c.stats.total_misses for c in h.l1s)
+        l2_total = sum(c.stats.total_accesses for c in h.l2s)
+        assert l2_total == l1_misses
+        l2_misses = sum(c.stats.total_misses for c in h.l2s)
+        assert h.l3.stats.total_accesses == l2_misses

@@ -1,0 +1,80 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_csr
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return n, np.array(edges, dtype=np.int64).reshape(-1, 2)
+
+
+class TestCSRInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_count_preserved_without_dedup(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        assert g.num_edges == len(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_sum_to_edges(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        assert g.out_degrees().sum() == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_matches_input_multiset(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        rebuilt = sorted(g.edges())
+        assert rebuilt == sorted(map(tuple, edges.tolist()))
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_involution(self, data):
+        n, edges = data
+        g = build_csr(n, edges, dedup=True)
+        tt = g.transpose().transpose()
+        assert np.array_equal(tt.offsets, g.offsets)
+        assert sorted(tt.edges()) == sorted(g.edges())
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_preserves_edge_count(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        assert g.transpose().num_edges == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetrized_is_symmetric(self, data):
+        n, edges = data
+        g = build_csr(n, edges, dedup=True)
+        assert g.symmetrized().is_symmetric()
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_leaves_unique_sorted_lists(self, data):
+        n, edges = data
+        g = build_csr(n, edges, dedup=True)
+        for v in range(n):
+            nbrs = g.neighbors_of(v)
+            assert len(set(nbrs.tolist())) == len(nbrs)
+            assert (np.diff(nbrs) > 0).all() if len(nbrs) > 1 else True

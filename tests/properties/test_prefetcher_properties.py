@@ -1,0 +1,87 @@
+"""Property-based invariants shared by all prefetchers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefetch import (
+    DataAwareStreamer,
+    GHBPrefetcher,
+    NullPrefetcher,
+    StreamPrefetcher,
+    VLDPPrefetcher,
+)
+from repro.trace import DataType
+
+PREFETCHERS = [
+    NullPrefetcher,
+    StreamPrefetcher,
+    DataAwareStreamer,
+    GHBPrefetcher,
+    VLDPPrefetcher,
+]
+
+miss_streams = st.lists(
+    st.tuples(
+        st.integers(0, 1 << 14),                      # line
+        st.sampled_from(list(DataType)),              # kind
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+class TestUniversalInvariants:
+    @given(st.sampled_from(PREFETCHERS), miss_streams)
+    @settings(max_examples=80, deadline=None)
+    def test_candidates_are_nonnegative_lines(self, cls, stream):
+        pf = cls()
+        for line, kind in stream:
+            for cand in pf.observe_miss(
+                line, kind, kind is DataType.STRUCTURE, 0
+            ):
+                assert isinstance(cand, int)
+                assert cand >= 0
+
+    @given(st.sampled_from(PREFETCHERS), miss_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restores_cold_behaviour(self, cls, stream):
+        """After reset, the first replay step matches a fresh instance."""
+        trained = cls()
+        for line, kind in stream:
+            trained.observe_miss(line, kind, kind is DataType.STRUCTURE, 0)
+        trained.reset()
+        fresh = cls()
+        line, kind = stream[0]
+        assert trained.observe_miss(
+            line, kind, kind is DataType.STRUCTURE, 0
+        ) == fresh.observe_miss(line, kind, kind is DataType.STRUCTURE, 0)
+
+    @given(miss_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_data_aware_streamer_subset_of_conventional_trackers(self, stream):
+        """The structure-only streamer never tracks more pages than the
+        type-blind one fed the same miss stream."""
+        conventional = StreamPrefetcher()
+        aware = DataAwareStreamer()
+        for line, kind in stream:
+            is_structure = kind is DataType.STRUCTURE
+            conventional.observe_miss(line, kind, is_structure, 0)
+            aware.observe_miss(line, kind, is_structure, 0)
+        assert aware.tracker_allocations <= conventional.tracker_allocations
+
+    @given(miss_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_streamer_prefetches_stay_near_misses(self, stream):
+        """Stream candidates never run beyond distance of the trigger."""
+        pf = StreamPrefetcher(distance=16)
+        for line, kind in stream:
+            for cand in pf.observe_miss(line, kind, True, 0):
+                assert abs(cand - line) <= 16
+
+    @given(miss_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_vldp_candidates_stay_in_page(self, stream):
+        pf = VLDPPrefetcher(page_lines=64)
+        for line, kind in stream:
+            for cand in pf.observe_miss(line, kind, False, 0):
+                assert cand // 64 == line // 64

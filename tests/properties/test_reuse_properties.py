@@ -1,0 +1,77 @@
+"""Property-based tests for the reuse-distance profiler.
+
+The key cross-validation: a stack distance d misses in a fully
+associative LRU cache of capacity C iff d >= C (Mattson).  We check the
+profiler's distances against an actual LRU simulation on random streams.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import reuse_distance_profile
+from repro.trace import DataType, TraceBuffer
+
+streams = st.lists(st.integers(0, 20), min_size=1, max_size=200)
+
+
+def trace_of(lines):
+    tb = TraceBuffer()
+    for line in lines:
+        tb.load(line * 64, DataType.PROPERTY)
+    return tb.finalize()
+
+
+def lru_hits(lines, capacity):
+    cache: OrderedDict[int, None] = OrderedDict()
+    hits = []
+    for line in lines:
+        if line in cache:
+            cache.move_to_end(line)
+            hits.append(True)
+        else:
+            cache[line] = None
+            if len(cache) > capacity:
+                cache.popitem(last=False)
+            hits.append(False)
+    return hits
+
+
+class TestMattsonEquivalence:
+    @given(streams, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_distances_predict_lru_hits(self, lines, capacity):
+        profile = reuse_distance_profile(trace_of(lines))
+        distances = iter(profile.distances[DataType.PROPERTY])
+        seen = set()
+        actual = lru_hits(lines, capacity)
+        for line, hit in zip(lines, actual):
+            if line in seen:
+                d = next(distances)
+                assert hit == (d < capacity)
+            else:
+                assert not hit
+                seen.add(line)
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_cold_plus_reuses_equals_accesses(self, lines):
+        profile = reuse_distance_profile(trace_of(lines))
+        total = profile.cold[DataType.PROPERTY] + len(
+            profile.distances[DataType.PROPERTY]
+        )
+        assert total == len(lines)
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_cold_equals_distinct_lines(self, lines):
+        profile = reuse_distance_profile(trace_of(lines))
+        assert profile.cold[DataType.PROPERTY] == len(set(lines))
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_distances_bounded_by_distinct_count(self, lines):
+        profile = reuse_distance_profile(trace_of(lines))
+        for d in profile.distances[DataType.PROPERTY]:
+            assert 0 <= d < len(set(lines))

@@ -1,0 +1,92 @@
+"""Property-based tests for trace buffers and the core timing model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import chain_stats, compute_window_timing, iter_windows
+from repro.trace import NO_DEP, DataType, TraceBuffer
+
+
+@st.composite
+def traces(draw, max_refs=150):
+    """Random traces with well-formed backward dependencies."""
+    n = draw(st.integers(1, max_refs))
+    tb = TraceBuffer()
+    for i in range(n):
+        addr = draw(st.integers(0, 1 << 16)) * 4
+        kind = draw(st.sampled_from(list(DataType)))
+        is_load = draw(st.booleans())
+        gap = draw(st.integers(0, 5))
+        dep = NO_DEP
+        if i > 0 and draw(st.booleans()):
+            dep = draw(st.integers(0, i - 1))
+        tb.append(addr, kind, is_load=is_load, dep=dep, gap=gap)
+    return tb.finalize()
+
+
+class TestWindowProperties:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_windows_partition_trace(self, trace):
+        windows = list(iter_windows(trace, 32))
+        covered = sum(w.num_refs for w in windows)
+        assert covered == len(trace)
+        assert sum(w.instructions for w in windows) == trace.num_instructions
+
+    @given(traces(), st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_window_instructions_bounded(self, trace, rob):
+        max_single = max(1 + int(g) for g in trace.gap)
+        for w in iter_windows(trace, rob):
+            assert w.instructions < rob + max_single
+
+
+class TestChainProperties:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_chained_loads_never_exceed_total(self, trace):
+        cs = chain_stats(trace, 64)
+        assert 0 <= cs.loads_in_chains <= cs.total_loads
+        assert cs.sum_chain_length == cs.loads_in_chains
+        if cs.num_chains:
+            assert cs.mean_chain_length >= 2.0
+            assert cs.max_chain_length <= cs.loads_in_chains
+
+
+@st.composite
+def window_loads(draw):
+    n = draw(st.integers(0, 40))
+    loads = []
+    for i in range(n):
+        dep = draw(st.sampled_from([NO_DEP] + list(range(i)))) if i else NO_DEP
+        level = draw(st.sampled_from(["L1", "L2", "L3", "DRAM"]))
+        latency = {"L1": 0.0, "L2": 11.0, "L3": 43.0, "DRAM": 160.0}[level]
+        loads.append((i, dep, level, latency))
+    return loads
+
+
+class TestTimingProperties:
+    @given(window_loads(), st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_exposed_bounds(self, loads, mshr):
+        t = compute_window_timing(loads, 0, mshr)
+        total = sum(latency for *_, latency in loads)
+        max_single = max((latency for *_, latency in loads), default=0.0)
+        assert t.exposed <= total + 1e-9  # never worse than full serial
+        assert t.exposed >= max_single - 1e-9  # at least one latency
+        assert t.exposed >= t.bandwidth_bound - 1e-9
+
+    @given(window_loads())
+    @settings(max_examples=60, deadline=None)
+    def test_more_mshrs_never_hurt(self, loads):
+        few = compute_window_timing(loads, 0, mshr=2)
+        many = compute_window_timing(loads, 0, mshr=16)
+        assert many.exposed <= few.exposed + 1e-9
+
+    @given(window_loads())
+    @settings(max_examples=60, deadline=None)
+    def test_exposed_by_level_partitions_exposed(self, loads):
+        t = compute_window_timing(loads, 0, 8)
+        parts = t.exposed_by_level()
+        if t.total_miss_latency > 0:
+            assert abs(sum(parts.values()) - t.exposed) < 1e-6

@@ -1,0 +1,108 @@
+"""Property-based tests on workload traces over random graphs.
+
+Invariants that must hold for *any* graph: every traced address falls in
+an allocated region of the right kind, property gathers depend on
+structure loads, and structure accesses never leave the CSR bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_csr
+from repro.trace import NO_DEP, DataType
+from repro.workloads import get_workload
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    m = draw(st.integers(min_value=1, max_value=240))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    weighted = draw(st.booleans())
+    weights = rng.integers(1, 64, size=m) if weighted else None
+    return build_csr(n, edges, weights=weights, name="hyp")
+
+
+WORKLOADS_TO_CHECK = ("PR", "BFS", "CC", "BC", "SSSP")
+
+
+def run_any(workload_name, graph):
+    w = get_workload(workload_name)
+    if w.needs_weights and not graph.is_weighted:
+        return None
+    if graph.num_edges == 0:
+        return None
+    kwargs = {"iterations": 1} if workload_name == "PR" else {}
+    if workload_name == "BC":
+        kwargs = {"num_sources": 1}
+    try:
+        return w.run(graph, max_refs=5_000, **kwargs)
+    except ValueError:
+        return None  # e.g. no non-isolated source
+
+
+class TestTraceInvariants:
+    @given(random_graphs(), st.sampled_from(WORKLOADS_TO_CHECK))
+    @settings(max_examples=60, deadline=None)
+    def test_addresses_fall_in_matching_regions(self, graph, workload_name):
+        run = run_any(workload_name, graph)
+        if run is None:
+            return
+        space = run.layout.space
+        t = run.trace
+        for i in range(len(t)):
+            region = space.region_of(int(t.addr[i]))
+            assert region is not None
+            assert int(region.kind) == int(t.kind[i])
+
+    @given(random_graphs(), st.sampled_from(WORKLOADS_TO_CHECK))
+    @settings(max_examples=60, deadline=None)
+    def test_structure_addresses_within_csr(self, graph, workload_name):
+        run = run_any(workload_name, graph)
+        if run is None:
+            return
+        t = run.trace
+        struct = run.layout.structure
+        mask = t.kind == int(DataType.STRUCTURE)
+        for addr in t.addr[mask]:
+            assert struct.contains(int(addr))
+
+    @given(random_graphs(), st.sampled_from(("PR", "BFS", "CC")))
+    @settings(max_examples=40, deadline=None)
+    def test_gather_deps_point_at_structure_loads(self, graph, workload_name):
+        run = run_any(workload_name, graph)
+        if run is None:
+            return
+        t = run.trace
+        for i in range(len(t)):
+            d = int(t.dep[i])
+            if (
+                d != NO_DEP
+                and t.is_load[i]
+                and t.kind[i] == int(DataType.PROPERTY)
+                and t.kind[d] != int(DataType.PROPERTY)
+            ):
+                # Non-property producers of property loads must be
+                # structure or intermediate (worklist) loads — and loads.
+                assert bool(t.is_load[d])
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_traced_pr_matches_reference_on_any_graph(self, graph):
+        pr = get_workload("PR")
+        ref = pr.reference(graph, iterations=2)
+        run = pr.run(graph, max_refs=None, iterations=2)
+        assert run.completed
+        assert np.allclose(run.result, ref)
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_traced_cc_matches_reference_on_any_graph(self, graph):
+        cc = get_workload("CC")
+        ref = cc.reference(graph)
+        run = cc.run(graph, max_refs=None)
+        assert run.completed
+        assert np.array_equal(run.result, ref)

@@ -1,0 +1,108 @@
+"""Unit tests for SystemConfig (Table I fidelity and sweep helpers)."""
+
+import pytest
+
+from repro.system import CACHE_SCALE, SystemConfig, cacti_llc_latency
+
+
+class TestPaperBaseline:
+    """Table I values, asserted verbatim."""
+
+    def test_core_parameters(self):
+        c = SystemConfig.paper_baseline()
+        assert c.num_cores == 4
+        assert c.rob_entries == 128
+        assert c.load_queue == 48
+        assert c.store_queue == 32
+        assert c.reservation_stations == 36
+        assert c.dispatch_width == 4
+        assert c.frequency_ghz == 2.66
+
+    def test_cache_geometry(self):
+        c = SystemConfig.paper_baseline()
+        assert (c.l1.size_bytes, c.l1.associativity) == (32 * 1024, 8)
+        assert (c.l2.size_bytes, c.l2.associativity) == (256 * 1024, 8)
+        assert (c.l3.size_bytes, c.l3.associativity) == (8 * 1024 * 1024, 16)
+        assert c.l1.line_size == c.l2.line_size == c.l3.line_size == 64
+
+    def test_cache_latencies(self):
+        c = SystemConfig.paper_baseline()
+        assert (c.l1.data_latency, c.l1.tag_latency) == (4, 1)
+        assert (c.l2.data_latency, c.l2.tag_latency) == (8, 3)
+        assert (c.l3.data_latency, c.l3.tag_latency) == (30, 10)
+
+    def test_dram_latency_is_45ns_at_2_66ghz(self):
+        c = SystemConfig.paper_baseline()
+        assert c.dram.device_latency == 120  # ~45 ns * 2.66 GHz
+
+
+class TestScaledBaseline:
+    def test_llc_scaled_by_cache_scale(self):
+        c = SystemConfig.scaled_baseline()
+        assert c.l3.size_bytes == 8 * 1024 * 1024 // CACHE_SCALE
+
+    def test_private_levels_scaled_8x(self):
+        c = SystemConfig.scaled_baseline()
+        assert c.l1.size_bytes == 4 * 1024
+        assert c.l2.size_bytes == 32 * 1024
+
+    def test_latencies_preserved(self):
+        paper = SystemConfig.paper_baseline()
+        scaled = SystemConfig.scaled_baseline()
+        assert scaled.l3.data_latency == paper.l3.data_latency
+        assert scaled.dram == paper.dram
+        assert scaled.rob_entries == paper.rob_entries
+
+    def test_single_core_default(self):
+        assert SystemConfig.scaled_baseline().num_cores == 1
+        assert SystemConfig.scaled_baseline(num_cores=4).num_cores == 4
+
+
+class TestDerivedLatencies:
+    def test_service_latencies_monotone(self):
+        c = SystemConfig.scaled_baseline()
+        assert 0 < c.l2_service_latency < c.l3_service_latency
+
+    def test_no_l2_latency(self):
+        c = SystemConfig.scaled_baseline().with_l2(None)
+        assert c.l2_service_latency == 0
+        assert c.l3_service_latency == 40  # tag 10 + data 30, no L2 tags
+
+
+class TestSweepHelpers:
+    def test_with_rob(self):
+        c = SystemConfig.scaled_baseline().with_rob(512)
+        assert c.rob_entries == 512
+
+    def test_with_llc_multiplier(self):
+        base = SystemConfig.scaled_baseline()
+        c = base.with_llc_multiplier(4)
+        assert c.l3.size_bytes == base.l3.size_bytes * 4
+        assert (c.l3.tag_latency, c.l3.data_latency) == cacti_llc_latency(4)
+
+    def test_cacti_latencies_grow(self):
+        lat = [cacti_llc_latency(m)[1] for m in (1, 2, 4, 8)]
+        assert lat == sorted(lat)
+        assert lat[0] == 30
+
+    def test_cacti_unknown_multiplier(self):
+        with pytest.raises(ValueError):
+            cacti_llc_latency(3)
+
+    def test_with_l2_none(self):
+        c = SystemConfig.scaled_baseline().with_l2(None)
+        assert c.l2 is None
+
+    def test_with_l2_assoc(self):
+        c = SystemConfig.scaled_baseline().with_l2(32 * 1024, associativity=32)
+        assert c.l2.associativity == 32
+
+    def test_invalid_core_params(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+    def test_config_hashable(self):
+        a = SystemConfig.scaled_baseline()
+        b = SystemConfig.scaled_baseline()
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,132 @@
+"""Unit/behavioural tests for the Machine simulator."""
+
+import pytest
+
+from repro.system import Machine, SystemConfig
+from repro.system.machine import RegionClassifier
+from repro.trace import (
+    DataType,
+    gather_trace,
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+)
+
+
+def small_config(**kwargs):
+    return SystemConfig.scaled_baseline(**kwargs)
+
+
+class TestBasicRuns:
+    def test_stream_trace_mostly_l1_hits(self):
+        m = Machine(small_config())
+        res = m.run(stream_trace(2000, step=4))
+        l1 = m.hierarchy.l1s[0].stats
+        assert l1.hit_rate > 0.9  # 16 words per line -> 15/16 hits
+        assert res.cycles > 0
+        assert res.instructions == 2000 * 3
+
+    def test_random_trace_misses(self):
+        m = Machine(small_config())
+        res = m.run(random_trace(3000, region_bytes=1 << 22))
+        assert res.llc_mpki() > 10
+        assert res.cycle_stack.dram_bound_fraction() > 0.3
+
+    def test_pointer_chase_has_mlp_one(self):
+        m = Machine(small_config())
+        res = m.run(pointer_chase_trace(2000, region_bytes=1 << 22))
+        assert res.mlp < 1.5  # serial chains cannot overlap
+
+    def test_random_trace_has_high_mlp(self):
+        m = Machine(small_config())
+        res = m.run(random_trace(3000, region_bytes=1 << 22))
+        assert res.mlp > 3.0
+
+    def test_deterministic(self):
+        t = random_trace(1000)
+        a = Machine(small_config()).run(t)
+        b = Machine(small_config()).run(t)
+        assert a.cycles == b.cycles
+
+    def test_speedup_requires_same_trace(self):
+        a = Machine(small_config()).run(stream_trace(100, name="x"))
+        b = Machine(small_config()).run(stream_trace(100, name="y"))
+        with pytest.raises(ValueError):
+            a.speedup_vs(b)
+
+
+class TestRobSensitivity:
+    def test_bigger_rob_barely_helps_chained_code(self):
+        """Observation #1: dependency-chained gathers don't speed up."""
+        t = gather_trace(3000, property_region=1 << 22)
+        small = Machine(small_config()).run(t)
+        big = Machine(small_config().with_rob(512)).run(t)
+        speedup = small.cycles / big.cycles
+        assert speedup < 1.10
+
+    def test_bigger_rob_is_a_wash_for_independent_misses(self):
+        """More in-flight misses trade MSHR overlap against DRAM bank
+        contention; the net effect stays within a few percent (Fig. 3)."""
+        t = random_trace(2000, region_bytes=1 << 22)
+        a = Machine(small_config().with_rob(32)).run(t)
+        b = Machine(small_config().with_rob(128)).run(t)
+        # No speedup from the larger window; a modest *slowdown* from extra
+        # bank contention is allowed.
+        assert b.cycles > 0.9 * a.cycles
+        assert b.cycles < 1.25 * a.cycles
+
+
+class TestCycleStack:
+    def test_components_sum_to_total(self):
+        res = Machine(small_config()).run(random_trace(2000))
+        fr = res.cycle_stack.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+    def test_l1_resident_trace_is_base_only(self):
+        # 64 distinct bytes -> one line, always hits after the one cold miss.
+        t = random_trace(8000, region_bytes=64)
+        res = Machine(small_config()).run(t)
+        assert res.cycle_stack.fractions()["base"] > 0.9
+
+
+class TestStores:
+    def test_stores_do_not_stall(self):
+        from repro.trace import TraceBuffer
+
+        tb = TraceBuffer()
+        rng_addr = 0
+        for i in range(2000):
+            tb.store(rng_addr, DataType.PROPERTY, gap=2)
+            rng_addr += 4096  # every store a fresh page: all DRAM misses
+        res = Machine(small_config()).run(tb.finalize())
+        # Store misses produce traffic but no exposed stall cycles.
+        assert res.dram.stats.demand_reads == 2000
+        assert res.cycle_stack.fractions()["base"] > 0.9
+
+
+class TestRegionClassifier:
+    def test_classifies_layout_regions(self, tiny_graph):
+        from repro.memory import GraphLayout
+
+        layout = GraphLayout(tiny_graph, property_names=("p",))
+        rc = RegionClassifier(layout)
+        assert rc.classify(layout.structure.base) == int(DataType.STRUCTURE)
+        assert rc.classify(layout.properties["p"].base + 4) == int(DataType.PROPERTY)
+        assert rc.classify(layout.offsets.base) == int(DataType.INTERMEDIATE)
+
+    def test_unknown_is_intermediate(self):
+        rc = RegionClassifier(None)
+        assert rc.classify(12345) == int(DataType.INTERMEDIATE)
+
+    def test_gap_between_regions(self, tiny_graph):
+        from repro.memory import GraphLayout
+
+        layout = GraphLayout(tiny_graph)
+        rc = RegionClassifier(layout)
+        assert rc.classify(0) == int(DataType.INTERMEDIATE)
+
+
+class TestMPPRequiresLayout:
+    def test_droplet_without_layout_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(small_config(), layout=None, setup="droplet")

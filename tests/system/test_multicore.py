@@ -1,0 +1,109 @@
+"""Tests for partitioned multi-core simulation."""
+
+import pytest
+
+from repro.graph import kronecker
+from repro.system import SystemConfig, run_multicore
+from repro.workloads import WorkloadError, get_workload
+
+
+@pytest.fixture(scope="module")
+def partitioned():
+    g = kronecker(scale=12, edge_factor=8, seed=5, name="kron-s12")
+    pr = get_workload("PR")
+    runs = pr.run_partitioned(g, num_cores=4, max_refs=10_000)
+    return g, runs
+
+
+class TestPartitionedTracing:
+    def test_one_trace_per_core(self, partitioned):
+        _, runs = partitioned
+        assert [r.trace.core for r in runs] == [0, 1, 2, 3]
+
+    def test_shared_layout(self, partitioned):
+        _, runs = partitioned
+        assert all(r.layout is runs[0].layout for r in runs)
+
+    def test_disjoint_vertex_work(self, partitioned):
+        """Cores stream disjoint structure ranges of the shared arrays."""
+        _, runs = partitioned
+        ranges = []
+        for r in runs:
+            struct = r.trace.addr[r.trace.kind == 0]
+            if len(struct):
+                ranges.append((struct.min(), struct.max()))
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ranges, ranges[1:]):
+            assert a_hi <= b_lo or b_hi <= a_lo
+
+    def test_frontier_workloads_refuse(self, partitioned):
+        g, _ = partitioned
+        with pytest.raises(WorkloadError):
+            get_workload("BFS").run_partitioned(g, num_cores=2)
+
+    def test_supports_partitioning_flags(self):
+        assert get_workload("PR").supports_partitioning()
+        assert get_workload("CC").supports_partitioning()
+        assert not get_workload("BFS").supports_partitioning()
+        assert not get_workload("SSSP").supports_partitioning()
+
+    def test_invalid_core_count(self, partitioned):
+        g, _ = partitioned
+        with pytest.raises(ValueError):
+            get_workload("PR").run_partitioned(g, num_cores=0)
+
+
+class TestRunMulticore:
+    def test_basic_run(self, partitioned):
+        _, runs = partitioned
+        result = run_multicore(
+            [r.trace for r in runs],
+            config=SystemConfig.scaled_baseline(num_cores=4),
+            layout=runs[0].layout,
+        )
+        assert result.num_cores == 4
+        assert result.cycles == max(result.per_core_cycles)
+        assert result.instructions == sum(r.trace.num_instructions for r in runs)
+        assert result.aggregate_ipc > 0
+
+    def test_balanced_cores_finish_together(self, partitioned):
+        _, runs = partitioned
+        result = run_multicore(
+            [r.trace for r in runs],
+            config=SystemConfig.scaled_baseline(num_cores=4),
+            layout=runs[0].layout,
+        )
+        lo, hi = min(result.per_core_cycles), max(result.per_core_cycles)
+        assert hi / lo < 1.5  # near-equal partitions, near-equal clocks
+
+    def test_prefetching_helps_multicore_too(self, partitioned):
+        _, runs = partitioned
+        cfg = SystemConfig.scaled_baseline(num_cores=4)
+        traces = [r.trace for r in runs]
+        base = run_multicore(traces, config=cfg, layout=runs[0].layout)
+        droplet = run_multicore(
+            traces,
+            config=cfg,
+            layout=runs[0].layout,
+            setup="droplet",
+            chased_property="contrib",
+        )
+        assert droplet.llc_mpki() <= base.llc_mpki()
+
+    def test_duplicate_cores_rejected(self, partitioned):
+        _, runs = partitioned
+        t = runs[0].trace
+        with pytest.raises(ValueError):
+            run_multicore([t, t])
+
+    def test_core_out_of_range_rejected(self, partitioned):
+        _, runs = partitioned
+        with pytest.raises(ValueError):
+            run_multicore(
+                [r.trace for r in runs],
+                config=SystemConfig.scaled_baseline(num_cores=2),
+                layout=runs[0].layout,
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_multicore([])

@@ -1,0 +1,86 @@
+"""Tests for the high-level simulate/compare_setups entry points."""
+
+import pytest
+
+from repro.graph import kronecker
+from repro.system import SystemConfig, compare_setups, simulate
+from repro.trace import DataType
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def pr_run():
+    g = kronecker(scale=11, edge_factor=8, seed=5, name="kron-s11")
+    return get_workload("PR").run(g, max_refs=25_000, skip_refs=7_000)
+
+
+class TestSimulate:
+    def test_returns_result(self, pr_run):
+        res = simulate(pr_run, setup="none")
+        assert res.setup_name == "none"
+        assert res.trace_name == pr_run.trace.name
+        assert res.cycles > 0
+        assert res.ipc > 0
+
+    def test_fresh_machine_per_call(self, pr_run):
+        a = simulate(pr_run, setup="none")
+        b = simulate(pr_run, setup="none")
+        assert a.cycles == b.cycles
+        assert a.hierarchy is not b.hierarchy
+
+    def test_droplet_chases_gathered_property(self, pr_run):
+        res = simulate(pr_run, setup="droplet")
+        mpp_counters = res.ledger.counters.get("mpp")
+        assert mpp_counters is not None
+        assert mpp_counters.issued[DataType.PROPERTY] > 0
+        assert mpp_counters.issued[DataType.STRUCTURE] == 0
+
+    def test_custom_config(self, pr_run):
+        small = simulate(
+            pr_run, config=SystemConfig.scaled_baseline().with_llc_multiplier(4)
+        )
+        base = simulate(pr_run)
+        assert small.llc_mpki() <= base.llc_mpki()
+
+
+class TestCompareSetups:
+    def test_keys_and_speedups(self, pr_run):
+        results = compare_setups(pr_run, setups=("none", "stream", "droplet"))
+        assert set(results) == {"none", "stream", "droplet"}
+        base = results["none"]
+        assert results["droplet"].speedup_vs(base) > 1.0
+
+    def test_prefetchers_reduce_llc_mpki(self, pr_run):
+        results = compare_setups(pr_run, setups=("none", "droplet"))
+        assert results["droplet"].llc_mpki() < results["none"].llc_mpki()
+
+
+class TestExtensions:
+    def test_multi_property_flag(self, pr_run):
+        single = simulate(pr_run, setup="droplet", multi_property=False)
+        multi = simulate(pr_run, setup="droplet", multi_property=True)
+        # PR declares a single gathered property, so both are identical.
+        assert single.cycles == multi.cycles
+
+    def test_bc_multi_property_chases_more(self):
+        from repro.graph import kronecker
+        from repro.workloads import get_workload
+
+        g = kronecker(scale=12, edge_factor=8, seed=5, name="kron-s12")
+        bc = get_workload("BC")
+        run = bc.run(g, max_refs=20_000, skip_refs=bc.recommended_skip(g))
+        single = simulate(run, setup="droplet", multi_property=False)
+        multi = simulate(run, setup="droplet", multi_property=True)
+        assert len(multi.mpp.pag.property_bases) == 3
+        assert multi.mpp.pag.addresses_generated > single.mpp.pag.addresses_generated
+
+    def test_edge_centric_run_through_simulate(self):
+        from repro.graph import kronecker
+        from repro.workloads import get_workload
+
+        g = kronecker(scale=12, edge_factor=8, seed=5, name="kron-s12")
+        pre = get_workload("PR-EDGE")
+        run = pre.run(g, max_refs=20_000, skip_refs=pre.recommended_skip(g))
+        res = simulate(run, setup="droplet")
+        assert res.mpp is not None
+        assert res.cycles > 0

@@ -1,0 +1,58 @@
+"""CLI tests (argument parsing and command execution)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "PR", "kron", "--setups", "droplet", "--max-refs", "100"]
+        )
+        assert args.workload == "PR"
+        assert args.setups == ["droplet"]
+        assert args.max_refs == 100
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "KMEANS", "kron"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig11b", "--quick"])
+        assert args.name == "fig11b" and args.quick
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale-shift", "-5"]) == 0
+        out = capsys.readouterr().out
+        assert "kron" in out and "road" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate", "PR", "kron",
+                "--scale-shift", "-4",
+                "--max-refs", "5000",
+                "--setups", "droplet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "droplet" in out and "speedup" in out
+
+    def test_figure_quick(self, capsys):
+        assert main(["figure", "fig01", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline architecture" in out
+        assert "Prefetchers for evaluation" in out

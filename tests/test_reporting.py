@@ -1,0 +1,79 @@
+"""Tests for result summaries and JSON reporting."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    compare_summaries,
+    load_results,
+    save_results,
+    summarize,
+)
+from repro.system import Machine, SystemConfig
+from repro.trace import gather_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Machine(SystemConfig.scaled_baseline()).run(
+        gather_trace(3000, property_region=1 << 20)
+    )
+
+
+class TestSummarize:
+    def test_core_fields(self, result):
+        s = summarize(result)
+        assert s["trace"] == "gather"
+        assert s["setup"] == "none"
+        assert s["cycles"] == result.cycles
+        assert s["ipc"] == pytest.approx(result.ipc)
+        assert 0 <= s["l2_hit_rate"] <= 1
+
+    def test_per_type_fields(self, result):
+        s = summarize(result)
+        for key in ("structure", "property", "intermediate"):
+            assert "llc_mpki_" + key in s
+            assert "offchip_frac_" + key in s
+
+    def test_json_safe(self, result):
+        json.dumps(summarize(result))  # must not raise
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([summarize(result)], path)
+        loaded = load_results(path)
+        assert len(loaded) == 1
+        assert loaded[0]["trace"] == "gather"
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else", "results": []}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+
+class TestCompare:
+    def test_ratio_computation(self, result):
+        s = summarize(result)
+        ratios = compare_summaries(s, s)
+        assert ratios["cycles"] == pytest.approx(1.0)
+        assert ratios["ipc"] == pytest.approx(1.0)
+
+    def test_detects_improvement(self, result):
+        from repro.memory import GraphLayout  # noqa: F401 (doc import guard)
+
+        before = summarize(result)
+        after = dict(before)
+        after["cycles"] = before["cycles"] / 2
+        ratios = compare_summaries(before, after)
+        assert ratios["cycles"] == pytest.approx(0.5)
+
+    def test_different_traces_rejected(self, result):
+        a = summarize(result)
+        b = dict(a)
+        b["trace"] = "other"
+        with pytest.raises(ValueError):
+            compare_summaries(a, b)

@@ -1,0 +1,66 @@
+"""Tests for the cross-model validation utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import DataType, TraceBuffer, gather_trace, random_trace, stream_trace
+from repro.validation import predicted_hit_ratio, validate_trace
+
+
+class TestExactAgreement:
+    def test_fully_associative_agrees_on_random(self):
+        report = validate_trace(random_trace(3000, region_bytes=1 << 18), 64)
+        assert report.agrees
+        assert report.conflict_miss_ratio == 0.0
+
+    def test_fully_associative_agrees_on_gather(self):
+        report = validate_trace(gather_trace(2000, property_region=1 << 16), 128)
+        assert report.agrees
+
+    def test_stream_no_line_reuse_beyond_first(self):
+        # 64-byte stride: every access a new line, no reuses at all.
+        report = validate_trace(stream_trace(500, step=64), 32)
+        assert report.predicted_hits == 0
+        assert report.simulated_hits == 0
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=300), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_exact_agreement(self, lines, capacity):
+        tb = TraceBuffer()
+        for line in lines:
+            tb.load(line * 64, DataType.PROPERTY)
+        report = validate_trace(tb.finalize(), capacity)
+        assert report.agrees
+
+
+class TestSetAssociative:
+    def test_set_associative_deviation_is_small(self):
+        # Set-associative LRU may deviate either way from the FA
+        # prediction (set partitioning is not strictly dominated), but on
+        # a uniform random stream the deviation must be tiny.
+        trace = random_trace(4000, region_bytes=1 << 18)
+        report = validate_trace(trace, 64, associativity=2)
+        assert abs(report.conflict_miss_ratio) < 0.02
+
+    def test_full_associativity_closes_the_gap(self):
+        trace = random_trace(4000, region_bytes=1 << 18, seed=4)
+        exact = validate_trace(trace, 64, associativity=64)
+        assert exact.agrees
+        assert exact.conflict_miss_ratio == 0.0
+
+
+class TestPredictedRatio:
+    def test_single_hot_line(self):
+        tb = TraceBuffer()
+        for _ in range(100):
+            tb.load(0, DataType.PROPERTY)
+        ratio = predicted_hit_ratio(tb.finalize(), capacity_lines=1)
+        assert ratio == pytest.approx(0.99)
+
+    def test_empty_trace(self):
+        assert predicted_hit_ratio(TraceBuffer().finalize(), 8) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            validate_trace(stream_trace(10), 0)

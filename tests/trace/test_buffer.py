@@ -1,0 +1,121 @@
+"""Unit tests for TraceBuffer / Trace."""
+
+import numpy as np
+import pytest
+
+from repro.trace import NO_DEP, DataType, Trace, TraceBuffer, TraceFull
+
+
+class TestTraceBuffer:
+    def test_append_returns_indices(self):
+        tb = TraceBuffer()
+        assert tb.load(0, DataType.STRUCTURE) == 0
+        assert tb.store(4, DataType.PROPERTY) == 1
+        assert len(tb) == 2
+
+    def test_capacity_enforced(self):
+        tb = TraceBuffer(capacity=2)
+        tb.load(0, DataType.STRUCTURE)
+        tb.load(4, DataType.STRUCTURE)
+        assert tb.full
+        with pytest.raises(TraceFull):
+            tb.load(8, DataType.STRUCTURE)
+
+    def test_zero_capacity(self):
+        tb = TraceBuffer(capacity=0)
+        with pytest.raises(TraceFull):
+            tb.load(0, DataType.STRUCTURE)
+
+    def test_dep_must_be_earlier(self):
+        tb = TraceBuffer()
+        tb.load(0, DataType.STRUCTURE)
+        with pytest.raises(ValueError):
+            tb.load(4, DataType.PROPERTY, dep=1)  # self-dep
+
+    def test_finalize_arrays(self):
+        tb = TraceBuffer(name="t")
+        a = tb.load(0, DataType.STRUCTURE, gap=2)
+        tb.load(100, DataType.PROPERTY, dep=a, gap=3)
+        t = tb.finalize()
+        assert t.name == "t"
+        assert t.num_refs == 2
+        assert t.num_instructions == 2 + 2 + 3
+        assert t.dep[1] == 0
+        assert t.kind.dtype == np.int8
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=-1)
+
+
+class TestSkip:
+    def test_skip_drops_leading_refs(self):
+        tb = TraceBuffer(skip=2)
+        for i in range(4):
+            tb.load(i * 4, DataType.STRUCTURE)
+        t = tb.finalize()
+        assert t.num_refs == 2
+        assert list(t.addr) == [8, 12]
+
+    def test_skip_rebases_deps(self):
+        tb = TraceBuffer(skip=2)
+        a = tb.load(0, DataType.STRUCTURE)   # skipped
+        b = tb.load(4, DataType.STRUCTURE)   # skipped
+        c = tb.load(8, DataType.STRUCTURE, dep=a)   # dep on skipped -> NO_DEP
+        tb.load(100, DataType.PROPERTY, dep=c)      # dep on recorded -> 0
+        t = tb.finalize()
+        assert t.dep[0] == NO_DEP
+        assert t.dep[1] == 0
+
+    def test_capacity_counts_recorded_only(self):
+        tb = TraceBuffer(capacity=2, skip=3)
+        for i in range(5):
+            tb.load(i, DataType.STRUCTURE)
+        assert tb.full
+        with pytest.raises(TraceFull):
+            tb.load(99, DataType.STRUCTURE)
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(skip=-1)
+
+
+class TestTrace:
+    def _trace(self):
+        tb = TraceBuffer()
+        a = tb.load(0, DataType.STRUCTURE, gap=1)
+        tb.load(100, DataType.PROPERTY, dep=a, gap=2)
+        tb.store(200, DataType.INTERMEDIATE, gap=0)
+        return tb.finalize()
+
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError):
+            Trace(
+                addr=np.zeros(2, dtype=np.int64),
+                kind=np.zeros(1, dtype=np.int8),
+                is_load=np.ones(2, dtype=bool),
+                dep=np.full(2, NO_DEP),
+                gap=np.zeros(2, dtype=np.int32),
+            )
+
+    def test_counts(self):
+        t = self._trace()
+        assert t.num_loads == 2
+        assert len(t) == 3
+
+    def test_ref_materialization(self):
+        t = self._trace()
+        r = t.ref(1)
+        assert r.kind is DataType.PROPERTY
+        assert r.dep == 0
+        assert r.addr == 100
+
+    def test_refs_iterates_all(self):
+        t = self._trace()
+        assert [r.index for r in t.refs()] == [0, 1, 2]
+
+    def test_slice_rebases_deps(self):
+        t = self._trace()
+        s = t.slice(1, 3)
+        assert len(s) == 2
+        assert s.dep[0] == NO_DEP  # producer fell outside the slice

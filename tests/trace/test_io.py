@@ -1,0 +1,52 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    DataType,
+    gather_trace,
+    load_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_arrays_preserved(self, tmp_path):
+        t = gather_trace(100)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        t2 = load_trace(path)
+        assert np.array_equal(t2.addr, t.addr)
+        assert np.array_equal(t2.kind, t.kind)
+        assert np.array_equal(t2.is_load, t.is_load)
+        assert np.array_equal(t2.dep, t.dep)
+        assert np.array_equal(t2.gap, t.gap)
+
+    def test_metadata_preserved(self, tmp_path):
+        t = gather_trace(10, name="gather")
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        t2 = load_trace(path)
+        assert t2.name == "gather"
+        assert t2.core == 0
+
+    def test_simulation_identical_after_roundtrip(self, tmp_path):
+        from repro.system import Machine, SystemConfig
+
+        t = gather_trace(2000)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        a = Machine(SystemConfig.scaled_baseline()).run(t)
+        b = Machine(SystemConfig.scaled_baseline()).run(load_trace(path))
+        assert a.cycles == b.cycles
+
+    def test_version_check(self, tmp_path):
+        t = gather_trace(5)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        data = dict(np.load(path))
+        data["version"] = np.int64(999)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,49 @@
+"""Unit tests for trace records."""
+
+import pytest
+
+from repro.trace import NO_DEP, DataType, MemRef
+
+
+class TestDataType:
+    def test_values_stable(self):
+        # The int values are baked into trace arrays; they must not move.
+        assert int(DataType.STRUCTURE) == 0
+        assert int(DataType.PROPERTY) == 1
+        assert int(DataType.INTERMEDIATE) == 2
+
+    def test_short_names(self):
+        assert DataType.STRUCTURE.short_name == "structure"
+        assert DataType.PROPERTY.short_name == "property"
+        assert DataType.INTERMEDIATE.short_name == "intermediate"
+
+    def test_int_keys_alias_enum_keys(self):
+        # Stats dicts rely on IntEnum hashing like plain ints.
+        d = {DataType.PROPERTY: 3}
+        assert d[1] == 3
+
+
+class TestMemRef:
+    def test_construction(self):
+        r = MemRef(index=5, addr=0x1000, kind=DataType.PROPERTY, is_load=True, dep=2, gap=1)
+        assert r.cache_line() == 0x1000 // 64
+
+    def test_cache_line_custom_size(self):
+        r = MemRef(0, 256, DataType.STRUCTURE, True, NO_DEP, 0)
+        assert r.cache_line(128) == 2
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef(0, -4, DataType.STRUCTURE, True, NO_DEP, 0)
+
+    def test_forward_dep_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef(3, 0, DataType.STRUCTURE, True, dep=3, gap=0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef(0, 0, DataType.STRUCTURE, True, NO_DEP, gap=-1)
+
+    def test_no_dep_allowed(self):
+        r = MemRef(0, 0, DataType.STRUCTURE, True, NO_DEP, 0)
+        assert r.dep == NO_DEP

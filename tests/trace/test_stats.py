@@ -1,0 +1,68 @@
+"""Unit tests for trace statistics and dependency roles."""
+
+from repro.trace import (
+    DataType,
+    TraceBuffer,
+    dependency_roles,
+    gather_trace,
+    trace_stats,
+)
+
+
+class TestTraceStats:
+    def test_composition(self):
+        tb = TraceBuffer()
+        a = tb.load(0, DataType.STRUCTURE)
+        tb.load(100, DataType.PROPERTY, dep=a)
+        tb.store(200, DataType.PROPERTY)
+        tb.load(300, DataType.INTERMEDIATE)
+        s = trace_stats(tb.finalize())
+        assert s.num_refs == 4
+        assert s.num_loads == 3
+        assert s.num_stores == 1
+        assert s.refs_by_type[DataType.PROPERTY] == 2
+        assert s.loads_with_dep == 1
+
+    def test_fractions(self):
+        t = gather_trace(10)
+        s = trace_stats(t)
+        assert abs(s.dependent_load_fraction - 0.5) < 1e-9
+        assert abs(s.type_fraction(DataType.STRUCTURE) - 0.5) < 1e-9
+
+    def test_empty_trace(self):
+        s = trace_stats(TraceBuffer().finalize())
+        assert s.dependent_load_fraction == 0.0
+        assert s.type_fraction(DataType.PROPERTY) == 0.0
+
+
+class TestDependencyRoles:
+    def test_gather_polarity(self):
+        """In the canonical gather pattern, structure produces and
+        property consumes — the paper's Observation #3/Fig. 6."""
+        roles = dependency_roles(gather_trace(50))
+        assert roles.producer_fraction(DataType.STRUCTURE) == 1.0
+        assert roles.consumer_fraction(DataType.STRUCTURE) == 0.0
+        assert roles.consumer_fraction(DataType.PROPERTY) == 1.0
+        assert roles.producer_fraction(DataType.PROPERTY) == 0.0
+
+    def test_store_dep_not_counted_as_consumer_load(self):
+        tb = TraceBuffer()
+        a = tb.load(0, DataType.STRUCTURE)
+        tb.store(100, DataType.PROPERTY, dep=a)
+        roles = dependency_roles(tb.finalize())
+        assert roles.consumers[DataType.PROPERTY] == 0
+        # A load consumed by only a store is not a producer of a *load*.
+        assert roles.producers[DataType.STRUCTURE] == 0
+
+    def test_chain_middle_is_both(self):
+        tb = TraceBuffer()
+        a = tb.load(0, DataType.PROPERTY)
+        b = tb.load(8, DataType.PROPERTY, dep=a)
+        tb.load(16, DataType.PROPERTY, dep=b)
+        roles = dependency_roles(tb.finalize())
+        assert roles.producers[DataType.PROPERTY] == 2
+        assert roles.consumers[DataType.PROPERTY] == 2
+
+    def test_empty(self):
+        roles = dependency_roles(TraceBuffer().finalize())
+        assert roles.producer_fraction(DataType.STRUCTURE) == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    NO_DEP,
+    DataType,
+    gather_trace,
+    mixed_type_trace,
+    pointer_chase_trace,
+    random_trace,
+    stream_trace,
+    strided_trace,
+)
+
+
+class TestStreamAndStride:
+    def test_stream_addresses(self):
+        t = stream_trace(5, start=100, step=4)
+        assert list(t.addr) == [100, 104, 108, 112, 116]
+
+    def test_stride(self):
+        t = strided_trace(4, start=0, stride=64)
+        assert list(t.addr) == [0, 64, 128, 192]
+
+    def test_all_loads_no_deps(self):
+        t = stream_trace(10)
+        assert t.num_loads == 10
+        assert (t.dep == NO_DEP).all()
+
+    def test_kind(self):
+        t = stream_trace(3, kind=DataType.PROPERTY)
+        assert (t.kind == int(DataType.PROPERTY)).all()
+
+
+class TestRandom:
+    def test_within_region(self):
+        t = random_trace(100, region_bytes=1 << 12, base=1 << 20)
+        assert t.addr.min() >= 1 << 20
+        assert t.addr.max() < (1 << 20) + (1 << 12)
+
+    def test_aligned(self):
+        t = random_trace(50)
+        assert (t.addr % 4 == 0).all()
+
+    def test_deterministic(self):
+        a = random_trace(20, seed=1)
+        b = random_trace(20, seed=1)
+        assert np.array_equal(a.addr, b.addr)
+
+
+class TestPointerChase:
+    def test_full_chain(self):
+        t = pointer_chase_trace(10)
+        assert t.dep[0] == NO_DEP
+        assert list(t.dep[1:]) == list(range(9))
+
+
+class TestGather:
+    def test_alternating_types(self):
+        t = gather_trace(5)
+        assert list(t.kind[::2]) == [int(DataType.STRUCTURE)] * 5
+        assert list(t.kind[1::2]) == [int(DataType.PROPERTY)] * 5
+
+    def test_property_depends_on_preceding_structure(self):
+        t = gather_trace(5)
+        assert list(t.dep[1::2]) == [0, 2, 4, 6, 8]
+
+
+class TestMixed:
+    def test_mix_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            mixed_type_trace(10, mix={DataType.STRUCTURE: 0.5})
+
+    def test_default_mix_types_present(self):
+        t = mixed_type_trace(300, seed=3)
+        kinds = set(t.kind.tolist())
+        assert kinds == {0, 1, 2}
+
+    def test_structure_portion_streams(self):
+        t = mixed_type_trace(200, seed=3)
+        struct_addrs = t.addr[t.kind == int(DataType.STRUCTURE)]
+        assert (np.diff(struct_addrs) == 4).all()

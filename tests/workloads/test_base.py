@@ -1,0 +1,77 @@
+"""Workload framework and registry tests."""
+
+import pytest
+
+from repro.trace import DataType
+from repro.workloads import (
+    PAPER_WORKLOAD_ORDER,
+    WORKLOADS,
+    WorkloadError,
+    all_workloads,
+    get_workload,
+)
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert PAPER_WORKLOAD_ORDER == ("BC", "BFS", "PR", "SSSP", "CC")
+
+    def test_get_workload_case_insensitive(self):
+        assert get_workload("pr").name == "PR"
+        assert get_workload("SSSP").name == "SSSP"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("kmeans")
+
+    def test_all_workloads(self):
+        names = [w.name for w in all_workloads()]
+        assert names == list(PAPER_WORKLOAD_ORDER)
+
+    def test_each_declares_gathered_property(self):
+        for name in WORKLOADS:
+            w = get_workload(name)
+            assert w.gathered_property in w.property_names
+
+
+class TestRunProtocol:
+    def test_empty_graph_rejected(self):
+        import numpy as np
+
+        from repro.graph import build_csr
+
+        g = build_csr(0, np.empty((0, 2)))
+        with pytest.raises(WorkloadError):
+            get_workload("PR").run(g)
+
+    def test_run_returns_trace_run(self, tiny_graph):
+        run = get_workload("PR").run(tiny_graph, max_refs=None, iterations=1)
+        assert run.workload == "PR"
+        assert run.dataset == "tiny"
+        assert not run.weighted
+        assert run.layout.graph is tiny_graph
+
+    def test_layout_has_declared_properties(self, tiny_graph):
+        for name in ("PR", "BFS", "CC", "BC"):
+            w = get_workload(name)
+            run = w.run(tiny_graph, max_refs=200)
+            assert set(w.property_names) <= set(run.layout.properties)
+
+    def test_recommended_skip_nonnegative(self, tiny_graph, weighted_graph):
+        for name in WORKLOADS:
+            w = get_workload(name)
+            g = weighted_graph if w.needs_weights else tiny_graph
+            assert w.recommended_skip(g) >= 0
+
+    def test_stack_accesses_present(self, tiny_graph):
+        run = get_workload("PR").run(tiny_graph, max_refs=None, iterations=1)
+        t = run.trace
+        stack = run.layout.stack
+        hits = sum(
+            1 for i in range(len(t)) if stack.contains(int(t.addr[i]))
+        )
+        assert hits >= tiny_graph.num_vertices  # one per loop iteration
+
+    def test_trace_types_within_enum(self, tiny_graph):
+        run = get_workload("BFS").run(tiny_graph, max_refs=None, source=0)
+        assert set(run.trace.kind.tolist()) <= {int(dt) for dt in DataType}

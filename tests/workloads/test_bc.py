@@ -1,0 +1,52 @@
+"""Betweenness Centrality correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BetweennessCentrality
+
+
+class TestCorrectness:
+    def test_traced_matches_reference(self, small_kron):
+        bc = BetweennessCentrality()
+        ref = bc.reference(small_kron, num_sources=1)
+        run = bc.run(small_kron, max_refs=None, num_sources=1)
+        assert run.completed
+        assert np.allclose(run.result, ref)
+
+    def test_matches_networkx_single_source(self, tiny_graph):
+        nx = pytest.importorskip("networkx")
+        bc = BetweennessCentrality()
+        # Use the same source the workload picks.
+        source = bc._sources(tiny_graph, 1)[0]
+        ours = bc.reference(tiny_graph, num_sources=1)
+        g = nx.DiGraph(list(tiny_graph.edges()))
+        theirs = nx.betweenness_centrality_subset(
+            g, sources=[source], targets=list(g.nodes), normalized=False
+        )
+        expected = np.array([theirs[v] for v in range(tiny_graph.num_vertices)])
+        assert np.allclose(ours, expected)
+
+    def test_path_graph_interior_vertices_highest(self):
+        from repro.graph import build_csr
+
+        # Path 0-1-2-3-4 (both directions): from source 0, vertex 1..3
+        # lie on all paths outward.
+        edges = []
+        for i in range(4):
+            edges += [(i, i + 1), (i + 1, i)]
+        g = build_csr(5, np.array(edges))
+        bc = BetweennessCentrality()
+        scores = bc.reference(g, num_sources=1)
+        source = bc._sources(g, 1)[0]
+        assert scores[source] == 0.0
+
+    def test_multiple_sources_accumulate(self, tiny_graph):
+        bc = BetweennessCentrality()
+        one = bc.reference(tiny_graph, num_sources=1)
+        two = bc.reference(tiny_graph, num_sources=2)
+        assert two.sum() >= one.sum()
+
+    def test_nonnegative(self, small_urand):
+        scores = BetweennessCentrality().reference(small_urand, num_sources=2)
+        assert (scores >= 0).all()

@@ -1,0 +1,166 @@
+"""BFS correctness and trace-shape tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import DataType
+from repro.workloads import BFS, default_source
+
+
+def parent_depths(graph, parent, source):
+    """Depth of each reached vertex implied by the parent array."""
+    n = graph.num_vertices
+    depth = np.full(n, -1)
+    depth[source] = 0
+    changed = True
+    while changed:
+        changed = False
+        for v in range(n):
+            if depth[v] == -1 and parent[v] != -1 and depth[parent[v]] != -1:
+                depth[v] = depth[parent[v]] + 1
+                changed = True
+    return depth
+
+
+class TestCorrectness:
+    def test_reference_matches_networkx_levels(self, tiny_graph):
+        nx = pytest.importorskip("networkx")
+        source = 0
+        parent = BFS().reference(tiny_graph, source=source)
+        g = nx.Graph(list(tiny_graph.edges()))
+        nx_depth = nx.single_source_shortest_path_length(g, source)
+        depth = parent_depths(tiny_graph, parent, source)
+        for v, d in nx_depth.items():
+            assert depth[v] == d
+
+    def test_traced_reaches_same_vertices(self, small_kron):
+        bfs = BFS()
+        src = default_source(small_kron)
+        ref = bfs.reference(small_kron, source=src)
+        run = bfs.run(small_kron, max_refs=None, source=src)
+        assert run.completed
+        assert ((run.result != -1) == (ref != -1)).all()
+
+    def test_traced_parents_are_valid_edges(self, tiny_graph):
+        run = BFS().run(tiny_graph, max_refs=None, source=0)
+        parent = run.result
+        for v in range(tiny_graph.num_vertices):
+            if parent[v] != -1 and parent[v] != v:
+                assert v in tiny_graph.neighbors_of(parent[v])
+
+    def test_traced_depths_are_shortest(self, small_road):
+        bfs = BFS()
+        src = default_source(small_road)
+        run = bfs.run(small_road, max_refs=None, source=src)
+        ref = bfs.reference(small_road, source=src)
+        ours = parent_depths(small_road, run.result, src)
+        theirs = parent_depths(small_road, ref, src)
+        assert (ours == theirs).all()
+
+    def test_unreached_marked(self, two_component_graph):
+        parent = BFS().reference(two_component_graph, source=0)
+        assert parent[3] == -1 and parent[4] == -1 and parent[5] == -1
+
+
+class TestDefaultSource:
+    def test_deterministic(self, small_kron):
+        assert default_source(small_kron) == default_source(small_kron)
+
+    def test_varies_with_seed(self, small_kron):
+        sources = {default_source(small_kron, seed=k) for k in range(8)}
+        assert len(sources) > 1
+
+    def test_nonzero_degree(self, small_kron):
+        assert small_kron.degree(default_source(small_kron)) > 0
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import build_csr
+
+        g = build_csr(3, np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            default_source(g)
+
+
+class TestTraceShape:
+    def test_uses_worklist_intermediate(self, tiny_graph):
+        run = BFS().run(tiny_graph, max_refs=None, source=0)
+        t = run.trace
+        kinds = set(t.kind.tolist())
+        assert int(DataType.INTERMEDIATE) in kinds
+        assert int(DataType.STRUCTURE) in kinds
+        assert int(DataType.PROPERTY) in kinds
+
+    def test_property_loads_follow_structure(self, tiny_graph):
+        run = BFS().run(tiny_graph, max_refs=None, source=0)
+        t = run.trace
+        prop = run.layout.properties["parent"]
+        deps = [
+            int(t.dep[i])
+            for i in range(len(t))
+            if t.is_load[i] and prop.contains(int(t.addr[i])) and t.dep[i] >= 0
+        ]
+        assert deps
+        assert all(t.kind[d] == int(DataType.STRUCTURE) for d in deps)
+
+
+class TestDirectionOptimizing:
+    """The GAP-style hybrid BFS (bottom-up sweeps for large frontiers).
+
+    Bottom-up parent selection needs undirected reachability, so these
+    tests use symmetric graphs only.
+    """
+
+    def test_same_reachability_and_depths(self, small_road):
+        bfs = BFS()
+        src = default_source(small_road)
+        td = bfs.run(small_road, max_refs=None, source=src)
+        do = bfs.run(
+            small_road, max_refs=None, source=src, direction_optimizing=True
+        )
+        assert ((td.result != -1) == (do.result != -1)).all()
+        td_depth = parent_depths(small_road, td.result, src)
+        do_depth = parent_depths(small_road, do.result, src)
+        assert (td_depth == do_depth).all()
+
+    def test_parents_are_valid_edges(self, tiny_graph):
+        run = BFS().run(
+            tiny_graph, max_refs=None, source=0, direction_optimizing=True, alpha=2
+        )
+        parent = run.result
+        for v in range(tiny_graph.num_vertices):
+            if parent[v] != -1 and parent[v] != v:
+                # Symmetric graph: the reverse edge exists as well.
+                assert v in tiny_graph.neighbors_of(parent[v])
+
+    def test_bottom_up_streams_structure_sequentially(self, small_road):
+        """With a huge frontier the sweep touches the CSR array in order —
+        the all-active access pattern the paper's GAP binaries exhibit."""
+        import numpy as np
+
+        bfs = BFS()
+        src = default_source(small_road)
+        do = bfs.run(
+            small_road, max_refs=None, source=src, direction_optimizing=True,
+            alpha=24,  # mesh wavefronts are narrow; force the switch
+        )
+        t = do.trace
+        struct_addrs = t.addr[t.kind == 0]
+        forward_steps = (np.diff(struct_addrs) > 0).mean()
+        # Mostly ascending (sequential sweeps dominate once bottom-up kicks in).
+        assert forward_steps > 0.6
+
+    def test_front_tags_traced_as_property(self, small_road):
+        bfs = BFS()
+        run = bfs.run(
+            small_road, max_refs=None, direction_optimizing=True, alpha=24
+        )
+        front = run.layout.properties["front"]
+        t = run.trace
+        touched = any(
+            front.contains(int(a))
+            for a in t.addr[t.kind == 1][:50_000]
+        )
+        assert touched
+
+    def test_gathered_properties_include_front(self):
+        assert BFS().gathered_properties == ("parent", "front")

@@ -1,0 +1,67 @@
+"""Connected Components correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import NO_DEP, DataType
+from repro.workloads import ConnectedComponents
+
+
+class TestCorrectness:
+    def test_two_components(self, two_component_graph):
+        cc = ConnectedComponents()
+        run = cc.run(two_component_graph, max_refs=None)
+        assert run.completed
+        assert list(run.result) == [0, 0, 0, 3, 3, 5]
+
+    def test_traced_matches_scipy(self, small_kron):
+        cc = ConnectedComponents()
+        ref = cc.reference(small_kron)
+        run = cc.run(small_kron, max_refs=None)
+        assert np.array_equal(run.result, ref)
+
+    def test_matches_networkx(self, tiny_graph):
+        nx = pytest.importorskip("networkx")
+        g = nx.Graph(list(tiny_graph.edges()))
+        comps = list(nx.connected_components(g))
+        ours = ConnectedComponents().reference(tiny_graph)
+        for comp in comps:
+            labels = {ours[v] for v in comp}
+            assert len(labels) == 1
+            assert labels == {min(comp)}
+
+    def test_single_component_road(self, small_road):
+        run = ConnectedComponents().run(small_road, max_refs=None)
+        assert (run.result == 0).all()
+
+    def test_labels_are_component_minima(self, small_urand):
+        cc = ConnectedComponents()
+        labels = cc.reference(small_urand)
+        # Every label must label itself.
+        assert (labels[labels] == labels).all()
+
+
+class TestTraceShape:
+    def test_pointer_jumping_chains(self, small_kron):
+        """The compression sweep creates property→property load chains."""
+        run = ConnectedComponents().run(small_kron, max_refs=None)
+        t = run.trace
+        chained_prop = 0
+        for i in range(len(t)):
+            d = int(t.dep[i])
+            if (
+                d != NO_DEP
+                and t.kind[i] == int(DataType.PROPERTY)
+                and t.kind[d] == int(DataType.PROPERTY)
+            ):
+                chained_prop += 1
+        assert chained_prop > 0
+
+    def test_sequential_structure_streaming(self, tiny_graph):
+        run = ConnectedComponents().run(tiny_graph, max_refs=None)
+        t = run.trace
+        struct_addrs = t.addr[t.kind == int(DataType.STRUCTURE)]
+        # Each hooking sweep walks the whole structure array in order.
+        per_sweep = tiny_graph.num_edges
+        first_sweep = struct_addrs[:per_sweep]
+        assert (np.diff(first_sweep) == 4).all()

@@ -1,0 +1,76 @@
+"""PageRank correctness and trace-shape tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import NO_DEP, DataType
+from repro.workloads import PageRank
+
+
+class TestCorrectness:
+    def test_traced_matches_reference(self, small_kron):
+        pr = PageRank()
+        ref = pr.reference(small_kron, iterations=3)
+        run = pr.run(small_kron, max_refs=None, iterations=3)
+        assert run.completed
+        assert np.allclose(run.result, ref)
+
+    def test_matches_networkx_on_symmetric_graph(self, tiny_graph):
+        nx = pytest.importorskip("networkx")
+        pr = PageRank()
+        ours = pr.reference(tiny_graph, damping=0.85, iterations=60)
+        g = nx.DiGraph(list(tiny_graph.edges()))
+        theirs = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=1000)
+        expected = np.array([theirs[v] for v in range(tiny_graph.num_vertices)])
+        assert np.allclose(ours, expected, atol=1e-6)
+
+    def test_scores_conserved_on_symmetric_graph(self, tiny_graph):
+        scores = PageRank().reference(tiny_graph, iterations=60)
+        assert abs(scores.sum() - 1.0) < 1e-6
+
+    def test_scores_positive_and_finite(self, small_urand):
+        scores = PageRank().reference(small_urand, iterations=5)
+        assert np.isfinite(scores).all()
+        assert (scores > 0).all()
+
+    def test_tolerance_early_exit(self, tiny_graph):
+        pr = PageRank()
+        loose = pr.reference(tiny_graph, iterations=100, tolerance=1e-3)
+        tight = pr.reference(tiny_graph, iterations=100, tolerance=0.0)
+        assert np.allclose(loose, tight, atol=1e-2)
+
+
+class TestTraceShape:
+    def test_gather_dependencies(self, tiny_graph):
+        run = PageRank().run(tiny_graph, max_refs=None, iterations=1)
+        t = run.trace
+        # Every property gather load depends on a structure load.
+        prop_region = run.layout.properties["contrib"]
+        for i in range(len(t)):
+            if (
+                t.is_load[i]
+                and t.kind[i] == int(DataType.PROPERTY)
+                and prop_region.contains(int(t.addr[i]))
+                and t.dep[i] != NO_DEP
+            ):
+                assert t.kind[t.dep[i]] == int(DataType.STRUCTURE)
+
+    def test_structure_addresses_sequential(self, tiny_graph):
+        run = PageRank().run(tiny_graph, max_refs=None, iterations=1)
+        t = run.trace
+        struct_addrs = t.addr[t.kind == int(DataType.STRUCTURE)]
+        assert (np.diff(struct_addrs) == 4).all()
+
+    def test_budget_truncates(self, small_kron):
+        run = PageRank().run(small_kron, max_refs=500)
+        assert not run.completed
+        assert run.result is None
+        assert len(run.trace) == 500
+
+    def test_recommended_skip_lands_in_gather(self, tiny_graph):
+        pr = PageRank()
+        skip = pr.recommended_skip(tiny_graph)
+        run = pr.run(tiny_graph, max_refs=None, skip_refs=skip, iterations=1)
+        t = run.trace
+        # The recorded window must contain structure accesses (gather phase).
+        assert (t.kind == int(DataType.STRUCTURE)).any()

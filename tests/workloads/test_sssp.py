@@ -1,0 +1,55 @@
+"""SSSP correctness tests against Dijkstra."""
+
+import numpy as np
+import pytest
+
+from repro.trace import DataType
+from repro.workloads import INF_DIST, SSSP, WorkloadError, default_source
+
+
+class TestCorrectness:
+    def test_known_tiny_distances(self, weighted_graph):
+        sssp = SSSP()
+        run = sssp.run(weighted_graph, max_refs=None, source=0)
+        assert run.completed
+        assert list(run.result) == [0, 2, 5, 6]
+
+    def test_traced_matches_dijkstra(self, small_kron_weighted):
+        sssp = SSSP()
+        src = default_source(small_kron_weighted)
+        ref = sssp.reference(small_kron_weighted, source=src)
+        run = sssp.run(small_kron_weighted, max_refs=None, source=src)
+        assert np.array_equal(run.result, ref)
+
+    @pytest.mark.parametrize("delta", [1, 16, 64, 1024])
+    def test_delta_invariance(self, weighted_graph, delta):
+        run = SSSP().run(weighted_graph, max_refs=None, source=0, delta=delta)
+        assert list(run.result) == [0, 2, 5, 6]
+
+    def test_unreachable_is_inf(self, weighted_graph):
+        run = SSSP().run(weighted_graph, max_refs=None, source=3)
+        assert run.result[0] == INF_DIST
+
+    def test_requires_weights(self, tiny_graph):
+        with pytest.raises(WorkloadError):
+            SSSP().run(tiny_graph)
+
+    def test_invalid_delta(self, weighted_graph):
+        with pytest.raises(ValueError):
+            SSSP().run(weighted_graph, max_refs=None, delta=0)
+
+
+class TestTraceShape:
+    def test_structure_stride_is_eight_bytes(self, weighted_graph):
+        """Weighted graphs use 8-byte structure entries (paper §V-C2)."""
+        run = SSSP().run(weighted_graph, max_refs=None, source=0)
+        assert run.layout.structure_element_size == 8
+        t = run.trace
+        struct = np.sort(np.unique(t.addr[t.kind == int(DataType.STRUCTURE)]))
+        assert ((np.diff(struct) % 8) == 0).all()
+
+    def test_bins_intermediate_traffic(self, small_kron_weighted):
+        run = SSSP().run(small_kron_weighted, max_refs=20_000)
+        t = run.trace
+        im = (t.kind == int(DataType.INTERMEDIATE)).sum()
+        assert im > 0
