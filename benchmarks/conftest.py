@@ -2,7 +2,11 @@
 
 The benchmark suite regenerates every table and figure of the paper at
 full reproduction scale.  Set ``REPRO_BENCH_QUICK=1`` to run the reduced
-matrix instead (useful for smoke-testing the harness).
+matrix instead (useful for smoke-testing the harness), and
+``REPRO_BENCH_WORKERS=N`` to fan the Fig. 4/11 simulation matrices out
+over ``N`` worker processes (results are bit-identical to serial runs).
+Traces come from the shared on-disk cache (``REPRO_TRACE_CACHE``), so a
+second benchmark run skips trace generation entirely.
 
 Results print as text tables; compare them against the paper-vs-measured
 record in EXPERIMENTS.md.
@@ -13,6 +17,7 @@ import os
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.runtime import SweepRunner
 
 
 @pytest.fixture(scope="session")
@@ -21,6 +26,19 @@ def bench_config() -> ExperimentConfig:
     if os.environ.get("REPRO_BENCH_QUICK"):
         return ExperimentConfig.quick()
     return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner | None:
+    """Parallel sweep runner when REPRO_BENCH_WORKERS asks for one.
+
+    ``None`` keeps the serial in-process path (the default), so cached
+    figure matrices stay shared across benchmark modules.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+    if workers < 2:
+        return None
+    return SweepRunner(workers=workers)
 
 
 @pytest.fixture

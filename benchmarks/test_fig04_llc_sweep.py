@@ -3,9 +3,13 @@
 from repro.experiments import run_fig04a, run_fig04b, run_fig04c
 
 
-def test_fig04a_llc_capacity(benchmark, bench_config, show):
+def test_fig04a_llc_capacity(benchmark, bench_config, show, sweep_runner):
     result = benchmark.pedantic(
-        run_fig04a, args=(bench_config,), rounds=1, iterations=1
+        run_fig04a,
+        args=(bench_config,),
+        kwargs={"runner": sweep_runner},
+        rounds=1,
+        iterations=1,
     )
     show(result)
     mean = result.rows[-1]
@@ -14,9 +18,13 @@ def test_fig04a_llc_capacity(benchmark, bench_config, show):
     assert mean["mpki_1x"] >= mean["mpki_2x"] >= mean["mpki_4x"] >= mean["mpki_8x"]
 
 
-def test_fig04b_l2_sweep(benchmark, bench_config, show, full_scale):
+def test_fig04b_l2_sweep(benchmark, bench_config, show, full_scale, sweep_runner):
     result = benchmark.pedantic(
-        run_fig04b, args=(bench_config,), rounds=1, iterations=1
+        run_fig04b,
+        args=(bench_config,),
+        kwargs={"runner": sweep_runner},
+        rounds=1,
+        iterations=1,
     )
     show(result)
     if full_scale:
@@ -25,9 +33,13 @@ def test_fig04b_l2_sweep(benchmark, bench_config, show, full_scale):
             assert abs(row["speedup_no-L2"] - 1.0) < 0.15
 
 
-def test_fig04c_offchip_by_type(benchmark, bench_config, show):
+def test_fig04c_offchip_by_type(benchmark, bench_config, show, sweep_runner):
     result = benchmark.pedantic(
-        run_fig04c, args=(bench_config,), rounds=1, iterations=1
+        run_fig04c,
+        args=(bench_config,),
+        kwargs={"runner": sweep_runner},
+        rounds=1,
+        iterations=1,
     )
     show(result)
     first, last = result.rows[0], result.rows[-1]

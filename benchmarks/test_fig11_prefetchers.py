@@ -7,9 +7,13 @@ the per-workload geomeans (Fig. 11b) print on completion.
 from repro.experiments import geomean, run_fig11a, run_fig11b
 
 
-def test_fig11a_per_cell(benchmark, bench_config, show):
+def test_fig11a_per_cell(benchmark, bench_config, show, sweep_runner):
     result = benchmark.pedantic(
-        run_fig11a, args=(bench_config,), rounds=1, iterations=1
+        run_fig11a,
+        args=(bench_config,),
+        kwargs={"runner": sweep_runner},
+        rounds=1,
+        iterations=1,
     )
     show(result)
     assert len(result.rows) == len(bench_config.workloads) * len(
@@ -17,9 +21,13 @@ def test_fig11a_per_cell(benchmark, bench_config, show):
     )
 
 
-def test_fig11b_geomeans(bench_config, show, benchmark, full_scale):
+def test_fig11b_geomeans(bench_config, show, benchmark, full_scale, sweep_runner):
     result = benchmark.pedantic(
-        run_fig11b, args=(bench_config,), rounds=1, iterations=1
+        run_fig11b,
+        args=(bench_config,),
+        kwargs={"runner": sweep_runner},
+        rounds=1,
+        iterations=1,
     )
     show(result)
     if full_scale:

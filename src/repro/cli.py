@@ -6,6 +6,10 @@ Commands
     Generate the Table III stand-in datasets and print their statistics.
 ``simulate``
     Trace one workload on one dataset and compare prefetcher setups.
+``sweep``
+    Run a (workload × dataset × setup) sweep — optionally across worker
+    processes — with trace caching, per-point error capture and
+    execution metrics.
 ``figure``
     Regenerate one paper figure (or ``all``) and print its table.
 ``tables``
@@ -69,9 +73,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--max-refs", type=int, default=150_000)
     p_sim.add_argument("--scale-shift", type=int, default=0)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a simulation sweep, optionally in parallel"
+    )
+    p_sweep.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(PAPER_WORKLOAD_ORDER),
+        choices=list(PAPER_WORKLOAD_ORDER),
+    )
+    p_sweep.add_argument(
+        "--datasets",
+        nargs="+",
+        default=list(PAPER_DATASET_NAMES),
+        choices=list(PAPER_DATASET_NAMES),
+    )
+    p_sweep.add_argument(
+        "--setups",
+        nargs="+",
+        default=["none", "stream", "streamMPP1", "droplet"],
+        choices=list(PREFETCH_CONFIG_NAMES),
+    )
+    p_sweep.add_argument("--max-refs", type=int, default=150_000)
+    p_sweep.add_argument("--scale-shift", type=int, default=0)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes; 0/1 runs serially in-process",
+    )
+    p_sweep.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="skip the on-disk trace cache for this sweep",
+    )
+    p_sweep.add_argument(
+        "--out", metavar="PATH", help="also write the JSON sweep report here"
+    )
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=sorted(_figure_runners()) + ["all"])
     p_fig.add_argument("--quick", action="store_true", help="reduced matrix")
+    p_fig.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for figures with parallel drivers (4/11)",
+    )
 
     sub.add_parser("tables", help="print Tables I-V and overhead report")
     return parser
@@ -122,14 +170,60 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.common import render_table
+    from .reporting import save_results_payload, summarize_sweep, sweep_table_rows
+    from .runtime import SweepPoint, SweepRunner
+
+    points = [
+        SweepPoint(
+            workload=workload,
+            dataset=dataset,
+            setup=setup,
+            max_refs=args.max_refs,
+            scale_shift=args.scale_shift,
+        )
+        for workload in args.workloads
+        for dataset in args.datasets
+        for setup in dict.fromkeys(["none", *args.setups])
+    ]
+    runner = SweepRunner(
+        workers=args.workers,
+        trace_cache=False if args.no_trace_cache else None,
+        return_full=False,
+    )
+    report = runner.run(points)
+    print(render_table(sweep_table_rows(report)))
+    print(report.metrics.to_text())
+    for failed in report.errors():
+        print("error at %s:" % failed.point.label)
+        print(failed.error.traceback.rstrip())
+    if args.out:
+        save_results_payload(summarize_sweep(report), args.out)
+        print("report written to %s" % args.out)
+    return 1 if report.errors() else 0
+
+
+#: Figure runners that accept a SweepRunner for parallel execution.
+_PARALLEL_FIGURES = {"fig04a", "fig04b", "fig04c", "fig11a", "fig11b"}
+
+
 def _cmd_figure(args) -> int:
     from .experiments.common import ExperimentConfig
 
     cfg = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    runner = None
+    if args.workers >= 2:
+        from .runtime import SweepRunner
+
+        runner = SweepRunner(workers=args.workers)
     runners = _figure_runners()
     names = sorted(runners) if args.name == "all" else [args.name]
     for name in names:
-        print(runners[name](cfg).to_text())
+        if runner is not None and name in _PARALLEL_FIGURES:
+            print(runners[name](cfg, runner=runner).to_text())
+        else:
+            print(runners[name](cfg).to_text())
         print()
     return 0
 
@@ -163,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "datasets": _cmd_datasets,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "figure": _cmd_figure,
         "tables": _cmd_tables,
     }

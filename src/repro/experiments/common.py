@@ -75,8 +75,22 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 # Caches
 # ----------------------------------------------------------------------
+# In-process memoization sits in front of the shared on-disk trace cache
+# (repro.runtime.trace_cache): first use in a process pays one disk load
+# (or one trace generation, stored for every later experiment and run).
 _GRAPH_CACHE: dict[tuple, CSRGraph] = {}
 _TRACE_CACHE: dict[tuple, TraceRun] = {}
+_DISK_CACHE = None
+
+
+def _disk_cache():
+    """The process-wide on-disk trace cache (lazily constructed)."""
+    global _DISK_CACHE
+    if _DISK_CACHE is None:
+        from ..runtime.trace_cache import TraceCache
+
+        _DISK_CACHE = TraceCache()
+    return _DISK_CACHE
 
 
 def get_graph(name: str, weighted: bool = False, scale_shift: int = 0) -> CSRGraph:
@@ -90,19 +104,31 @@ def get_graph(name: str, weighted: bool = False, scale_shift: int = 0) -> CSRGra
 def get_trace_run(
     workload: str, dataset: str, max_refs: int, scale_shift: int = 0
 ) -> TraceRun:
-    """Cached workload tracing with the workload's recommended warm-up skip."""
+    """Cached workload tracing with the workload's recommended warm-up skip.
+
+    Backed by the on-disk trace cache, so traces persist across processes
+    and runs; disable with ``REPRO_TRACE_CACHE=off`` (see
+    :mod:`repro.runtime.trace_cache` for the key/invalidation rules).
+    """
+    from ..runtime.points import TraceSpec
+
     key = (workload, dataset, max_refs, scale_shift)
     if key not in _TRACE_CACHE:
         w = get_workload(workload)
         graph = get_graph(dataset, weighted=w.needs_weights, scale_shift=scale_shift)
-        _TRACE_CACHE[key] = w.run(
-            graph, max_refs=max_refs, skip_refs=w.recommended_skip(graph)
+        spec = TraceSpec(
+            workload=w.name,
+            dataset=dataset,
+            max_refs=max_refs,
+            scale_shift=scale_shift,
         )
+        _TRACE_CACHE[key] = _disk_cache().get_or_trace(spec, graph=graph)[0]
     return _TRACE_CACHE[key]
 
 
 def clear_caches() -> None:
-    """Drop all cached graphs and traces (tests use this for isolation)."""
+    """Drop in-process cached graphs and traces (tests use this for
+    isolation); on-disk trace-cache entries are kept."""
     _GRAPH_CACHE.clear()
     _TRACE_CACHE.clear()
 

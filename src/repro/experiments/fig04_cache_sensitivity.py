@@ -10,7 +10,13 @@
 
 from __future__ import annotations
 
-from ..characterization.cache_sensitivity import l2_sweep, llc_sweep
+from ..characterization.cache_sensitivity import (
+    L2SweepPoint,
+    LLCSweepPoint,
+    l2_sweep,
+    llc_sweep,
+)
+from ..system.config import SystemConfig
 from ..trace.record import DataType
 from .common import ExperimentConfig, ExperimentResult, get_trace_run
 
@@ -20,17 +26,53 @@ __all__ = ["run_fig04a", "run_fig04b", "run_fig04c"]
 _SWEEP_CACHE: dict[tuple, list] = {}
 
 
-def _cached_llc_sweep(cfg, workload, dataset, multipliers):
+def _cached_llc_sweep(cfg, workload, dataset, multipliers, runner=None):
     key = (cfg, workload, dataset, multipliers)
     if key not in _SWEEP_CACHE:
-        run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
-        _SWEEP_CACHE[key] = llc_sweep(run, multipliers=multipliers)
+        if runner is not None:
+            _SWEEP_CACHE[key] = _llc_sweep_via_runner(
+                cfg, workload, dataset, multipliers, runner
+            )
+        else:
+            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+            _SWEEP_CACHE[key] = llc_sweep(run, multipliers=multipliers)
     return _SWEEP_CACHE[key]
+
+
+def _llc_sweep_via_runner(cfg, workload, dataset, multipliers, runner):
+    """Fig. 4a/4c sweep through the parallel runner (bit-matches serial)."""
+    from ..runtime.points import SweepPoint
+
+    base = SystemConfig.scaled_baseline()
+    points = [
+        SweepPoint(
+            workload=workload,
+            dataset=dataset,
+            setup="none",
+            max_refs=cfg.max_refs,
+            scale_shift=cfg.scale_shift,
+            llc_multiplier=mult,
+        )
+        for mult in multipliers
+    ]
+    report = runner.run(points, config=base)
+    report.raise_errors()
+    return [
+        LLCSweepPoint(
+            multiplier=mult,
+            size_bytes=base.l3.size_bytes * mult,
+            cycles=p.result.cycles,
+            llc_mpki=p.result.llc_mpki(),
+            offchip_fraction={dt: p.result.offchip_fraction(dt) for dt in DataType},
+        )
+        for mult, p in zip(multipliers, report.points)
+    ]
 
 
 def run_fig04a(
     cfg: ExperimentConfig | None = None,
     multipliers: tuple[int, ...] = (1, 2, 4, 8),
+    runner=None,
 ) -> ExperimentResult:
     """Fig. 4a: LLC MPKI and speedup vs. capacity."""
     cfg = cfg or ExperimentConfig()
@@ -42,7 +84,7 @@ def run_fig04a(
     count = 0
     for workload in cfg.workloads:
         for dataset in cfg.datasets:
-            points = _cached_llc_sweep(cfg, workload, dataset, multipliers)
+            points = _cached_llc_sweep(cfg, workload, dataset, multipliers, runner)
             base = points[0]
             row = {"workload": workload, "dataset": dataset}
             for point in points:
@@ -69,7 +111,48 @@ def run_fig04a(
     return out
 
 
-def run_fig04b(cfg: ExperimentConfig | None = None) -> ExperimentResult:
+#: Fig. 4b configurations: ``(label, size multiplier or None, assoc)``.
+_L2_CONFIGURATIONS = (
+    ("no-L2", None, 8),
+    ("1x", 1, 8),
+    ("2x", 2, 8),
+    ("1x-4xassoc", 1, 32),
+)
+
+
+def _l2_sweep_via_runner(cfg, workload, dataset, runner):
+    """Fig. 4b sweep through the parallel runner (bit-matches serial)."""
+    from ..runtime.points import SweepPoint
+
+    base = SystemConfig.scaled_baseline()
+    points = [
+        SweepPoint(
+            workload=workload,
+            dataset=dataset,
+            setup="none",
+            max_refs=cfg.max_refs,
+            scale_shift=cfg.scale_shift,
+            l2_config=(mult, assoc),
+        )
+        for _, mult, assoc in _L2_CONFIGURATIONS
+    ]
+    report = runner.run(points, config=base)
+    report.raise_errors()
+    return [
+        L2SweepPoint(
+            label=label,
+            size_bytes=None if mult is None else base.l2.size_bytes * mult,
+            associativity=assoc,
+            cycles=p.result.cycles,
+            l2_hit_rate=p.result.l2_hit_rate(),
+        )
+        for (label, mult, assoc), p in zip(_L2_CONFIGURATIONS, report.points)
+    ]
+
+
+def run_fig04b(
+    cfg: ExperimentConfig | None = None, runner=None
+) -> ExperimentResult:
     """Fig. 4b: private-L2 configuration sweep (including no L2)."""
     cfg = cfg or ExperimentConfig()
     out = ExperimentResult(
@@ -77,8 +160,13 @@ def run_fig04b(cfg: ExperimentConfig | None = None) -> ExperimentResult:
     )
     for workload in cfg.workloads:
         for dataset in cfg.datasets:
-            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
-            points = l2_sweep(run)
+            if runner is not None:
+                points = _l2_sweep_via_runner(cfg, workload, dataset, runner)
+            else:
+                run = get_trace_run(
+                    workload, dataset, cfg.max_refs, cfg.scale_shift
+                )
+                points = l2_sweep(run)
             baseline = next(p for p in points if p.label == "1x")
             row = {"workload": workload, "dataset": dataset}
             for point in points:
@@ -96,6 +184,7 @@ def run_fig04b(cfg: ExperimentConfig | None = None) -> ExperimentResult:
 def run_fig04c(
     cfg: ExperimentConfig | None = None,
     multipliers: tuple[int, ...] = (1, 2, 4, 8),
+    runner=None,
 ) -> ExperimentResult:
     """Fig. 4c: off-chip access fraction per data type vs. LLC size."""
     cfg = cfg or ExperimentConfig()
@@ -109,7 +198,7 @@ def run_fig04c(
     count = 0
     for workload in cfg.workloads:
         for dataset in cfg.datasets:
-            for point in _cached_llc_sweep(cfg, workload, dataset, multipliers):
+            for point in _cached_llc_sweep(cfg, workload, dataset, multipliers, runner):
                 for dt in DataType:
                     sums[point.multiplier][dt] += point.offchip_fraction[dt]
             count += 1

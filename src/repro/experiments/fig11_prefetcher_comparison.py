@@ -15,11 +15,17 @@ __all__ = ["run_fig11a", "run_fig11b"]
 
 
 def run_fig11a(
-    cfg: ExperimentConfig | None = None, setups: tuple[str, ...] = MATRIX_SETUPS
+    cfg: ExperimentConfig | None = None,
+    setups: tuple[str, ...] = MATRIX_SETUPS,
+    runner=None,
 ) -> ExperimentResult:
-    """Fig. 11a: speedup per (workload, dataset) for each configuration."""
+    """Fig. 11a: speedup per (workload, dataset) for each configuration.
+
+    ``runner`` (a :class:`~repro.runtime.sweep.SweepRunner`) parallelizes
+    the underlying simulation matrix.
+    """
     cfg = cfg or ExperimentConfig()
-    matrix = get_prefetch_matrix(cfg, setups)
+    matrix = get_prefetch_matrix(cfg, setups, runner=runner)
     out = ExperimentResult(
         experiment="fig11a", title="Speedup over no-prefetch baseline"
     )
@@ -38,11 +44,13 @@ def run_fig11a(
 
 
 def run_fig11b(
-    cfg: ExperimentConfig | None = None, setups: tuple[str, ...] = MATRIX_SETUPS
+    cfg: ExperimentConfig | None = None,
+    setups: tuple[str, ...] = MATRIX_SETUPS,
+    runner=None,
 ) -> ExperimentResult:
     """Fig. 11b: per-workload geomean speedups across datasets."""
     cfg = cfg or ExperimentConfig()
-    matrix = get_prefetch_matrix(cfg, setups)
+    matrix = get_prefetch_matrix(cfg, setups, runner=runner)
     out = ExperimentResult(
         experiment="fig11b", title="Geomean speedup per workload (Fig. 11b)"
     )

@@ -14,7 +14,12 @@ from ..system.machine import SimResult
 from ..system.runner import simulate
 from .common import ExperimentConfig, get_trace_run
 
-__all__ = ["get_prefetch_matrix", "MATRIX_SETUPS", "clear_matrix_cache"]
+__all__ = [
+    "get_prefetch_matrix",
+    "matrix_points",
+    "MATRIX_SETUPS",
+    "clear_matrix_cache",
+]
 
 #: All prefetcher configurations of Fig. 11, in plot order.
 MATRIX_SETUPS = PREFETCH_CONFIG_NAMES
@@ -22,27 +27,56 @@ MATRIX_SETUPS = PREFETCH_CONFIG_NAMES
 _MATRIX_CACHE: dict[tuple, dict[tuple[str, str, str], SimResult]] = {}
 
 
+def matrix_points(
+    cfg: ExperimentConfig, setups: tuple[str, ...] = MATRIX_SETUPS
+):
+    """The matrix as :class:`~repro.runtime.points.SweepPoint` objects."""
+    from ..runtime.points import SweepPoint
+
+    return [
+        SweepPoint(
+            workload=workload,
+            dataset=dataset,
+            setup=setup,
+            max_refs=cfg.max_refs,
+            scale_shift=cfg.scale_shift,
+        )
+        for workload in cfg.workloads
+        for dataset in cfg.datasets
+        for setup in setups
+    ]
+
+
 def get_prefetch_matrix(
     cfg: ExperimentConfig,
     setups: tuple[str, ...] = MATRIX_SETUPS,
     system: SystemConfig | None = None,
+    runner=None,
 ) -> dict[tuple[str, str, str], SimResult]:
     """Simulate (and cache) the full comparison matrix.
+
+    With a :class:`~repro.runtime.sweep.SweepRunner`, the matrix points
+    fan out across its workers (results are bit-identical to the serial
+    path); serially, traces come from the shared per-process cache.
 
     Returns ``{(workload, dataset, setup): SimResult}``.
     """
     key = (cfg, tuple(setups), system)
     if key in _MATRIX_CACHE:
         return _MATRIX_CACHE[key]
-    system = system or SystemConfig.scaled_baseline()
-    matrix: dict[tuple[str, str, str], SimResult] = {}
-    for workload in cfg.workloads:
-        for dataset in cfg.datasets:
-            run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
-            for setup in setups:
-                matrix[(workload, dataset, setup)] = simulate(
-                    run, config=system, setup=setup
-                )
+    if runner is not None:
+        report = runner.run(matrix_points(cfg, setups), config=system)
+        matrix = report.results_by_key()
+    else:
+        system = system or SystemConfig.scaled_baseline()
+        matrix = {}
+        for workload in cfg.workloads:
+            for dataset in cfg.datasets:
+                run = get_trace_run(workload, dataset, cfg.max_refs, cfg.scale_shift)
+                for setup in setups:
+                    matrix[(workload, dataset, setup)] = simulate(
+                        run, config=system, setup=setup
+                    )
     _MATRIX_CACHE[key] = matrix
     return matrix
 

@@ -18,13 +18,19 @@ from .trace.record import DataType
 
 __all__ = [
     "summarize",
+    "summarize_sweep",
+    "sweep_table_rows",
     "save_results",
+    "save_results_payload",
     "load_results",
     "compare_summaries",
 ]
 
 #: Format marker for saved result files.
 RESULTS_FORMAT = "repro-results-v1"
+
+#: Format marker for saved sweep reports.
+SWEEP_FORMAT = "repro-sweep-v1"
 
 
 def summarize(result: SimResult) -> dict:
@@ -58,9 +64,74 @@ def summarize(result: SimResult) -> dict:
     return summary
 
 
+def summarize_sweep(report) -> dict:
+    """Flatten a :class:`~repro.runtime.sweep.SweepReport` to JSON-safe form.
+
+    Carries the execution metrics (wall time, worker utilization,
+    trace-cache hits/misses) next to the per-point summaries and error
+    records, so archived sweeps double as performance logs.
+    """
+    return {
+        "format": SWEEP_FORMAT,
+        "metrics": report.metrics.as_dict(),
+        "points": [p.as_dict() for p in report.points],
+    }
+
+
+def sweep_table_rows(report) -> list[dict]:
+    """Report rows for one sweep: headline metrics per point.
+
+    Adds a ``speedup`` column over the same (workload, dataset) pair's
+    ``none`` setup when that baseline is part of the sweep.  Failed
+    points render with their error in place of metrics.
+    """
+    baselines = {
+        (p.point.workload, p.point.dataset): p.summary["cycles"]
+        for p in report.points
+        if p.ok and p.point.setup == "none" and p.point.llc_multiplier is None
+        and p.point.l2_config is None
+    }
+    rows: list[dict] = []
+    for p in report.points:
+        row: dict = {
+            "workload": p.point.workload,
+            "dataset": p.point.dataset,
+            "setup": p.point.setup,
+        }
+        if p.ok:
+            s = p.summary
+            base = baselines.get((p.point.workload, p.point.dataset))
+            row.update(
+                cycles=round(s["cycles"], 1),
+                ipc=round(s["ipc"], 3),
+                llc_mpki=round(s["llc_mpki"], 2),
+                l2_hit=round(s["l2_hit_rate"], 3),
+                bpki=round(s["bpki"], 1),
+                speedup=(
+                    round(base / s["cycles"], 3)
+                    if base and s["cycles"]
+                    else None
+                ),
+                time_s=round(p.wall_time, 3),
+                cached=(
+                    "" if p.trace_cache_hit is None
+                    else ("hit" if p.trace_cache_hit else "miss")
+                ),
+            )
+        else:
+            row["error"] = "%s: %s" % (p.error.kind, p.error.message)
+        rows.append(row)
+    return rows
+
+
 def save_results(summaries: list[dict], path: str | Path) -> None:
     """Write a list of summaries (or any JSON-safe dicts) to disk."""
     payload = {"format": RESULTS_FORMAT, "results": summaries}
+    save_results_payload(payload, path)
+
+
+def save_results_payload(payload: dict, path: str | Path) -> None:
+    """Write an already-formatted payload (results or sweep report)."""
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 

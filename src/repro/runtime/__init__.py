@@ -1,0 +1,41 @@
+"""Sweep execution runtime: parallel runners and the on-disk trace cache.
+
+The experiment layer describes *what* to simulate; this package owns
+*how* simulation points execute:
+
+* :mod:`repro.runtime.points` — picklable descriptions of one traced
+  workload (:class:`TraceSpec`) and one simulation (:class:`SweepPoint`),
+  plus structured per-point outcomes (:class:`PointResult`).
+* :mod:`repro.runtime.trace_cache` — a content-addressed on-disk cache of
+  finalized traces, keyed by workload + generator parameters + seed +
+  format versions, so traces are regenerated once across experiments,
+  processes and runs.
+* :mod:`repro.runtime.sweep` — :class:`SweepRunner`, which fans points
+  out over a :class:`~concurrent.futures.ProcessPoolExecutor` (or runs
+  them serially) with deterministic result ordering, per-point error
+  capture and wall-time/cache/utilization metrics.
+"""
+
+from .points import PointError, PointResult, SweepPoint, TraceSpec
+from .sweep import SweepError, SweepMetrics, SweepReport, SweepRunner
+from .trace_cache import (
+    CACHE_FORMAT_VERSION,
+    TraceCache,
+    default_cache_root,
+    trace_key,
+)
+
+__all__ = [
+    "PointError",
+    "PointResult",
+    "SweepPoint",
+    "TraceSpec",
+    "SweepError",
+    "SweepMetrics",
+    "SweepReport",
+    "SweepRunner",
+    "CACHE_FORMAT_VERSION",
+    "TraceCache",
+    "default_cache_root",
+    "trace_key",
+]

@@ -1,0 +1,204 @@
+"""Picklable sweep-point descriptions and structured outcomes.
+
+A :class:`TraceSpec` names one traced workload run by *parameters* rather
+than by materialized arrays, so it can cross process boundaries cheaply
+and serve as a content-address for the on-disk trace cache.  A
+:class:`SweepPoint` adds the machine side (prefetcher setup, optional
+cache-geometry variant).  Workers return :class:`PointResult` objects:
+either a simulation result/summary or a structured :class:`PointError` —
+one failed point never kills the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.base import TraceRun
+
+__all__ = ["TraceSpec", "SweepPoint", "PointError", "PointResult"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters that fully determine one traced workload run.
+
+    Tracing is deterministic given these fields: the graph generators are
+    seeded (``seed=None`` selects the dataset's paper-default seed), the
+    layout allocator is a deterministic bump allocator, and the warm-up
+    skip is always the workload's ``recommended_skip``.  Two equal specs
+    therefore produce bit-identical traces, which is what makes the
+    on-disk cache and the parallel runner safe.
+    """
+
+    workload: str
+    dataset: str
+    max_refs: int = 200_000
+    scale_shift: int = 0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", self.workload.upper())
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the traced graph carries edge weights (workload-driven)."""
+        from ..workloads.registry import get_workload
+
+        return get_workload(self.workload).needs_weights
+
+    def key_fields(self) -> dict:
+        """The identity fields hashed into the cache key."""
+        return {
+            "workload": self.workload,
+            "dataset": self.dataset,
+            "max_refs": self.max_refs,
+            "scale_shift": self.scale_shift,
+            "seed": self.seed,
+            "weighted": self.weighted,
+        }
+
+    def build_graph(self):
+        """Deterministically (re)build the spec's graph."""
+        from ..graph.generators import make_dataset
+
+        return make_dataset(
+            self.dataset,
+            scale_shift=self.scale_shift,
+            weighted=self.weighted,
+            seed=self.seed,
+        )
+
+    def trace(self, graph=None) -> TraceRun:
+        """Trace the workload (no caching); ``graph`` skips regeneration."""
+        from ..workloads.registry import get_workload
+
+        workload = get_workload(self.workload)
+        if graph is None:
+            graph = self.build_graph()
+        return workload.run(
+            graph,
+            max_refs=self.max_refs,
+            skip_refs=workload.recommended_skip(graph),
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation: a trace spec plus the machine-side knobs.
+
+    ``llc_multiplier`` and ``l2_config`` express the Fig. 4 cache-geometry
+    variants relative to the sweep's base config: ``llc_multiplier``
+    scales the shared LLC with CACTI latencies, ``l2_config`` is a
+    ``(size multiplier | None, associativity)`` pair where ``None``
+    removes the private L2 entirely.
+    """
+
+    workload: str
+    dataset: str
+    setup: str = "none"
+    max_refs: int = 200_000
+    scale_shift: int = 0
+    seed: int | None = None
+    multi_property: bool = False
+    llc_multiplier: int | None = None
+    l2_config: tuple[int | None, int] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", self.workload.upper())
+
+    @property
+    def trace_spec(self) -> TraceSpec:
+        """The trace identity of this point (machine knobs stripped)."""
+        return TraceSpec(
+            workload=self.workload,
+            dataset=self.dataset,
+            max_refs=self.max_refs,
+            scale_shift=self.scale_shift,
+            seed=self.seed,
+        )
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The ``(workload, dataset, setup)`` triple experiments index by."""
+        return (self.workload, self.dataset, self.setup)
+
+    @property
+    def label(self) -> str:
+        """Human-readable point label for reports and error messages."""
+        parts = ["%s/%s/%s" % (self.workload, self.dataset, self.setup)]
+        if self.llc_multiplier is not None:
+            parts.append("llc%dx" % self.llc_multiplier)
+        if self.l2_config is not None:
+            mult, assoc = self.l2_config
+            parts.append("no-l2" if mult is None else "l2:%dx/%d" % (mult, assoc))
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class PointError:
+    """Structured record of one failed point (picklable, JSON-friendly)."""
+
+    kind: str
+    message: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "PointError":
+        import traceback as tb
+
+        return cls(
+            kind=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                tb.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (traceback included for log archival)."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point.
+
+    Exactly one of ``summary``/``error`` is set.  ``result`` (the full
+    :class:`~repro.system.machine.SimResult`) is carried only when the
+    runner was built with ``return_full=True``; summaries are always
+    present for successful points so sweeps stay cheap to ship across
+    process boundaries.
+    """
+
+    point: SweepPoint
+    summary: dict | None = None
+    result: object | None = None
+    error: PointError | None = None
+    wall_time: float = 0.0
+    trace_cache_hit: bool | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point simulated successfully."""
+        return self.error is None
+
+    def as_dict(self) -> dict:
+        """JSON-safe form used by ``reporting.summarize_sweep``."""
+        out: dict = {
+            "workload": self.point.workload,
+            "dataset": self.point.dataset,
+            "setup": self.point.setup,
+            "label": self.point.label,
+            "ok": self.ok,
+            "wall_time": self.wall_time,
+            "trace_cache_hit": self.trace_cache_hit,
+        }
+        if self.summary is not None:
+            out["summary"] = self.summary
+        if self.error is not None:
+            out["error"] = self.error.as_dict()
+        return out

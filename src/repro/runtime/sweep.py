@@ -1,0 +1,407 @@
+"""Parallel sweep execution with deterministic ordering and metrics.
+
+:class:`SweepRunner` executes a list of :class:`~repro.runtime.points.SweepPoint`
+descriptions either serially in-process or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Guarantees:
+
+* **Determinism** — results come back in submission order and are
+  bit-identical to the serial path (traces are regenerated or
+  cache-loaded identically in every worker; ``Machine`` state never
+  crosses points).
+* **Error isolation** — a failing point yields a structured
+  :class:`~repro.runtime.points.PointError` inside its
+  :class:`~repro.runtime.points.PointResult`; the rest of the sweep
+  completes.
+* **Metrics** — per-point wall time, trace-cache hit/miss counts, trace
+  generation counts and aggregate worker utilization, carried on the
+  returned :class:`SweepReport`.
+
+On a cold cache the runner first warms the trace cache over the sweep's
+*unique* trace specs (in parallel), so the simulation phase never traces
+the same workload twice across workers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .points import PointError, PointResult, SweepPoint, TraceSpec
+from .trace_cache import TraceCache, trace_key
+
+__all__ = ["SweepRunner", "SweepReport", "SweepMetrics", "SweepError"]
+
+
+class SweepError(RuntimeError):
+    """Raised by :meth:`SweepReport.raise_errors` when any point failed."""
+
+
+@dataclass
+class SweepMetrics:
+    """Aggregate execution metrics of one sweep."""
+
+    workers: int = 1
+    total_points: int = 0
+    errors: int = 0
+    elapsed: float = 0.0
+    point_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    traces_generated: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the worker pool: Σ point time / (elapsed × workers)."""
+        denominator = self.elapsed * max(self.workers, 1)
+        return self.point_time / denominator if denominator > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "workers": self.workers,
+            "total_points": self.total_points,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed,
+            "point_time_s": self.point_time,
+            "utilization": self.utilization,
+            "trace_cache_hits": self.cache_hits,
+            "trace_cache_misses": self.cache_misses,
+            "traces_generated": self.traces_generated,
+        }
+
+    def to_text(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            "%d points (%d errors) in %.2fs wall / %.2fs cpu, "
+            "%d workers at %.0f%% utilization, trace cache %d hits / %d misses"
+            % (
+                self.total_points,
+                self.errors,
+                self.elapsed,
+                self.point_time,
+                self.workers,
+                100.0 * self.utilization,
+                self.cache_hits,
+                self.cache_misses,
+            )
+        )
+
+
+@dataclass
+class SweepReport:
+    """Ordered point results plus sweep-level metrics."""
+
+    points: list[PointResult] = field(default_factory=list)
+    metrics: SweepMetrics = field(default_factory=SweepMetrics)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def ok(self) -> bool:
+        """Whether every point simulated successfully."""
+        return all(p.ok for p in self.points)
+
+    def errors(self) -> list[PointResult]:
+        """The failed points, in sweep order."""
+        return [p for p in self.points if not p.ok]
+
+    def raise_errors(self) -> None:
+        """Raise :class:`SweepError` summarizing any failed points."""
+        failed = self.errors()
+        if failed:
+            lines = [
+                "%s: %s: %s" % (p.point.label, p.error.kind, p.error.message)
+                for p in failed
+            ]
+            raise SweepError(
+                "%d/%d sweep points failed:\n%s"
+                % (len(failed), len(self.points), "\n".join(lines))
+            )
+
+    def summaries(self) -> list[dict]:
+        """Summaries of the successful points, in sweep order."""
+        return [p.summary for p in self.points if p.ok]
+
+    def by_key(self) -> dict[tuple[str, str, str], PointResult]:
+        """Results keyed by ``(workload, dataset, setup)``."""
+        return {p.point.key: p for p in self.points}
+
+    def results_by_key(self) -> dict[tuple[str, str, str], object]:
+        """Full ``SimResult`` objects keyed by ``(workload, dataset, setup)``.
+
+        Only available when the runner was built with ``return_full=True``
+        and every point succeeded.
+        """
+        self.raise_errors()
+        out = {}
+        for p in self.points:
+            if p.result is None:
+                raise SweepError(
+                    "point %s carries no full result (runner built with "
+                    "return_full=False)" % p.point.label
+                )
+            out[p.point.key] = p.result
+        return out
+
+
+# ----------------------------------------------------------------------
+# Point execution (shared by the serial path and the worker processes)
+# ----------------------------------------------------------------------
+def resolve_point_config(point: SweepPoint, base):
+    """Apply a point's cache-geometry variant to the sweep's base config."""
+    config = base
+    if point.llc_multiplier is not None:
+        config = config.with_llc_multiplier(point.llc_multiplier)
+    if point.l2_config is not None:
+        mult, assoc = point.l2_config
+        if base.l2 is None:
+            raise ValueError("l2_config variant requires a base config with an L2")
+        size = None if mult is None else base.l2.size_bytes * mult
+        config = config.with_l2(size, assoc)
+    return config
+
+
+def _fetch_trace(spec: TraceSpec, cache: TraceCache, memo: dict):
+    """Cached trace lookup: in-memory memo first, then disk, then trace.
+
+    Returns ``(run, hit, generated)`` where ``hit`` covers both memo and
+    disk hits and ``generated`` flags an actual (re-)trace.
+    """
+    key = trace_key(spec)
+    run = memo.get(key)
+    if run is not None:
+        return run, True, False
+    run, hit = cache.get_or_trace(spec)
+    memo[key] = run
+    return run, hit, not hit
+
+
+def _execute_point(
+    point: SweepPoint, config, cache: TraceCache, memo: dict, return_full: bool
+) -> PointResult:
+    """Run one point, capturing any failure as a structured error."""
+    from ..reporting import summarize
+    from ..system.runner import simulate
+
+    start = time.perf_counter()
+    hit: bool | None = None
+    try:
+        run, hit, _generated = _fetch_trace(point.trace_spec, cache, memo)
+        result = simulate(
+            run,
+            config=resolve_point_config(point, config),
+            setup=point.setup,
+            multi_property=point.multi_property,
+        )
+        return PointResult(
+            point=point,
+            summary=summarize(result),
+            result=result if return_full else None,
+            wall_time=time.perf_counter() - start,
+            trace_cache_hit=hit,
+        )
+    except Exception as exc:
+        return PointResult(
+            point=point,
+            error=PointError.from_exception(exc),
+            wall_time=time.perf_counter() - start,
+            trace_cache_hit=hit,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module-level so it pickles)
+# ----------------------------------------------------------------------
+_WORKER_CACHE: TraceCache | None = None
+_WORKER_MEMO: dict = {}
+
+
+def _worker_init(cache_root: str | None) -> None:
+    """Process-pool initializer: bind the worker's trace cache."""
+    global _WORKER_CACHE, _WORKER_MEMO
+    _WORKER_CACHE = TraceCache(cache_root, enabled=cache_root is not None)
+    _WORKER_MEMO = {}
+
+
+def _worker_warm(spec: TraceSpec) -> tuple[bool, float]:
+    """Phase-1 task: ensure ``spec``'s trace exists on disk.
+
+    Returns ``(was_hit, seconds)`` for the runner's metrics.
+    """
+    start = time.perf_counter()
+    run, hit, _generated = _fetch_trace(spec, _WORKER_CACHE, _WORKER_MEMO)
+    del run
+    return hit, time.perf_counter() - start
+
+
+def _worker_execute(point: SweepPoint, config, return_full: bool) -> PointResult:
+    """Phase-2 task: simulate one point inside a worker process."""
+    return _execute_point(point, config, _WORKER_CACHE, _WORKER_MEMO, return_full)
+
+
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Executes sweeps of simulation points, serially or across processes.
+
+    Parameters
+    ----------
+    workers:
+        ``None``, 0 or 1 → run serially in-process.  ``>= 2`` → fan out
+        over a process pool of that size.
+    trace_cache:
+        A :class:`TraceCache` to share, ``None`` for the default on-disk
+        cache (``$REPRO_TRACE_CACHE`` / ``~/.cache/repro/traces``), or
+        ``False`` to disable disk caching (traces regenerate per run).
+    return_full:
+        Carry full :class:`~repro.system.machine.SimResult` objects on
+        each :class:`PointResult` (needed by the figure drivers).  Turn
+        off for metric-only sweeps to keep inter-process traffic small.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        trace_cache: TraceCache | bool | None = None,
+        return_full: bool = True,
+    ):
+        self.workers = int(workers or 0)
+        if trace_cache is False:
+            trace_cache = TraceCache(enabled=False)
+        elif trace_cache is None:
+            trace_cache = TraceCache()
+        self.trace_cache = trace_cache
+        self.return_full = return_full
+        self._memo: dict = {}
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this runner fans out over a process pool."""
+        return self.workers >= 2
+
+    def clear_memo(self) -> None:
+        """Drop in-memory trace memoization (disk entries are kept)."""
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    def run(self, points, config=None) -> SweepReport:
+        """Execute ``points`` and return an ordered :class:`SweepReport`.
+
+        The base :class:`~repro.system.config.SystemConfig` is resolved
+        exactly once here (per-point variants derive from it); every
+        point gets a fresh ``Machine``, so no simulator state leaks
+        between points in either execution mode.
+        """
+        from ..system.config import SystemConfig
+
+        points = list(points)
+        config = config or SystemConfig.scaled_baseline()
+        start = time.perf_counter()
+        if self.parallel and points:
+            results, warm_stats = self._run_parallel(points, config)
+        else:
+            results = [
+                _execute_point(
+                    p, config, self.trace_cache, self._memo, self.return_full
+                )
+                for p in points
+            ]
+            warm_stats = []
+        metrics = self._collect_metrics(
+            results, warm_stats, time.perf_counter() - start
+        )
+        return SweepReport(points=results, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, points, config):
+        root = (
+            str(self.trace_cache.root)
+            if self.trace_cache.enabled
+            else None
+        )
+        warm_stats: list[tuple[bool, float]] = []
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(root,),
+        ) as pool:
+            if root is not None:
+                # Warm phase: trace each unique spec once across the pool
+                # so the simulation phase never re-traces concurrently.
+                unique = list(dict.fromkeys(p.trace_spec for p in points))
+                warm_stats = list(pool.map(_worker_warm, unique))
+            futures = [
+                pool.submit(_worker_execute, p, config, self.return_full)
+                for p in points
+            ]
+            results = [f.result() for f in futures]
+        return results, warm_stats
+
+    def _collect_metrics(self, results, warm_stats, elapsed) -> SweepMetrics:
+        metrics = SweepMetrics(
+            workers=self.workers if self.parallel else 1,
+            total_points=len(results),
+            errors=sum(1 for r in results if not r.ok),
+            elapsed=elapsed,
+        )
+        for hit, seconds in warm_stats:
+            metrics.point_time += seconds
+            if hit:
+                metrics.cache_hits += 1
+            else:
+                metrics.cache_misses += 1
+                metrics.traces_generated += 1
+        for r in results:
+            metrics.point_time += r.wall_time
+            if r.trace_cache_hit is True:
+                metrics.cache_hits += 1
+            elif r.trace_cache_hit is False:
+                metrics.cache_misses += 1
+                metrics.traces_generated += 1
+        return metrics
+
+    # ------------------------------------------------------------------
+    def compare(self, run, setups, config=None, multi_property: bool = False):
+        """Parallel :func:`~repro.system.runner.compare_setups` backend.
+
+        ``run`` is an already-materialized :class:`TraceRun`; each setup
+        simulates in its own worker (the trace ships with the task).
+        Falls back to serial execution for serial runners.
+        """
+        from ..system.config import SystemConfig
+        from ..system.runner import simulate
+
+        config = config or SystemConfig.scaled_baseline()
+        setups = list(setups)
+        if not self.parallel or len(setups) <= 1:
+            return {
+                _setup_name(s): simulate(
+                    run, config=config, setup=s, multi_property=multi_property
+                )
+                for s in setups
+            }
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(setups))
+        ) as pool:
+            futures = [
+                pool.submit(_compare_job, run, s, config, multi_property)
+                for s in setups
+            ]
+            return {
+                _setup_name(s): f.result() for s, f in zip(setups, futures)
+            }
+
+
+def _setup_name(setup) -> str:
+    """Name of a setup given either as a string or a PrefetchSetup."""
+    return setup if isinstance(setup, str) else setup.name
+
+
+def _compare_job(run, setup, config, multi_property):
+    """Worker task for :meth:`SweepRunner.compare` (module-level to pickle)."""
+    from ..system.runner import simulate
+
+    return simulate(run, config=config, setup=setup, multi_property=multi_property)

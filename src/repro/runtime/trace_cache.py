@@ -1,0 +1,254 @@
+"""Content-addressed on-disk cache of finalized workload traces.
+
+Trace generation dominates experiment wall time: every figure driver
+re-traces the same (workload, dataset, budget) combinations.  This cache
+memoizes finalized traces *across experiments, processes and runs*.
+
+Keying
+------
+The key is a SHA-256 digest over the trace identity: workload name,
+dataset name, graph-generator parameters (``scale_shift``, ``seed``,
+weightedness), the reference budget, and the on-disk format versions
+(:data:`~repro.trace.io.TRACE_FORMAT_VERSION` and
+:data:`CACHE_FORMAT_VERSION`).  Bump :data:`CACHE_FORMAT_VERSION`
+whenever tracing semantics change (workload instrumentation, allocator
+layout, skip policy) — old entries then simply stop matching.
+
+Layout reconstruction
+---------------------
+A cached entry stores the five trace arrays (``.npz``, via
+:mod:`repro.trace.io`) plus a JSON sidecar recording every region the
+original :class:`~repro.memory.allocator.GraphLayout` held — including
+regions workloads allocate *during* tracing (frontier queues, bins).
+On load the graph is regenerated from its seed, the base layout rebuilt,
+and the recorded extra regions replayed through the same bump allocator.
+The resulting bases are verified against the recorded ones; any mismatch
+(allocator drift, partial write) is treated as a miss and the entry is
+dropped.  A cache-loaded :class:`~repro.workloads.base.TraceRun` is
+therefore bit-identical to a freshly traced one for simulation purposes
+(its ``result`` field — the algorithm's output values — is not retained).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..memory.allocator import GraphLayout
+from ..trace.io import TRACE_FORMAT_VERSION, load_trace, save_trace
+from ..trace.record import DataType
+from ..workloads.base import TraceRun
+from .points import TraceSpec
+
+__all__ = ["TraceCache", "trace_key", "default_cache_root", "CACHE_FORMAT_VERSION"]
+
+#: Bump when tracing semantics change incompatibly (instrumentation,
+#: allocator layout, skip policy): old cache entries stop matching.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the cache directory.  Set it to
+#: ``off``, ``0`` or the empty string to disable on-disk caching.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+_DISABLED_VALUES = ("", "0", "off", "none", "disabled")
+
+
+def default_cache_root() -> Path | None:
+    """The cache directory: ``$REPRO_TRACE_CACHE`` or ``~/.cache/repro/traces``.
+
+    Returns ``None`` when the environment variable disables caching.
+    """
+    value = os.environ.get(CACHE_ENV_VAR)
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "traces"
+    if value.strip().lower() in _DISABLED_VALUES:
+        return None
+    return Path(value).expanduser()
+
+
+def trace_key(spec: TraceSpec) -> str:
+    """Content address of ``spec``: a hex digest stable across processes."""
+    identity = dict(spec.key_fields())
+    identity["trace_format"] = TRACE_FORMAT_VERSION
+    identity["cache_format"] = CACHE_FORMAT_VERSION
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def _region_records(layout: GraphLayout) -> list[list]:
+    """Every allocated region as ``[name, base, size, kind, element_size]``."""
+    regions = sorted(layout.space.regions.values(), key=lambda r: r.base)
+    return [
+        [r.name, r.base, r.size, int(r.kind), r.element_size] for r in regions
+    ]
+
+
+class TraceCache:
+    """On-disk trace memoization with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  ``None`` consults :func:`default_cache_root`;
+        pass ``enabled=False`` to disable disk access entirely (every
+        lookup misses and nothing is written).
+    """
+
+    def __init__(self, root: str | Path | None = None, enabled: bool = True):
+        if enabled and root is None:
+            root = default_cache_root()
+            enabled = root is not None
+        self.root = Path(root) if root is not None else None
+        self.enabled = bool(enabled and self.root is not None)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.root / (key + ".npz"), self.root / (key + ".json")
+
+    def _drop(self, key: str) -> None:
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def lookup(self, spec: TraceSpec, graph=None) -> TraceRun | None:
+        """Load the cached run for ``spec``, or ``None`` on a miss.
+
+        Corrupt or stale entries (bad archive, layout fingerprint
+        mismatch, version skew) are removed and reported as misses.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return None
+        key = trace_key(spec)
+        npz_path, meta_path = self._paths(key)
+        try:
+            meta = json.loads(meta_path.read_text())
+            if (
+                meta.get("cache_format") != CACHE_FORMAT_VERSION
+                or meta.get("trace_format") != TRACE_FORMAT_VERSION
+            ):
+                raise ValueError("format version skew")
+            trace = load_trace(npz_path)
+            run = self._rebuild(spec, meta, trace, graph)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._drop(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run
+
+    def _rebuild(self, spec: TraceSpec, meta: dict, trace, graph) -> TraceRun:
+        """Reconstruct the layout and wrap the trace as a TraceRun."""
+        from ..workloads.registry import get_workload
+
+        workload = get_workload(spec.workload)
+        if graph is None:
+            graph = spec.build_graph()
+        layout = workload.make_layout(graph)
+        # Replay regions the workload allocated while tracing, in base
+        # order, through the same bump allocator.
+        for name, base, size, kind, element_size in meta["regions"]:
+            if name not in layout.space.regions:
+                layout.space.alloc(name, size, DataType(kind), element_size)
+        # Verify the reconstruction is address-exact; anything else would
+        # silently skew data-type classification.
+        rebuilt = {r.name: r for r in layout.space.regions.values()}
+        if len(rebuilt) != len(meta["regions"]):
+            raise ValueError("region count mismatch")
+        for name, base, size, kind, element_size in meta["regions"]:
+            region = rebuilt.get(name)
+            if (
+                region is None
+                or region.base != base
+                or region.size != size
+                or int(region.kind) != kind
+                or region.element_size != element_size
+            ):
+                raise ValueError("layout fingerprint mismatch for %r" % name)
+        return TraceRun(
+            workload=spec.workload,
+            dataset=spec.dataset,
+            trace=trace,
+            layout=layout,
+            result=None,
+            completed=bool(meta["completed"]),
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, spec: TraceSpec, run: TraceRun) -> None:
+        """Persist ``run`` under ``spec``'s key (atomic, last-writer-wins)."""
+        if not self.enabled:
+            return
+        key = trace_key(spec)
+        npz_path, meta_path = self._paths(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "trace_format": TRACE_FORMAT_VERSION,
+            "key": spec.key_fields(),
+            "completed": run.completed,
+            "regions": _region_records(run.layout),
+        }
+        # Write-then-rename keeps concurrent writers (parallel sweeps on a
+        # cold cache) safe: readers only ever see complete files, and the
+        # payload lands before the sidecar that advertises it.
+        for path, writer in (
+            (npz_path, lambda tmp: save_trace(run.trace, tmp)),
+            (meta_path, lambda tmp: Path(tmp).write_text(json.dumps(meta))),
+        ):
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=path.suffix
+            )
+            os.close(fd)
+            try:
+                writer(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def get_or_trace(self, spec: TraceSpec, graph=None) -> tuple[TraceRun, bool]:
+        """Return ``(run, was_cache_hit)``, tracing and storing on a miss."""
+        run = self.lookup(spec, graph=graph)
+        if run is not None:
+            return run, True
+        run = spec.trace(graph=graph)
+        self.store(spec, run)
+        return run, False
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        if not self.enabled or not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in self.root.iterdir():
+            if path.suffix in (".npz", ".json") and not path.name.startswith("."):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return "TraceCache(root=%r, enabled=%r, hits=%d, misses=%d)" % (
+            str(self.root),
+            self.enabled,
+            self.hits,
+            self.misses,
+        )

@@ -3,6 +3,9 @@
 ``simulate`` runs one traced workload on one machine configuration;
 ``compare_setups`` runs the same trace across prefetcher configurations
 (the Fig. 11 experiment shape) and returns results keyed by setup name.
+Multi-point parameter sweeps belong to :mod:`repro.runtime`, whose
+``SweepRunner`` fans points out across worker processes; ``compare_setups``
+accepts a ``workers`` argument that delegates to it.
 """
 
 from __future__ import annotations
@@ -13,6 +16,32 @@ from .config import SystemConfig
 from .machine import Machine, SimResult
 
 __all__ = ["simulate", "compare_setups"]
+
+
+def _chased_properties(run: TraceRun, multi_property: bool):
+    """Resolve which property arrays the MPP chases for ``run``."""
+    from ..workloads.registry import get_workload
+
+    workload = get_workload(run.workload)
+    return (
+        workload.gathered_properties if multi_property else workload.gathered_property
+    )
+
+
+def _simulate_resolved(
+    run: TraceRun,
+    config: SystemConfig,
+    setup: PrefetchSetup,
+    chased,
+) -> SimResult:
+    """Build a fresh :class:`Machine` and replay ``run`` (internal core)."""
+    machine = Machine(
+        config=config,
+        layout=run.layout,
+        setup=setup,
+        chased_property=chased,
+    )
+    return machine.run(run.trace)
 
 
 def simulate(
@@ -28,33 +57,54 @@ def simulate(
     the MPP chase *all* of the workload's structure-indexed property
     arrays (paper §VI extension) instead of the primary one.
     """
-    from ..workloads.registry import get_workload
-
-    workload = get_workload(run.workload)
-    chased = (
-        workload.gathered_properties if multi_property else workload.gathered_property
+    if isinstance(setup, str):
+        setup = make_prefetch_setup(setup)
+    return _simulate_resolved(
+        run,
+        config or SystemConfig.scaled_baseline(),
+        setup,
+        _chased_properties(run, multi_property),
     )
-    machine = Machine(
-        config=config or SystemConfig.scaled_baseline(),
-        layout=run.layout,
-        setup=setup,
-        chased_property=chased,
-    )
-    return machine.run(run.trace)
 
 
 def compare_setups(
     run: TraceRun,
-    setups: tuple[str, ...] = ("none", "stream", "streamMPP1", "droplet"),
+    setups: tuple[PrefetchSetup | str, ...] = (
+        "none",
+        "stream",
+        "streamMPP1",
+        "droplet",
+    ),
     config: SystemConfig | None = None,
+    multi_property: bool = False,
+    workers: int | None = None,
 ) -> dict[str, SimResult]:
     """Simulate ``run`` under several prefetcher setups.
+
+    ``setups`` entries are configuration names or ready-made
+    :class:`PrefetchSetup` objects (mixing both is fine).  The base
+    config and the chased-property resolution are computed once for the
+    whole comparison, not per setup.  ``workers >= 2`` fans the setups
+    out across processes via :class:`repro.runtime.SweepRunner` — results
+    are bit-identical to the serial path.
 
     Returns ``{setup_name: SimResult}``; speedups are available via
     ``results[name].speedup_vs(results["none"])``.
     """
     config = config or SystemConfig.scaled_baseline()
+    resolved = [
+        s if isinstance(s, PrefetchSetup) else make_prefetch_setup(s)
+        for s in setups
+    ]
+    if workers is not None and workers >= 2 and len(resolved) > 1:
+        from ..runtime.sweep import SweepRunner
+
+        runner = SweepRunner(workers=workers, trace_cache=False)
+        return runner.compare(
+            run, resolved, config=config, multi_property=multi_property
+        )
+    chased = _chased_properties(run, multi_property)
     return {
-        name: simulate(run, config=config, setup=make_prefetch_setup(name))
-        for name in setups
+        setup.name: _simulate_resolved(run, config, setup, chased)
+        for setup in resolved
     }

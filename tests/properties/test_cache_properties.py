@@ -22,6 +22,21 @@ lines = st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=30
 class TestLRUProperties:
     @given(lines)
     @settings(max_examples=60, deadline=None)
+    def test_stack_inclusion_of_hit_counts(self, stream):
+        """Mattson at counter granularity: a larger LRU cache's cumulative
+        hit count dominates a smaller one's after every single access."""
+        sizes = (2, 4, 8)
+        caches = [Cache(CacheConfig("c%d" % s, s * 64, s, 64)) for s in sizes]
+        hit_counts = [0] * len(sizes)
+        for line in stream:
+            for i, c in enumerate(caches):
+                if c.lookup(line) is not None:
+                    hit_counts[i] += 1
+                c.insert(line)
+            assert hit_counts == sorted(hit_counts)
+
+    @given(lines)
+    @settings(max_examples=60, deadline=None)
     def test_mattson_inclusion(self, stream):
         small = Cache(CacheConfig("s", 4 * 64, 4, 64))   # 4 lines, 1 set
         big = Cache(CacheConfig("b", 8 * 64, 8, 64))     # 8 lines, 1 set
@@ -115,6 +130,55 @@ class TestHierarchyProperties:
         l1_total = sum(c.stats.total_accesses for c in h.l1s)
         assert l1_total == demands
         # Every L1 miss becomes exactly one L2 access, and so on down.
+        l1_misses = sum(c.stats.total_misses for c in h.l1s)
+        l2_total = sum(c.stats.total_accesses for c in h.l2s)
+        assert l2_total == l1_misses
+        l2_misses = sum(c.stats.total_misses for c in h.l2s)
+        assert h.l3.stats.total_accesses == l2_misses
+
+    @given(accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_accesses_split_into_hits_and_misses_per_type(self, stream):
+        h = CacheHierarchy(
+            CacheConfig("L1", 2 * 64, 2, 64),
+            CacheConfig("L2", 4 * 64, 2, 64),
+            CacheConfig("L3", 16 * 64, 4, 64),
+            num_cores=2,
+        )
+        per_type = {dt: 0 for dt in DataType}
+        for i, (core, line, is_store, _) in enumerate(stream):
+            dt = list(DataType)[i % len(DataType)]
+            h.demand_access(core, line, dt, is_store=is_store)
+            per_type[dt] += 1
+        for cache in [*h.l1s, *h.l2s, h.l3]:
+            s = cache.stats
+            assert s.total_accesses == s.total_hits + s.total_misses
+        # L1 sees every demand access, partitioned exactly by data type.
+        for dt in DataType:
+            l1 = sum(c.stats.hits[dt] + c.stats.misses[dt] for c in h.l1s)
+            assert l1 == per_type[dt]
+
+
+class TestSimulationAccounting:
+    """The same invariants through a real end-to-end ``simulate()`` run."""
+
+    def _result(self, small_kron):
+        from repro.system.runner import simulate
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("PR")
+        run = workload.run(small_kron, max_refs=4000)
+        return simulate(run)
+
+    def test_every_level_conserves_accesses(self, small_kron):
+        result = self._result(small_kron)
+        h = result.hierarchy
+        for cache in [*h.l1s, *h.l2s, h.l3]:
+            s = cache.stats
+            assert s.total_accesses == s.total_hits + s.total_misses
+            for dt in DataType:
+                assert s.hits[dt] >= 0 and s.misses[dt] >= 0
+        # Misses flow down the hierarchy one level at a time.
         l1_misses = sum(c.stats.total_misses for c in h.l1s)
         l2_total = sum(c.stats.total_accesses for c in h.l2s)
         assert l2_total == l1_misses

@@ -70,6 +70,38 @@ class TestCSRInvariants:
         assert g.symmetrized().is_symmetric()
 
     @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_well_formed(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        assert g.offsets[0] == 0
+        assert g.offsets[-1] == g.num_edges
+        assert (np.diff(g.offsets) >= 0).all()
+        assert len(g.offsets) == n + 1
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_degree_sum_matches_edge_count(self, data):
+        n, edges = data
+        g = build_csr(n, edges)
+        assert g.transpose().out_degrees().sum() == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_round_trip_preserves_edge_weights(self, data):
+        n, edges = data
+        weights = np.arange(1, len(edges) + 1, dtype=np.int64)
+        g = build_csr(n, edges, weights=weights)
+        rebuilt = []
+        for u in range(n):
+            for v, w in zip(g.neighbors_of(u).tolist(), g.weights_of(u).tolist()):
+                rebuilt.append((u, v, int(w)))
+        original = [
+            (int(u), int(v), int(w)) for (u, v), w in zip(edges.tolist(), weights)
+        ]
+        assert sorted(rebuilt) == sorted(original)
+
+    @given(edge_lists())
     @settings(max_examples=40, deadline=None)
     def test_dedup_leaves_unique_sorted_lists(self, data):
         n, edges = data

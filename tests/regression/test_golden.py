@@ -1,0 +1,81 @@
+"""Golden regression tests: pinned ``simulate()`` outputs per workload.
+
+Any drift in the timing model, cache hierarchy, data-type classifier,
+DROPLET engines, graph generators, tracing or allocator shows up here as
+a precise metric diff.  If a change is *intentional*, regenerate the
+golden file (see ``tests/regression/golden.py``) and commit the diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import SweepPoint, SweepRunner
+from repro.workloads.registry import PAPER_WORKLOAD_ORDER
+
+from .golden import DATASET, MAX_REFS, SCALE_SHIFT, SETUPS, compute_golden, load_golden
+
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def current() -> dict[str, dict[str, float]]:
+    return compute_golden()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict[str, dict[str, float]]:
+    return load_golden()
+
+
+def test_golden_file_covers_the_full_matrix(golden):
+    expected = {
+        "%s/%s" % (w, s) for w in PAPER_WORKLOAD_ORDER for s in SETUPS
+    }
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize("workload", PAPER_WORKLOAD_ORDER)
+@pytest.mark.parametrize("setup", SETUPS)
+def test_simulate_matches_golden(current, golden, workload, setup):
+    key = "%s/%s" % (workload, setup)
+    for metric, pinned in golden[key].items():
+        assert current[key][metric] == pytest.approx(pinned, rel=REL_TOL), (
+            "%s %s drifted" % (key, metric)
+        )
+
+
+def test_parallel_runner_matches_golden(golden, tmp_path):
+    """The same matrix through SweepRunner(workers=2) hits the same pins."""
+    points = [
+        SweepPoint(
+            workload=w,
+            dataset=DATASET,
+            setup=s,
+            max_refs=MAX_REFS,
+            scale_shift=SCALE_SHIFT,
+        )
+        for w in PAPER_WORKLOAD_ORDER
+        for s in SETUPS
+    ]
+    from repro.runtime import TraceCache
+
+    runner = SweepRunner(workers=2, trace_cache=TraceCache(tmp_path / "traces"))
+    report = runner.run(points)
+    report.raise_errors()
+    by_key = report.by_key()
+    for w in PAPER_WORKLOAD_ORDER:
+        base = by_key[(w, DATASET, "none")].summary["cycles"]
+        for s in SETUPS:
+            pinned = golden["%s/%s" % (w, s)]
+            summary = by_key[(w, DATASET, s)].summary
+            assert summary["cycles"] == pytest.approx(pinned["cycles"], rel=REL_TOL)
+            assert summary["llc_mpki"] == pytest.approx(
+                pinned["llc_mpki"], rel=REL_TOL
+            )
+            assert summary["l2_hit_rate"] == pytest.approx(
+                pinned["l2_hit_rate"], rel=REL_TOL
+            )
+            assert base / summary["cycles"] == pytest.approx(
+                pinned["speedup_vs_none"], rel=REL_TOL
+            )

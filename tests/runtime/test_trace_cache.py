@@ -1,0 +1,163 @@
+"""On-disk trace cache: keying, round-trips, invalidation, accounting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting import summarize
+from repro.runtime import TraceCache, TraceSpec, default_cache_root, trace_key
+from repro.runtime.trace_cache import CACHE_ENV_VAR
+from repro.system.runner import simulate
+
+#: Small but non-trivial trace: fast to generate, exercises BFS's
+#: dynamically allocated frontier regions as well as static layouts.
+SPEC = TraceSpec(workload="PR", dataset="kron", max_refs=3000, scale_shift=-6)
+BFS_SPEC = TraceSpec(workload="BFS", dataset="kron", max_refs=3000, scale_shift=-6)
+
+
+@pytest.fixture
+def cache(tmp_path) -> TraceCache:
+    return TraceCache(tmp_path / "traces")
+
+
+class TestTraceKey:
+    def test_stable_across_instances(self):
+        assert trace_key(SPEC) == trace_key(
+            TraceSpec(workload="pr", dataset="kron", max_refs=3000, scale_shift=-6)
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            TraceSpec("PR", "kron", max_refs=3001, scale_shift=-6),
+            TraceSpec("PR", "kron", max_refs=3000, scale_shift=-5),
+            TraceSpec("PR", "kron", max_refs=3000, scale_shift=-6, seed=99),
+            TraceSpec("BFS", "kron", max_refs=3000, scale_shift=-6),
+            TraceSpec("PR", "urand", max_refs=3000, scale_shift=-6),
+        ],
+    )
+    def test_sensitive_to_every_identity_field(self, other):
+        assert trace_key(other) != trace_key(SPEC)
+
+    def test_weightedness_is_part_of_the_key(self):
+        # SSSP traces a weighted graph; the key must not collide with an
+        # unweighted workload's trace of the same dataset.
+        sssp = TraceSpec("SSSP", "kron", max_refs=3000, scale_shift=-6)
+        assert sssp.weighted and not SPEC.weighted
+        assert trace_key(sssp) != trace_key(SPEC)
+
+
+class TestDefaultRoot:
+    def test_defaults_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        root = default_cache_root()
+        assert root is not None
+        assert root.parts[-3:] == (".cache", "repro", "traces")
+
+    def test_env_var_overrides(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    def test_env_var_disables(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert default_cache_root() is None
+        cache = TraceCache()
+        assert not cache.enabled
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_with_accounting(self, cache):
+        assert cache.lookup(SPEC) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        run, was_hit = cache.get_or_trace(SPEC)
+        assert not was_hit
+        assert run.trace is not None
+        cached, was_hit = cache.get_or_trace(SPEC)
+        assert was_hit
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert cached.workload == run.workload and cached.dataset == run.dataset
+
+    @pytest.mark.parametrize("spec", [SPEC, BFS_SPEC], ids=["PR", "BFS"])
+    def test_cached_run_simulates_bit_identically(self, cache, spec):
+        fresh = spec.trace()
+        cache.store(spec, fresh)
+        cached = cache.lookup(spec)
+        assert cached is not None
+        # The trace arrays round-trip exactly...
+        assert np.array_equal(cached.trace.addr, fresh.trace.addr)
+        # ... the layout reconstructs region-exactly (BFS allocates its
+        # frontier queues *during* tracing; those must replay too) ...
+        fresh_regions = {
+            r.name: (r.base, r.size, r.kind, r.element_size)
+            for r in fresh.layout.space.regions.values()
+        }
+        cached_regions = {
+            r.name: (r.base, r.size, r.kind, r.element_size)
+            for r in cached.layout.space.regions.values()
+        }
+        assert cached_regions == fresh_regions
+        # ... so simulation of the cached run is bit-identical.
+        assert summarize(simulate(cached)) == summarize(simulate(fresh))
+
+    def test_algorithm_output_not_retained(self, cache):
+        run, _ = cache.get_or_trace(SPEC)
+        cached = cache.lookup(SPEC)
+        # Only the simulation-relevant state round-trips; the algorithm's
+        # output values are deliberately not persisted.
+        assert cached.result is None
+        assert cached.completed == run.completed
+
+
+class TestInvalidation:
+    def _warm(self, cache, spec=SPEC):
+        cache.get_or_trace(spec)
+        cache.hits = cache.misses = 0
+        return cache._paths(trace_key(spec))
+
+    def test_version_skew_drops_entry(self, cache):
+        npz_path, meta_path = self._warm(cache)
+        meta = json.loads(meta_path.read_text())
+        meta["cache_format"] += 1
+        meta_path.write_text(json.dumps(meta))
+        assert cache.lookup(SPEC) is None
+        assert cache.misses == 1
+        assert not npz_path.exists() and not meta_path.exists()
+
+    def test_corrupt_archive_drops_entry(self, cache):
+        npz_path, meta_path = self._warm(cache)
+        npz_path.write_bytes(npz_path.read_bytes()[: npz_path.stat().st_size // 2])
+        assert cache.lookup(SPEC) is None
+        assert not npz_path.exists() and not meta_path.exists()
+
+    def test_layout_fingerprint_mismatch_drops_entry(self, cache):
+        npz_path, meta_path = self._warm(cache)
+        meta = json.loads(meta_path.read_text())
+        meta["regions"][0][1] += 64  # shift one recorded region base
+        meta_path.write_text(json.dumps(meta))
+        assert cache.lookup(SPEC) is None
+        assert not meta_path.exists()
+
+    def test_missing_sidecar_is_a_plain_miss(self, cache):
+        npz_path, meta_path = self._warm(cache)
+        meta_path.unlink()
+        assert cache.lookup(SPEC) is None
+        assert cache.misses == 1
+
+    def test_clear_removes_entries(self, cache):
+        self._warm(cache)
+        assert cache.clear() == 2  # .npz + .json
+        assert cache.lookup(SPEC) is None
+
+
+class TestDisabled:
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = TraceCache(tmp_path / "traces", enabled=False)
+        run, was_hit = cache.get_or_trace(SPEC)
+        assert not was_hit and run is not None
+        assert not (tmp_path / "traces").exists()
+        assert cache.lookup(SPEC) is None
+        assert cache.clear() == 0
