@@ -234,6 +234,25 @@ class CacheHierarchy:
         self.events = []
         return events
 
+    def register_telemetry(self, registry, prefix: str = "cache") -> None:
+        """Register every level's stats: ``cache.l1.<core>``, ``cache.l2.
+        <core>``, ``cache.l3``, plus L2 aggregates across cores (used by
+        the exporters' interval L2-hit-rate)."""
+        for core, l1 in enumerate(self.l1s):
+            l1.stats.register_telemetry(registry, "%s.l1.%d" % (prefix, core))
+        if self.l2s is not None:
+            for core, l2 in enumerate(self.l2s):
+                l2.stats.register_telemetry(registry, "%s.l2.%d" % (prefix, core))
+            registry.gauge(
+                prefix + ".l2.hits",
+                lambda: sum(l2.stats.total_hits for l2 in self.l2s),
+            )
+            registry.gauge(
+                prefix + ".l2.misses",
+                lambda: sum(l2.stats.total_misses for l2 in self.l2s),
+            )
+        self.l3.stats.register_telemetry(registry, prefix + ".l3")
+
 
 def _named(config: CacheConfig, level: str, core: int | None) -> CacheConfig:
     name = level if core is None else "%s.%d" % (level, core)

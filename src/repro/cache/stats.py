@@ -75,3 +75,27 @@ class CacheStats:
     def mpki_of(self, kind: DataType, instructions: int) -> float:
         """Demand misses per kilo-instruction for one data type."""
         return 1000.0 * self.misses[kind] / instructions if instructions else 0.0
+
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Expose these counters as pull-gauges under ``prefix``.
+
+        Totals plus per-data-type splits; all cumulative, so the sampler
+        can difference consecutive snapshots into interval rates.
+        """
+        registry.gauge(prefix + ".hits", lambda: self.total_hits)
+        registry.gauge(prefix + ".misses", lambda: self.total_misses)
+        registry.gauge(prefix + ".prefetch_hits", lambda: self.prefetch_hits)
+        registry.gauge(prefix + ".prefetch_fills", lambda: self.prefetch_fills)
+        registry.gauge(prefix + ".evictions", lambda: self.evictions)
+        registry.gauge(
+            prefix + ".back_invalidations", lambda: self.back_invalidations
+        )
+        for dt in DataType:
+            registry.gauge(
+                "%s.hits.%s" % (prefix, dt.short_name),
+                lambda dt=dt: self.hits[dt],
+            )
+            registry.gauge(
+                "%s.misses.%s" % (prefix, dt.short_name),
+                lambda dt=dt: self.misses[dt],
+            )

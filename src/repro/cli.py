@@ -14,6 +14,9 @@ Commands
     Regenerate one paper figure (or ``all``) and print its table.
 ``tables``
     Print Tables I–V and the §V-D overhead report.
+``profile``
+    Instrument one run with the telemetry subsystem and write a
+    phase-sampled timeline (JSON + CSV + self-contained HTML report).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import sys
 from typing import Callable
 
 from .droplet.composite import PREFETCH_CONFIG_NAMES
-from .graph.generators import PAPER_DATASET_NAMES
+from .graph.generators import DATASET_NAMES, PAPER_DATASET_NAMES
 from .workloads.registry import PAPER_WORKLOAD_ORDER
 
 __all__ = ["main", "build_parser"]
@@ -110,6 +113,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--out", metavar="PATH", help="also write the JSON sweep report here"
     )
+    p_sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="sample per-point telemetry timelines into the sweep report",
+    )
+    p_sweep.add_argument(
+        "--telemetry-interval",
+        type=int,
+        default=50_000,
+        metavar="CYCLES",
+        help="telemetry sampling interval in simulated cycles",
+    )
+
+    p_prof = sub.add_parser(
+        "profile", help="instrument one run and write a telemetry report"
+    )
+    p_prof.add_argument("--workload", required=True, type=str.upper)
+    p_prof.add_argument("--dataset", required=True, choices=list(DATASET_NAMES))
+    p_prof.add_argument(
+        "--setup", default="droplet", choices=list(PREFETCH_CONFIG_NAMES)
+    )
+    p_prof.add_argument("--max-refs", type=int, default=150_000)
+    p_prof.add_argument("--scale-shift", type=int, default=0)
+    p_prof.add_argument(
+        "--interval",
+        type=int,
+        default=50_000,
+        metavar="CYCLES",
+        help="sampling interval in simulated cycles",
+    )
+    p_prof.add_argument(
+        "--events",
+        type=int,
+        default=65_536,
+        metavar="N",
+        help="event ring-buffer capacity (most recent N events kept)",
+    )
+    p_prof.add_argument(
+        "--out",
+        default="profile_out",
+        metavar="DIR",
+        help="output directory for profile.{json,csv,html} (+ events.jsonl)",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=sorted(_figure_runners()) + ["all"])
@@ -191,6 +237,8 @@ def _cmd_sweep(args) -> int:
         workers=args.workers,
         trace_cache=False if args.no_trace_cache else None,
         return_full=False,
+        telemetry=args.telemetry,
+        telemetry_interval=args.telemetry_interval,
     )
     report = runner.run(points)
     print(render_table(sweep_table_rows(report)))
@@ -228,6 +276,61 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .graph.generators import make_dataset
+    from .system.runner import simulate
+    from .telemetry import Telemetry, telemetry_dict, write_profile
+    from .workloads.registry import get_workload
+
+    workload = get_workload(args.workload)
+    graph = make_dataset(
+        args.dataset, scale_shift=args.scale_shift, weighted=workload.needs_weights
+    )
+    run = workload.run(
+        graph, max_refs=args.max_refs, skip_refs=workload.recommended_skip(graph)
+    )
+    telemetry = Telemetry(
+        interval_cycles=args.interval, event_capacity=args.events
+    )
+    result = simulate(run, setup=args.setup, telemetry=telemetry)
+    payload = telemetry_dict(
+        telemetry,
+        meta={
+            "workload": args.workload,
+            "dataset": args.dataset,
+            "setup": args.setup,
+            "max_refs": args.max_refs,
+            "scale_shift": args.scale_shift,
+            "trace": run.trace.name,
+        },
+    )
+    paths = write_profile(payload, args.out)
+    timeline = telemetry.timeline
+    print(
+        "profiled %s/%s/%s: %d instructions, %d cycles (IPC %.3f)"
+        % (
+            args.workload,
+            args.dataset,
+            args.setup,
+            result.instructions,
+            result.cycles,
+            result.ipc,
+        )
+    )
+    print(
+        "timeline: %d samples, %d phases, %d metrics; events: %d emitted"
+        % (
+            len(timeline),
+            len(timeline.phases()),
+            len(telemetry.registry),
+            telemetry.events.emitted,
+        )
+    )
+    for kind in sorted(paths):
+        print("%-7s %s" % (kind, paths[kind]))
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from .experiments.tables import (
         run_overheads,
@@ -260,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "figure": _cmd_figure,
         "tables": _cmd_tables,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["WindowTiming", "compute_window_timing"]
+__all__ = ["WindowTiming", "WindowTelemetry", "compute_window_timing"]
 
 
 @dataclass
@@ -41,6 +41,69 @@ class WindowTiming:
             return {level: 0.0 for level in self.latency_by_level}
         scale = self.exposed / self.total_miss_latency
         return {lvl: lat * scale for lvl, lat in self.latency_by_level.items()}
+
+
+class WindowTelemetry:
+    """Core-side cumulative counters fed once per closed ROB window.
+
+    The machine updates this (only when telemetry is enabled) right
+    after :func:`compute_window_timing`, so per-interval deltas yield
+    interval IPC and MLP; the histograms capture the distribution of
+    per-window MLP and exposed latency that averages hide.
+    """
+
+    __slots__ = (
+        "cycles",
+        "instructions",
+        "windows",
+        "miss_latency",
+        "exposed_latency",
+        "_mlp_hist",
+        "_exposed_hist",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.instructions = 0
+        self.windows = 0
+        self.miss_latency = 0.0
+        self.exposed_latency = 0.0
+        self._mlp_hist = None
+        self._exposed_hist = None
+
+    def register_telemetry(self, registry, prefix: str = "core") -> None:
+        """Expose cumulative gauges and per-window histograms."""
+        registry.gauge(prefix + ".cycles", lambda: self.cycles)
+        registry.gauge(prefix + ".instructions", lambda: self.instructions)
+        registry.gauge(prefix + ".windows", lambda: self.windows)
+        registry.gauge(prefix + ".miss_latency", lambda: self.miss_latency)
+        registry.gauge(prefix + ".exposed_latency", lambda: self.exposed_latency)
+        registry.gauge(
+            prefix + ".mlp",
+            lambda: (
+                self.miss_latency / self.exposed_latency
+                if self.exposed_latency > 0
+                else 0.0
+            ),
+        )
+        self._mlp_hist = registry.histogram(
+            prefix + ".window_mlp", (1, 2, 4, 8, 16)
+        )
+        self._exposed_hist = registry.histogram(
+            prefix + ".window_exposed", (0, 50, 100, 200, 400, 800, 1600)
+        )
+
+    def on_window(self, timing: WindowTiming, instructions: int, cycles: float) -> None:
+        """Account one closed window (``cycles`` = base + exposed)."""
+        self.cycles += cycles
+        self.instructions += instructions
+        self.windows += 1
+        self.miss_latency += timing.total_miss_latency
+        self.exposed_latency += timing.exposed
+        if self._mlp_hist is not None and timing.total_miss_latency > 0:
+            self._mlp_hist.observe(timing.mlp)
+        if self._exposed_hist is not None:
+            self._exposed_hist.observe(timing.exposed)
 
 
 def compute_window_timing(

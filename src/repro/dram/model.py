@@ -56,6 +56,14 @@ class DRAMStats:
         """Total bytes moved over the DRAM bus."""
         return self.bus_accesses * line_size
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Expose traffic counters as pull-gauges under ``prefix``."""
+        registry.gauge(prefix + ".demand_reads", lambda: self.demand_reads)
+        registry.gauge(prefix + ".prefetch_reads", lambda: self.prefetch_reads)
+        registry.gauge(prefix + ".writebacks", lambda: self.writebacks)
+        registry.gauge(prefix + ".queue_delay", lambda: self.total_queue_delay)
+        registry.gauge(prefix + ".bus_accesses", lambda: self.bus_accesses)
+
 
 class DRAMModel:
     """Bank-queued DRAM with a demand-priority (prefetch-aware) scheduler.
@@ -101,6 +109,10 @@ class DRAMModel:
         queue_delay = start - now
         self.stats.total_queue_delay += queue_delay
         return queue_delay + self.config.device_latency
+
+    def register_telemetry(self, registry, prefix: str = "dram") -> None:
+        """Register this channel's stats under ``prefix``."""
+        self.stats.register_telemetry(registry, prefix)
 
     def writeback(self, line: int, now: int) -> None:
         """Account a dirty-line writeback (low priority, brief occupancy)."""

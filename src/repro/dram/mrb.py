@@ -58,6 +58,11 @@ class MemoryRequestBuffer:
             self._entries.popitem(last=False)
             self.overflows += 1
 
+    def register_telemetry(self, registry, prefix: str = "mrb") -> None:
+        """Expose occupancy and overflow counters under ``prefix``."""
+        registry.gauge(prefix + ".occupancy", lambda: len(self._entries))
+        registry.gauge(prefix + ".overflows", lambda: self.overflows)
+
     def retire(self, line: int) -> MRBEntry | None:
         """Consume the metadata of a completed fill, if still buffered."""
         return self._entries.pop(line, None)

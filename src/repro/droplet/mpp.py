@@ -74,6 +74,9 @@ class MPP:
         self.structure_fills_seen = 0
         self.requests_generated = 0
         self.vab_overflows = 0
+        #: Optional telemetry session (set by the machine when profiling)
+        #: used to emit per-translation drop/walk events.
+        self.telemetry = None
 
     def configure_from_layout(
         self, layout: GraphLayout, property_names: str | tuple[str, ...]
@@ -85,6 +88,15 @@ class MPP:
         """
         self.pag.configure_from_layout(layout, property_names)
         self._layout = layout
+
+    def register_telemetry(self, registry, prefix: str = "droplet.mpp") -> None:
+        """Expose MPP pipeline counters plus the MTLB under ``prefix``."""
+        registry.gauge(
+            prefix + ".structure_fills", lambda: self.structure_fills_seen
+        )
+        registry.gauge(prefix + ".requests", lambda: self.requests_generated)
+        registry.gauge(prefix + ".vab_overflows", lambda: self.vab_overflows)
+        self.mtlb.register_telemetry(registry, prefix + ".mtlb")
 
     def classifies_as_structure(self, line: int) -> bool:
         """MPP1's own structure identification (address-range check)."""
@@ -109,11 +121,22 @@ class MPP:
         requests: list[PropertyPrefetchRequest] = []
         seen_lines: set[int] = set()
         delay = self.config.pag.scan_latency
+        tel = self.telemetry
         for vaddr in vaddrs:
             translated = self.mtlb.translate_property(int(vaddr))
             if translated is None:
+                if tel is not None:
+                    tel.emit(
+                        None,
+                        "prefetch_drop",
+                        core=core,
+                        dtype="property",
+                        detail="mtlb_fault",
+                    )
                 continue  # dropped on page fault
             paddr, walk_latency = translated
+            if tel is not None and walk_latency > 0:
+                tel.emit(None, "tlb_walk", core=core, dtype="property")
             pline = paddr // self.line_size
             if pline in seen_lines:
                 continue  # one request per distinct line

@@ -42,6 +42,19 @@ class MTLB:
         """Hit/miss statistics of the underlying TLB."""
         return self._tlb.stats
 
+    def register_telemetry(self, registry, prefix: str = "droplet.mtlb") -> None:
+        """Expose shootdown-filter counters plus the base TLB's stats."""
+        registry.gauge(
+            prefix + ".shootdowns_received", lambda: self.stats.shootdowns_received
+        )
+        registry.gauge(
+            prefix + ".shootdowns_filtered", lambda: self.stats.shootdowns_filtered
+        )
+        registry.gauge(
+            prefix + ".dropped_faults", lambda: self.stats.dropped_faults
+        )
+        self._tlb.stats.register_telemetry(registry, prefix + ".tlb")
+
     def translate_property(self, vaddr: int) -> tuple[int, int] | None:
         """Translate a property prefetch address.
 

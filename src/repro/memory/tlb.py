@@ -37,6 +37,14 @@ class TLBStats:
         """Hit fraction over all lookups."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Expose these counters as pull-gauges under ``prefix``."""
+        registry.gauge(prefix + ".hits", lambda: self.hits)
+        registry.gauge(prefix + ".misses", lambda: self.misses)
+        registry.gauge(prefix + ".page_walks", lambda: self.page_walks)
+        registry.gauge(prefix + ".faults", lambda: self.faults)
+        registry.gauge(prefix + ".invalidations", lambda: self.invalidations)
+
 
 @dataclass
 class _TLBEntry:

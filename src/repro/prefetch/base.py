@@ -39,6 +39,15 @@ class Prefetcher(abc.ABC):
     def reset(self) -> None:
         """Clear all training state (default: no state)."""
 
+    def register_telemetry(self, registry, prefix: str) -> None:
+        """Expose internal training state (default: nothing to expose).
+
+        Issue/usefulness accounting lives in the shared
+        :class:`~repro.prefetch.stats.PrefetchLedger`; prefetchers with
+        interesting internal state (stream tables, confidence counters)
+        override this.
+        """
+
 
 class NullPrefetcher(Prefetcher):
     """The no-prefetch baseline."""

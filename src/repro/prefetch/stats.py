@@ -117,3 +117,42 @@ class PrefetchLedger:
     def drop(self, issuer: str) -> None:
         """Record a prefetch dropped before issue (e.g. page fault)."""
         self.counters_for(issuer).dropped += 1
+
+    # ------------------------------------------------------------------
+    def _totals(self) -> tuple[int, int, int, int, int]:
+        issued = useful = late = evicted = dropped = 0
+        for counters in self.counters.values():
+            issued += counters.total_issued
+            useful += counters.total_useful
+            late += sum(counters.late.values())
+            evicted += sum(counters.evicted_unused.values())
+            dropped += counters.dropped
+        return issued, useful, late, evicted, dropped
+
+    def register_telemetry(self, registry, prefix: str = "prefetch") -> None:
+        """Aggregate gauges plus a collector for per-issuer splits.
+
+        Issuers appear dynamically (``counters_for`` creates them on
+        first use), so per-issuer names go through a snapshot-time
+        collector rather than eager gauge registration.
+        """
+        registry.gauge(prefix + ".issued", lambda: self._totals()[0])
+        registry.gauge(prefix + ".useful", lambda: self._totals()[1])
+        registry.gauge(prefix + ".late", lambda: self._totals()[2])
+        registry.gauge(prefix + ".evicted_unused", lambda: self._totals()[3])
+        registry.gauge(prefix + ".dropped", lambda: self._totals()[4])
+
+        def collect() -> dict[str, float]:
+            values: dict[str, float] = {}
+            for issuer, counters in self.counters.items():
+                base = "%s.%s" % (prefix, issuer)
+                values[base + ".issued"] = counters.total_issued
+                values[base + ".useful"] = counters.total_useful
+                values[base + ".late"] = sum(counters.late.values())
+                values[base + ".evicted_unused"] = sum(
+                    counters.evicted_unused.values()
+                )
+                values[base + ".dropped"] = counters.dropped
+            return values
+
+        registry.add_collector(collect)

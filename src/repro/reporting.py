@@ -18,6 +18,7 @@ from .trace.record import DataType
 
 __all__ = [
     "summarize",
+    "format_versions",
     "summarize_sweep",
     "sweep_table_rows",
     "save_results",
@@ -64,15 +65,39 @@ def summarize(result: SimResult) -> dict:
     return summary
 
 
+def format_versions() -> dict:
+    """Every on-disk format version in play, for report provenance.
+
+    Archived reports carry this block so a result file alone records
+    which trace/cache/telemetry encodings produced it — essential when
+    deciding whether an old report is comparable to a fresh run.
+    """
+    from .runtime.trace_cache import CACHE_FORMAT_VERSION
+    from .telemetry.export import TELEMETRY_FORMAT
+    from .trace.io import TRACE_FORMAT_VERSION
+
+    return {
+        "sweep": SWEEP_FORMAT,
+        "results": RESULTS_FORMAT,
+        "trace": TRACE_FORMAT_VERSION,
+        "trace_cache": CACHE_FORMAT_VERSION,
+        "telemetry": TELEMETRY_FORMAT,
+    }
+
+
 def summarize_sweep(report) -> dict:
     """Flatten a :class:`~repro.runtime.sweep.SweepReport` to JSON-safe form.
 
     Carries the execution metrics (wall time, worker utilization,
     trace-cache hits/misses) next to the per-point summaries and error
-    records, so archived sweeps double as performance logs.
+    records, so archived sweeps double as performance logs.  The
+    ``formats`` block (see :func:`format_versions`) plus the per-point
+    trace identity (seed, max_refs, scale_shift) make the report fully
+    self-describing.
     """
     return {
         "format": SWEEP_FORMAT,
+        "formats": format_versions(),
         "metrics": report.metrics.as_dict(),
         "points": [p.as_dict() for p in report.points],
     }

@@ -180,6 +180,8 @@ class PointResult:
     error: PointError | None = None
     wall_time: float = 0.0
     trace_cache_hit: bool | None = None
+    #: JSON-safe telemetry payload when the runner sampled this point.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -187,12 +189,29 @@ class PointResult:
         return self.error is None
 
     def as_dict(self) -> dict:
-        """JSON-safe form used by ``reporting.summarize_sweep``."""
+        """JSON-safe form used by ``reporting.summarize_sweep``.
+
+        Always records the full trace identity — including ``max_refs``,
+        ``scale_shift`` and the *effective* generator seed — so a saved
+        sweep report alone suffices to regenerate its traces exactly.
+        """
+        from ..graph.generators import dataset_seed
+
+        point = self.point
+        seed = point.seed
+        if seed is None:
+            try:
+                seed = dataset_seed(point.dataset)
+            except KeyError:
+                seed = None  # unknown dataset: leave unresolved
         out: dict = {
-            "workload": self.point.workload,
-            "dataset": self.point.dataset,
-            "setup": self.point.setup,
-            "label": self.point.label,
+            "workload": point.workload,
+            "dataset": point.dataset,
+            "setup": point.setup,
+            "label": point.label,
+            "max_refs": point.max_refs,
+            "scale_shift": point.scale_shift,
+            "seed": seed,
             "ok": self.ok,
             "wall_time": self.wall_time,
             "trace_cache_hit": self.trace_cache_hit,
@@ -201,4 +220,6 @@ class PointResult:
             out["summary"] = self.summary
         if self.error is not None:
             out["error"] = self.error.as_dict()
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
         return out

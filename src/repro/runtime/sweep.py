@@ -39,9 +39,17 @@ class SweepError(RuntimeError):
 
 @dataclass
 class SweepMetrics:
-    """Aggregate execution metrics of one sweep."""
+    """Aggregate execution metrics of one sweep.
+
+    ``workers`` is the number of processes that *actually executed*
+    points: a runner built with ``workers=1`` (or 0/None) falls back to
+    the serial in-process path, and its metrics must say ``workers=1``,
+    ``mode="serial"`` — utilization is normalized by the executing
+    worker count, never by the requested pool size.
+    """
 
     workers: int = 1
+    mode: str = "serial"  # "serial" | "parallel"
     total_points: int = 0
     errors: int = 0
     elapsed: float = 0.0
@@ -52,14 +60,23 @@ class SweepMetrics:
 
     @property
     def utilization(self) -> float:
-        """Busy fraction of the worker pool: Σ point time / (elapsed × workers)."""
+        """Busy fraction of the worker pool: Σ point time / (elapsed × workers).
+
+        0.0 for degenerate sweeps (no elapsed time yet), and capped at
+        1.0 — timer granularity can make Σ point time marginally exceed
+        wall time on the serial path, and a ">100% busy" pool is
+        meaningless.
+        """
         denominator = self.elapsed * max(self.workers, 1)
-        return self.point_time / denominator if denominator > 0 else 0.0
+        if denominator <= 0:
+            return 0.0
+        return min(1.0, self.point_time / denominator)
 
     def as_dict(self) -> dict:
         """JSON-safe form."""
         return {
             "workers": self.workers,
+            "mode": self.mode,
             "total_points": self.total_points,
             "errors": self.errors,
             "elapsed_s": self.elapsed,
@@ -74,13 +91,15 @@ class SweepMetrics:
         """One-line human-readable summary."""
         return (
             "%d points (%d errors) in %.2fs wall / %.2fs cpu, "
-            "%d workers at %.0f%% utilization, trace cache %d hits / %d misses"
+            "%d %s worker(s) at %.0f%% utilization, "
+            "trace cache %d hits / %d misses"
             % (
                 self.total_points,
                 self.errors,
                 self.elapsed,
                 self.point_time,
                 self.workers,
+                self.mode,
                 100.0 * self.utilization,
                 self.cache_hits,
                 self.cache_misses,
@@ -181,9 +200,20 @@ def _fetch_trace(spec: TraceSpec, cache: TraceCache, memo: dict):
 
 
 def _execute_point(
-    point: SweepPoint, config, cache: TraceCache, memo: dict, return_full: bool
+    point: SweepPoint,
+    config,
+    cache: TraceCache,
+    memo: dict,
+    return_full: bool,
+    telemetry_interval: int | None = None,
 ) -> PointResult:
-    """Run one point, capturing any failure as a structured error."""
+    """Run one point, capturing any failure as a structured error.
+
+    ``telemetry_interval`` (simulated cycles) enables per-point
+    telemetry: the point result then carries a JSON-safe timeline
+    payload (no raw event records — those stay per-``repro profile``),
+    which survives the pickle boundary back from worker processes.
+    """
     from ..reporting import summarize
     from ..system.runner import simulate
 
@@ -191,18 +221,34 @@ def _execute_point(
     hit: bool | None = None
     try:
         run, hit, _generated = _fetch_trace(point.trace_spec, cache, memo)
+        telemetry = None
+        if telemetry_interval is not None:
+            from ..telemetry import Telemetry
+
+            telemetry = Telemetry(interval_cycles=telemetry_interval)
         result = simulate(
             run,
             config=resolve_point_config(point, config),
             setup=point.setup,
             multi_property=point.multi_property,
+            telemetry=telemetry,
         )
+        payload = None
+        if telemetry is not None:
+            from ..telemetry import telemetry_dict
+
+            payload = telemetry_dict(
+                telemetry,
+                meta={"label": point.label, "trace": run.trace.name},
+                include_events=False,
+            )
         return PointResult(
             point=point,
             summary=summarize(result),
             result=result if return_full else None,
             wall_time=time.perf_counter() - start,
             trace_cache_hit=hit,
+            telemetry=payload,
         )
     except Exception as exc:
         return PointResult(
@@ -238,9 +284,21 @@ def _worker_warm(spec: TraceSpec) -> tuple[bool, float]:
     return hit, time.perf_counter() - start
 
 
-def _worker_execute(point: SweepPoint, config, return_full: bool) -> PointResult:
+def _worker_execute(
+    point: SweepPoint,
+    config,
+    return_full: bool,
+    telemetry_interval: int | None = None,
+) -> PointResult:
     """Phase-2 task: simulate one point inside a worker process."""
-    return _execute_point(point, config, _WORKER_CACHE, _WORKER_MEMO, return_full)
+    return _execute_point(
+        point,
+        config,
+        _WORKER_CACHE,
+        _WORKER_MEMO,
+        return_full,
+        telemetry_interval=telemetry_interval,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -260,6 +318,12 @@ class SweepRunner:
         Carry full :class:`~repro.system.machine.SimResult` objects on
         each :class:`PointResult` (needed by the figure drivers).  Turn
         off for metric-only sweeps to keep inter-process traffic small.
+    telemetry:
+        Instrument every point with a per-point telemetry session; each
+        :class:`PointResult` then carries a JSON-safe timeline payload
+        (``PointResult.telemetry``) that crosses the process boundary.
+    telemetry_interval:
+        Sampling cadence (simulated cycles) when ``telemetry`` is on.
     """
 
     def __init__(
@@ -267,6 +331,8 @@ class SweepRunner:
         workers: int | None = None,
         trace_cache: TraceCache | bool | None = None,
         return_full: bool = True,
+        telemetry: bool = False,
+        telemetry_interval: int = 50_000,
     ):
         self.workers = int(workers or 0)
         if trace_cache is False:
@@ -275,6 +341,8 @@ class SweepRunner:
             trace_cache = TraceCache()
         self.trace_cache = trace_cache
         self.return_full = return_full
+        self.telemetry = bool(telemetry)
+        self.telemetry_interval = int(telemetry_interval)
         self._memo: dict = {}
 
     @property
@@ -300,12 +368,18 @@ class SweepRunner:
         points = list(points)
         config = config or SystemConfig.scaled_baseline()
         start = time.perf_counter()
+        interval = self.telemetry_interval if self.telemetry else None
         if self.parallel and points:
-            results, warm_stats = self._run_parallel(points, config)
+            results, warm_stats = self._run_parallel(points, config, interval)
         else:
             results = [
                 _execute_point(
-                    p, config, self.trace_cache, self._memo, self.return_full
+                    p,
+                    config,
+                    self.trace_cache,
+                    self._memo,
+                    self.return_full,
+                    telemetry_interval=interval,
                 )
                 for p in points
             ]
@@ -316,7 +390,7 @@ class SweepRunner:
         return SweepReport(points=results, metrics=metrics)
 
     # ------------------------------------------------------------------
-    def _run_parallel(self, points, config):
+    def _run_parallel(self, points, config, telemetry_interval=None):
         root = (
             str(self.trace_cache.root)
             if self.trace_cache.enabled
@@ -334,7 +408,13 @@ class SweepRunner:
                 unique = list(dict.fromkeys(p.trace_spec for p in points))
                 warm_stats = list(pool.map(_worker_warm, unique))
             futures = [
-                pool.submit(_worker_execute, p, config, self.return_full)
+                pool.submit(
+                    _worker_execute,
+                    p,
+                    config,
+                    self.return_full,
+                    telemetry_interval,
+                )
                 for p in points
             ]
             results = [f.result() for f in futures]
@@ -343,6 +423,7 @@ class SweepRunner:
     def _collect_metrics(self, results, warm_stats, elapsed) -> SweepMetrics:
         metrics = SweepMetrics(
             workers=self.workers if self.parallel else 1,
+            mode="parallel" if self.parallel else "serial",
             total_points=len(results),
             errors=sum(1 for r in results if not r.ok),
             elapsed=elapsed,

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ..cache.hierarchy import CacheHierarchy
 from ..core.cycles import CycleStack
-from ..core.mlp import compute_window_timing
+from ..core.mlp import WindowTelemetry, compute_window_timing
 from ..dram.model import DRAMModel
 from ..dram.multichannel import MultiChannelDRAM
 from ..dram.mrb import MemoryRequestBuffer
@@ -150,6 +150,7 @@ class Machine:
         layout: GraphLayout | None = None,
         setup: PrefetchSetup | str | None = None,
         chased_property: str | tuple[str, ...] | None = None,
+        telemetry=None,
     ):
         self.config = config or SystemConfig.scaled_baseline()
         if isinstance(setup, str):
@@ -182,6 +183,42 @@ class Machine:
         if self.setup.imp_engine is not None and layout is None:
             raise ValueError("the IMP setup requires a GraphLayout (index values)")
         self._line_size = self.config.l3.line_size
+        # Disabled/absent telemetry both normalize to None, so the run
+        # loop guards on a plain ``is not None`` and a disabled session
+        # costs exactly nothing.
+        if telemetry is not None and not getattr(telemetry, "enabled", False):
+            telemetry = None
+        self._telemetry = telemetry
+        self._window_telemetry: WindowTelemetry | None = None
+        if telemetry is not None:
+            self._bind_telemetry(telemetry)
+
+    def _bind_telemetry(self, telemetry) -> None:
+        """Register every component's stats into the telemetry registry.
+
+        Telemetry only *reads* simulator state (pull-gauges) and is fed
+        at window boundaries, so binding a session never changes
+        simulated results.
+        """
+        telemetry.attach("machine/%s" % self.setup.name)
+        registry = telemetry.registry
+        self.hierarchy.register_telemetry(registry, "cache")
+        self.dram.register_telemetry(registry, "dram")
+        self.mrb.register_telemetry(registry, "mrb")
+        self.ledger.register_telemetry(registry, "prefetch")
+        # Pre-create the configured issuers so per-issuer columns exist
+        # from the first sample (zero counters don't alter summaries).
+        self.ledger.counters_for(self.setup.l2_prefetcher.name)
+        if self.setup.imp_engine is not None:
+            self.ledger.counters_for("imp")
+        self.setup.l2_prefetcher.register_telemetry(registry, "prefetch.engine")
+        if self.mpp is not None:
+            self.ledger.counters_for("mpp")
+            self.mpp.register_telemetry(registry, "droplet.mpp")
+            registry.gauge("droplet.forwarded", lambda: self.mpp_forwarded)
+            self.mpp.telemetry = telemetry
+        self._window_telemetry = WindowTelemetry()
+        self._window_telemetry.register_telemetry(registry, "core")
 
     # ------------------------------------------------------------------
     # Prefetch issue paths
@@ -200,6 +237,10 @@ class Machine:
         )
         issuer = issuer or self.setup.l2_prefetcher.name
         self.ledger.issue(line, DataType(kind), ready, issuer)
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                now, "prefetch_issue", line=line, core=core, dtype=kind, detail=issuer
+            )
         imp = self.setup.imp_engine
         if imp is not None and kind == _STRUCTURE and issuer != "imp":
             # IMP also scans *prefetched* index lines on their fill path —
@@ -229,6 +270,15 @@ class Machine:
 
     def _chase_properties(self, structure_line: int, core: int, fill_ready: float) -> None:
         """MPP reaction to one structure prefetch fill."""
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(
+                fill_ready,
+                "mpp_chase",
+                line=structure_line,
+                core=core,
+                dtype="structure",
+            )
         multi_mc = isinstance(self.dram, MultiChannelDRAM)
         home_mc = self.dram.mc_of(structure_line) if multi_mc else 0
         for req in self.mpp.on_structure_fill(structure_line, core):
@@ -236,6 +286,14 @@ class Machine:
                 # Forward the request (with core ID) to the destination
                 # MC's MRB, as in [52] / paper §VI.
                 self.mpp_forwarded += 1
+                if tel is not None:
+                    tel.emit(
+                        fill_ready,
+                        "mpp_forward",
+                        line=req.line,
+                        core=req.core,
+                        dtype="property",
+                    )
             issue_time = fill_ready + req.issue_delay + self.setup.mpp_issue_penalty
             pline = req.line
             if self.ledger.is_tracked(pline):
@@ -301,6 +359,16 @@ class Machine:
         instr_in_window = 0
         budget = cfg.prefetch_budget_per_window
 
+        # Telemetry (None when disabled): sampling and phase handling
+        # happen only at window boundaries; event emission sits behind
+        # per-site ``tel is not None`` guards.  Nothing below mutates
+        # simulator state, so results are identical either way.
+        tel = self._telemetry
+        wintel = self._window_telemetry
+        phase_marks = getattr(trace, "phases", [])
+        phase_ptr = 0
+        num_phase_marks = len(phase_marks) if tel is not None else 0
+
         for i in range(n):
             now = clock + instr_in_window / dispatch
             instr_in_window += 1 + gaps[i]
@@ -320,6 +388,8 @@ class Machine:
                 self.mrb.enqueue(line, c_bit=False, core=core)
                 latency = float(dram.access(line, int(now)) + dram_path)
                 self.mrb.retire(line)
+                if tel is not None:
+                    tel.emit(now, "dram_demand", line=line, core=core, dtype=kind)
                 if (
                     self.mpp is not None
                     and self.setup.mpp_trigger == "demand"
@@ -340,6 +410,9 @@ class Machine:
                 window_loads.append((i, deps[i], level, latency))
 
             if events:
+                if tel is not None:
+                    for ev in events:
+                        tel.emit(now, ev.kind, line=ev.line, detail=ev.level)
                 for ev in events:
                     if ev.kind == "writeback":
                         dram.writeback(ev.line, int(now))
@@ -385,6 +458,15 @@ class Machine:
                 stack.add_window(base, timing.exposed_by_level(), instr_in_window)
                 total_miss_latency += timing.total_miss_latency
                 total_exposed += timing.exposed
+                if tel is not None:
+                    wintel.on_window(timing, instr_in_window, base + timing.exposed)
+                    while (
+                        phase_ptr < num_phase_marks
+                        and phase_marks[phase_ptr][0] <= i + 1
+                    ):
+                        tel.record_phase(phase_marks[phase_ptr][1], clock, i + 1)
+                        phase_ptr += 1
+                    tel.on_window(clock, i + 1)
                 window_loads = []
                 window_start = i + 1
                 instr_in_window = 0
@@ -407,6 +489,21 @@ class Machine:
             stack.add_window(base, timing.exposed_by_level(), instr_in_window)
             total_miss_latency += timing.total_miss_latency
             total_exposed += timing.exposed
+            if tel is not None:
+                wintel.on_window(timing, instr_in_window, base + timing.exposed)
+
+        if tel is not None:
+            # Flush phase marks past the last window close (including a
+            # boundary hit exactly when the reference budget ran out).
+            while phase_ptr < num_phase_marks:
+                tel.record_phase(phase_marks[phase_ptr][1], clock, n)
+                phase_ptr += 1
+            tel.finish(clock, n)
+            # Detach the session from the MPP: the run is over, and the
+            # returned SimResult must stay picklable (the registry's
+            # closure-backed gauges are not).
+            if self.mpp is not None:
+                self.mpp.telemetry = None
 
         refs_by_type = {
             dt: int((trace.kind == int(dt)).sum()) for dt in DataType

@@ -33,6 +33,7 @@ def _simulate_resolved(
     config: SystemConfig,
     setup: PrefetchSetup,
     chased,
+    telemetry=None,
 ) -> SimResult:
     """Build a fresh :class:`Machine` and replay ``run`` (internal core)."""
     machine = Machine(
@@ -40,6 +41,7 @@ def _simulate_resolved(
         layout=run.layout,
         setup=setup,
         chased_property=chased,
+        telemetry=telemetry,
     )
     return machine.run(run.trace)
 
@@ -49,6 +51,7 @@ def simulate(
     config: SystemConfig | None = None,
     setup: PrefetchSetup | str = "none",
     multi_property: bool = False,
+    telemetry=None,
 ) -> SimResult:
     """Simulate one traced workload run.
 
@@ -56,6 +59,11 @@ def simulate(
     prefetcher state never leak between runs.  ``multi_property`` lets
     the MPP chase *all* of the workload's structure-indexed property
     arrays (paper §VI extension) instead of the primary one.
+
+    ``telemetry`` accepts a fresh :class:`repro.telemetry.Telemetry`
+    session to instrument the run (the caller keeps the session and
+    reads its timeline/events afterwards).  ``None`` or a disabled
+    session leaves the run un-instrumented, with bit-identical results.
     """
     if isinstance(setup, str):
         setup = make_prefetch_setup(setup)
@@ -64,6 +72,7 @@ def simulate(
         config or SystemConfig.scaled_baseline(),
         setup,
         _chased_properties(run, multi_property),
+        telemetry=telemetry,
     )
 
 

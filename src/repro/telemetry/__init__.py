@@ -1,0 +1,42 @@
+"""Unified telemetry subsystem: registry, sampler, events, exporters.
+
+See ``docs/telemetry.md`` for the metric catalogue and report formats.
+"""
+
+from .events import EVENT_KINDS, EventTrace, TraceEvent
+from .export import (
+    TELEMETRY_FORMAT,
+    derive_rates,
+    telemetry_dict,
+    validate_telemetry_payload,
+    write_csv,
+    write_html,
+    write_json,
+    write_profile,
+)
+from .registry import Counter, Gauge, Histogram, MetricRegistry
+from .sampler import IntervalSampler, Sample, Timeline
+from .session import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventTrace",
+    "TraceEvent",
+    "TELEMETRY_FORMAT",
+    "derive_rates",
+    "telemetry_dict",
+    "validate_telemetry_payload",
+    "write_csv",
+    "write_html",
+    "write_json",
+    "write_profile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "IntervalSampler",
+    "Sample",
+    "Timeline",
+    "NULL_TELEMETRY",
+    "Telemetry",
+]

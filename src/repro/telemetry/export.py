@@ -1,0 +1,353 @@
+"""Telemetry exporters: JSON payload, CSV timeline, HTML report.
+
+``telemetry_dict`` flattens one :class:`~repro.telemetry.session.Telemetry`
+session into a JSON-safe payload (format ``repro-telemetry-v1``) carrying
+the sampled timeline, per-interval derived rates (MPKI, DRAM bandwidth,
+prefetch accuracy, MLP), histograms and the structured event trace.
+``write_json``/``write_csv``/``write_html`` persist it; the HTML report
+is fully self-contained (inline data + inline SVG rendering, no external
+assets) so it can be archived as a CI artifact.
+
+``validate_telemetry_payload`` is the schema check the CI smoke job and
+the tests share — dependency-free, so it needs no jsonschema package.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import json
+from pathlib import Path
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "telemetry_dict",
+    "derive_rates",
+    "validate_telemetry_payload",
+    "write_json",
+    "write_csv",
+    "write_html",
+    "write_profile",
+]
+
+#: Format marker of saved telemetry payloads.
+TELEMETRY_FORMAT = "repro-telemetry-v1"
+
+#: Metric families a full-machine profile must expose (acceptance bar).
+CORE_FAMILIES = ("cache", "core", "dram", "prefetch")
+
+
+def derive_rates(interval: dict, line_size: int = 64) -> dict:
+    """Paper-style rates for one interval produced by ``Timeline.deltas``.
+
+    Every rate guards against empty intervals (no instructions retired,
+    no prefetches issued) by reporting 0.0.
+    """
+    values = interval["values"]
+    cycles = interval.get("cycles", 0.0)
+    instructions = values.get("core.instructions", 0.0)
+    l2_acc = values.get("cache.l2.hits", 0.0) + values.get("cache.l2.misses", 0.0)
+    issued = values.get("prefetch.issued", 0.0)
+    exposed = values.get("core.exposed_latency", 0.0)
+
+    def per_kilo(count):
+        return 1000.0 * count / instructions if instructions else 0.0
+
+    return {
+        "ipc": instructions / cycles if cycles else 0.0,
+        "llc_mpki": per_kilo(values.get("cache.l3.misses", 0.0)),
+        "llc_mpki_structure": per_kilo(values.get("cache.l3.misses.structure", 0.0)),
+        "llc_mpki_property": per_kilo(values.get("cache.l3.misses.property", 0.0)),
+        "l2_hit_rate": values.get("cache.l2.hits", 0.0) / l2_acc if l2_acc else 0.0,
+        "bpki": per_kilo(values.get("dram.bus_accesses", 0.0)),
+        "dram_bytes_per_cycle": (
+            values.get("dram.bus_accesses", 0.0) * line_size / cycles
+            if cycles
+            else 0.0
+        ),
+        "pf_accuracy": values.get("prefetch.useful", 0.0) / issued if issued else 0.0,
+        "mlp": values.get("core.miss_latency", 0.0) / exposed if exposed else 0.0,
+    }
+
+
+def telemetry_dict(
+    telemetry,
+    meta: dict | None = None,
+    include_events: bool = True,
+    max_events: int | None = None,
+) -> dict:
+    """Flatten one telemetry session into the JSON-safe v1 payload."""
+    timeline = telemetry.timeline
+    intervals = timeline.deltas()
+    for interval in intervals:
+        interval["derived"] = derive_rates(interval)
+    events = telemetry.events
+    event_block: dict = {
+        "emitted": events.emitted,
+        "retained": len(events),
+        "dropped": events.dropped,
+        "counts_by_kind": events.counts_by_kind(),
+    }
+    if include_events:
+        records = events.as_dicts()
+        if max_events is not None and len(records) > max_events:
+            records = records[-max_events:]
+        event_block["records"] = records
+    return {
+        "format": TELEMETRY_FORMAT,
+        "meta": dict(meta or {}),
+        "interval_cycles": telemetry.sampler.interval_cycles,
+        "families": telemetry.registry.families(),
+        "metrics": telemetry.registry.names(),
+        "phases": timeline.phase_labels(),
+        "samples": [s.as_dict() for s in timeline],
+        "intervals": intervals,
+        "histograms": telemetry.registry.histograms(),
+        "events": event_block,
+    }
+
+
+def validate_telemetry_payload(payload: dict, require_phases: bool = False) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a valid v1 report."""
+
+    def fail(msg):
+        raise ValueError("invalid telemetry payload: %s" % msg)
+
+    if payload.get("format") != TELEMETRY_FORMAT:
+        fail("format is %r, expected %r" % (payload.get("format"), TELEMETRY_FORMAT))
+    for key, typ in (
+        ("meta", dict),
+        ("interval_cycles", int),
+        ("families", list),
+        ("metrics", list),
+        ("phases", list),
+        ("samples", list),
+        ("intervals", list),
+        ("histograms", dict),
+        ("events", dict),
+    ):
+        if not isinstance(payload.get(key), typ):
+            fail("missing or mistyped field %r" % key)
+    missing = [f for f in CORE_FAMILIES if f not in payload["families"]]
+    if missing:
+        fail("metric families missing: %s" % ", ".join(missing))
+    if not payload["samples"]:
+        fail("no samples (the final snapshot should always be present)")
+    metric_names = set(payload["metrics"])
+    last_cycle = -1.0
+    for i, sample in enumerate(payload["samples"]):
+        for key in ("cycle", "ref_index", "reason", "values"):
+            if key not in sample:
+                fail("sample %d lacks %r" % (i, key))
+        if sample["cycle"] < last_cycle:
+            fail("sample %d goes backwards in time" % i)
+        last_cycle = sample["cycle"]
+        if sample["reason"] not in ("interval", "phase", "final"):
+            fail("sample %d has unknown reason %r" % (i, sample["reason"]))
+        if sample["reason"] == "phase" and not sample.get("phase"):
+            fail("sample %d is a phase sample without a label" % i)
+        unknown = set(sample["values"]) - metric_names
+        if unknown - {n for n in sample["values"] if "." in n}:
+            fail("sample %d has unregistered metrics" % i)
+    if len(payload["intervals"]) != len(payload["samples"]):
+        fail("intervals and samples disagree in length")
+    for i, interval in enumerate(payload["intervals"]):
+        if "derived" not in interval or "values" not in interval:
+            fail("interval %d lacks derived/values" % i)
+    if require_phases and not payload["phases"]:
+        fail("no phase boundaries recorded")
+    for key in ("emitted", "retained", "dropped", "counts_by_kind"):
+        if key not in payload["events"]:
+            fail("events block lacks %r" % key)
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+def write_json(payload: dict, path: str | Path) -> Path:
+    """Write the payload as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def write_csv(payload: dict, path: str | Path) -> Path:
+    """Write the timeline as CSV: one row per sample, one column per metric.
+
+    Derived per-interval rates are appended as ``derived.<name>`` columns
+    so the CSV alone supports the common plots.
+    """
+    path = Path(path)
+    metric_names = list(payload["metrics"])
+    derived_names = sorted(
+        payload["intervals"][0]["derived"] if payload["intervals"] else []
+    )
+    header = (
+        ["cycle", "ref_index", "reason", "phase"]
+        + metric_names
+        + ["derived." + n for n in derived_names]
+    )
+    with path.open("w", newline="") as sink:
+        writer = csv.writer(sink)
+        writer.writerow(header)
+        for sample, interval in zip(payload["samples"], payload["intervals"]):
+            row = [
+                sample["cycle"],
+                sample["ref_index"],
+                sample["reason"],
+                sample.get("phase") or "",
+            ]
+            row += [sample["values"].get(n, "") for n in metric_names]
+            row += [interval["derived"].get(n, "") for n in derived_names]
+            writer.writerow(row)
+    return path
+
+
+#: Derived rates charted in the HTML report, with display titles.
+_HTML_CHARTS = (
+    ("ipc", "IPC"),
+    ("llc_mpki", "LLC MPKI (demand)"),
+    ("llc_mpki_structure", "LLC MPKI — structure"),
+    ("llc_mpki_property", "LLC MPKI — property"),
+    ("l2_hit_rate", "L2 hit rate"),
+    ("bpki", "DRAM bus accesses / kilo-instruction"),
+    ("dram_bytes_per_cycle", "DRAM bandwidth (bytes/cycle)"),
+    ("pf_accuracy", "Prefetch accuracy"),
+    ("mlp", "MLP (overlapped miss latency)"),
+)
+
+_HTML_TEMPLATE = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%(title)s</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a1a; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  .meta td { padding: 0 1rem 0 0; color: #444; }
+  .chart { margin: 1.2rem 0; }
+  .chart svg { background: #fafafa; border: 1px solid #ddd; width: 100%%; height: 160px; }
+  .chart .title { font-weight: 600; }
+  .phase-line { stroke: #c33; stroke-dasharray: 3 3; opacity: .6; }
+  .series { fill: none; stroke: #2563eb; stroke-width: 1.5; }
+  .axis { stroke: #999; stroke-width: 1; }
+  .label { font-size: 10px; fill: #666; }
+  table.events { border-collapse: collapse; }
+  table.events td, table.events th { border: 1px solid #ddd; padding: .2rem .6rem; text-align: right; }
+</style>
+</head>
+<body>
+<h1>%(title)s</h1>
+<table class="meta"><tr>%(meta_cells)s</tr></table>
+<div id="charts"></div>
+<h2>Event counts</h2>
+<table class="events"><tr><th>kind</th><th>count</th></tr>%(event_rows)s</table>
+<p class="label">%(event_note)s</p>
+<script id="telemetry-data" type="application/json">%(data)s</script>
+<script>
+(function () {
+  var payload = JSON.parse(document.getElementById("telemetry-data").textContent);
+  var charts = %(charts)s;
+  var samples = payload.samples, intervals = payload.intervals;
+  var cycles = samples.map(function (s) { return s.cycle; });
+  var maxCycle = Math.max.apply(null, cycles.concat([1]));
+  var phases = samples
+    .map(function (s, i) { return s.reason === "phase" ? {cycle: s.cycle, label: s.phase} : null; })
+    .filter(Boolean);
+  var W = 1000, H = 160, PAD = 34;
+  function sx(c) { return PAD + (W - 2 * PAD) * (c / maxCycle); }
+  var root = document.getElementById("charts");
+  charts.forEach(function (spec) {
+    var key = spec[0], title = spec[1];
+    var ys = intervals.map(function (iv) { return iv.derived[key] || 0; });
+    var maxY = Math.max.apply(null, ys.concat([1e-9]));
+    function sy(v) { return H - PAD + (2 * PAD - H) * (v / maxY); }
+    var pts = cycles.map(function (c, i) { return sx(c) + "," + sy(ys[i]); }).join(" ");
+    var svg = '<svg viewBox="0 0 ' + W + ' ' + H + '" preserveAspectRatio="none">';
+    svg += '<line class="axis" x1="' + PAD + '" y1="' + (H - PAD) + '" x2="' + (W - PAD) + '" y2="' + (H - PAD) + '"/>';
+    svg += '<line class="axis" x1="' + PAD + '" y1="' + PAD + '" x2="' + PAD + '" y2="' + (H - PAD) + '"/>';
+    phases.forEach(function (p) {
+      svg += '<line class="phase-line" x1="' + sx(p.cycle) + '" y1="' + PAD + '" x2="' + sx(p.cycle) + '" y2="' + (H - PAD) + '"><title>' + p.label + '</title></line>';
+    });
+    svg += '<polyline class="series" points="' + pts + '"/>';
+    svg += '<text class="label" x="' + PAD + '" y="' + (PAD - 6) + '">max ' + maxY.toPrecision(4) + '</text>';
+    svg += '<text class="label" x="' + (W - PAD) + '" y="' + (H - PAD + 14) + '" text-anchor="end">' + Math.round(maxCycle) + ' cycles</text>';
+    svg += '</svg>';
+    var div = document.createElement("div");
+    div.className = "chart";
+    div.innerHTML = '<div class="title">' + title + '</div>' + svg;
+    root.appendChild(div);
+  });
+})();
+</script>
+</body>
+</html>
+"""
+
+
+def write_html(payload: dict, path: str | Path, title: str | None = None) -> Path:
+    """Write a self-contained HTML timeline report.
+
+    Per-interval derived rates are charted over simulated cycles with
+    phase boundaries marked as dashed lines; the raw payload is embedded
+    so the report doubles as a data archive.
+    """
+    path = Path(path)
+    meta = payload.get("meta", {})
+    title = title or "Telemetry report — %s" % (
+        meta.get("label") or meta.get("trace") or "simulation run"
+    )
+    meta_cells = "".join(
+        "<td><b>%s</b> %s</td>" % (html.escape(str(k)), html.escape(str(v)))
+        for k, v in sorted(meta.items())
+    ) or "<td>(no metadata)</td>"
+    counts = payload["events"]["counts_by_kind"]
+    event_rows = "".join(
+        "<tr><td>%s</td><td>%d</td></tr>" % (html.escape(kind), count)
+        for kind, count in sorted(counts.items())
+    ) or "<tr><td colspan=2>(none)</td></tr>"
+    event_note = "%d events emitted, %d retained, %d dropped by the ring buffer" % (
+        payload["events"]["emitted"],
+        payload["events"]["retained"],
+        payload["events"]["dropped"],
+    )
+    # </script> inside the JSON would terminate the data block early.
+    data = json.dumps(payload, sort_keys=True).replace("</", "<\\/")
+    path.write_text(
+        _HTML_TEMPLATE
+        % {
+            "title": html.escape(title),
+            "meta_cells": meta_cells,
+            "event_rows": event_rows,
+            "event_note": html.escape(event_note),
+            "data": data,
+            "charts": json.dumps(list(_HTML_CHARTS)),
+        }
+    )
+    return path
+
+
+def write_profile(
+    payload: dict, out_dir: str | Path, stem: str = "profile"
+) -> dict[str, Path]:
+    """Write the JSON + CSV + HTML + events.jsonl bundle of one profile.
+
+    Returns ``{kind: path}`` for everything written.  The JSONL event
+    file is only produced when the payload carries event records.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "json": write_json(payload, out_dir / (stem + ".json")),
+        "csv": write_csv(payload, out_dir / (stem + ".csv")),
+        "html": write_html(payload, out_dir / (stem + ".html")),
+    }
+    records = payload["events"].get("records")
+    if records is not None:
+        jsonl = out_dir / (stem + ".events.jsonl")
+        with jsonl.open("w") as sink:
+            for record in records:
+                sink.write(json.dumps(record, sort_keys=True))
+                sink.write("\n")
+        paths["events"] = jsonl
+    return paths

@@ -1,0 +1,141 @@
+"""Interval- and phase-driven metric sampling.
+
+The sampler snapshots a :class:`~repro.telemetry.registry.MetricRegistry`
+(1) every ``interval_cycles`` simulated cycles, (2) at every workload
+phase boundary (iteration / frontier-level markers carried on the
+trace), and (3) once at end of run.  Sampling happens at ROB-window
+boundaries — the only points where the interval core model has a
+consistent notion of "now" — so a phase boundary that falls mid-window
+is attributed to the end of that window.
+
+All registry metrics are cumulative; :meth:`Timeline.deltas` converts
+consecutive samples into per-interval rates (interval MPKI, bandwidth,
+prefetch accuracy, MLP), which is what the paper-style per-phase
+analyses read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import MetricRegistry
+
+__all__ = ["IntervalSampler", "Sample", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One snapshot of every registered metric."""
+
+    cycle: float
+    ref_index: int
+    reason: str  # "interval" | "phase" | "final"
+    phase: str | None  # phase label beginning here (reason == "phase")
+    values: dict[str, float]
+
+    def as_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "cycle": self.cycle,
+            "ref_index": self.ref_index,
+            "reason": self.reason,
+            "phase": self.phase,
+            "values": dict(self.values),
+        }
+
+
+@dataclass
+class Timeline:
+    """Ordered samples of one run."""
+
+    samples: list[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def phases(self) -> list[Sample]:
+        """Only the phase-boundary samples, in order."""
+        return [s for s in self.samples if s.reason == "phase"]
+
+    def phase_labels(self) -> list[str]:
+        """Phase labels in crossing order."""
+        return [s.phase for s in self.phases()]
+
+    def metric(self, name: str) -> list[tuple[float, float]]:
+        """``(cycle, value)`` series of one metric across all samples."""
+        return [
+            (s.cycle, s.values[name]) for s in self.samples if name in s.values
+        ]
+
+    def deltas(self) -> list[dict]:
+        """Per-interval differences between consecutive samples.
+
+        Each entry covers ``(samples[i-1], samples[i]]`` and maps every
+        metric name to ``value[i] - value[i-1]`` plus ``cycle``/``cycles``
+        bookkeeping.  The first sample's interval starts at cycle 0 with
+        all-zero baselines.
+        """
+        out: list[dict] = []
+        prev_cycle = 0.0
+        prev_values: dict[str, float] = {}
+        for sample in self.samples:
+            entry = {
+                "cycle": sample.cycle,
+                "cycles": sample.cycle - prev_cycle,
+                "reason": sample.reason,
+                "phase": sample.phase,
+                "values": {
+                    name: value - prev_values.get(name, 0.0)
+                    for name, value in sample.values.items()
+                },
+            }
+            out.append(entry)
+            prev_cycle = sample.cycle
+            prev_values = sample.values
+        return out
+
+
+class IntervalSampler:
+    """Drives snapshots of one registry from the machine's window loop."""
+
+    def __init__(self, registry: MetricRegistry, interval_cycles: int = 50_000):
+        if interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        self.registry = registry
+        self.interval_cycles = interval_cycles
+        self.timeline = Timeline()
+        self._next_sample = float(interval_cycles)
+
+    # ------------------------------------------------------------------
+    def _snap(self, cycle: float, ref_index: int, reason: str, phase=None) -> Sample:
+        sample = Sample(
+            cycle=float(cycle),
+            ref_index=int(ref_index),
+            reason=reason,
+            phase=phase,
+            values=self.registry.snapshot(),
+        )
+        self.timeline.samples.append(sample)
+        return sample
+
+    def on_phase(self, label: str, cycle: float, ref_index: int) -> Sample:
+        """Snapshot at a workload phase boundary."""
+        return self._snap(cycle, ref_index, "phase", phase=label)
+
+    def on_window(self, cycle: float, ref_index: int) -> Sample | None:
+        """Snapshot if ``cycle`` crossed the next interval boundary."""
+        if cycle < self._next_sample:
+            return None
+        sample = self._snap(cycle, ref_index, "interval")
+        # Skip intervals the run jumped over entirely rather than
+        # emitting a burst of identical samples.
+        intervals = int(cycle // self.interval_cycles) + 1
+        self._next_sample = intervals * float(self.interval_cycles)
+        return sample
+
+    def finish(self, cycle: float, ref_index: int) -> Sample:
+        """Final end-of-run snapshot (always taken)."""
+        return self._snap(cycle, ref_index, "final")

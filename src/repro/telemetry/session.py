@@ -1,0 +1,122 @@
+"""The per-run telemetry session: registry + sampler + event trace.
+
+A :class:`Telemetry` object is created per simulation run and handed to
+:func:`repro.system.runner.simulate` (or ``Machine``).  The machine
+binds every component's stats into the registry at construction time
+and drives the sampler from its window loop.  ``Telemetry.disabled()``
+returns the shared null session: the machine treats it exactly like
+``None``, so a disabled session adds **zero** work to the hot loop and
+simulated results are bit-identical to an un-instrumented run.
+
+One session instruments one run: :meth:`attach` raises on reuse, which
+catches accidental double-registration of the same metric names.
+"""
+
+from __future__ import annotations
+
+from ..trace.record import DataType
+from .events import EventTrace
+from .registry import MetricRegistry
+from .sampler import IntervalSampler, Timeline
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+#: int(DataType) -> short name, for tagging events cheaply.
+_DTYPE_NAMES = {int(dt): dt.short_name for dt in DataType}
+
+
+class Telemetry:
+    """One run's telemetry: metric registry, sampler and event ring.
+
+    Parameters
+    ----------
+    interval_cycles:
+        Cadence of periodic timeline samples (simulated cycles).
+    event_capacity:
+        Ring-buffer size of the structured event trace.
+    """
+
+    enabled = True
+
+    def __init__(self, interval_cycles: int = 50_000, event_capacity: int = 65536):
+        self.registry = MetricRegistry()
+        self.sampler = IntervalSampler(self.registry, interval_cycles)
+        self.events = EventTrace(capacity=event_capacity)
+        self.attached_to: str | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def disabled() -> "_NullTelemetry":
+        """The shared no-op session (``enabled`` is False)."""
+        return NULL_TELEMETRY
+
+    @property
+    def timeline(self) -> Timeline:
+        """The sampled timeline (delegates to the sampler)."""
+        return self.sampler.timeline
+
+    def attach(self, label: str) -> None:
+        """Claim this session for one run; raises if already claimed."""
+        if self.attached_to is not None:
+            raise RuntimeError(
+                "telemetry session already attached to %r; build a fresh "
+                "Telemetry per simulation run" % self.attached_to
+            )
+        self.attached_to = label
+
+    # ------------------------------------------------------------------
+    # Machine-facing hooks (hot-adjacent; called only when enabled)
+    # ------------------------------------------------------------------
+    def emit(self, cycle, kind, line=None, core=None, dtype=None, detail=None) -> None:
+        """Record one structured event; ``dtype`` may be an int DataType."""
+        if isinstance(dtype, int):
+            dtype = _DTYPE_NAMES.get(dtype, str(dtype))
+        self.events.emit(cycle, kind, line=line, core=core, dtype=dtype, detail=detail)
+
+    def record_phase(self, label: str, cycle: float, ref_index: int) -> None:
+        """A workload phase boundary: snapshot + phase event."""
+        self.sampler.on_phase(label, cycle, ref_index)
+        self.events.emit(cycle, "phase", detail=label)
+
+    def on_window(self, cycle: float, ref_index: int) -> None:
+        """Window-boundary tick: samples when an interval was crossed."""
+        self.sampler.on_window(cycle, ref_index)
+
+    def finish(self, cycle: float, ref_index: int) -> None:
+        """End of run: take the final sample."""
+        self.sampler.finish(cycle, ref_index)
+
+
+class _NullTelemetry:
+    """Disabled backend: every hook is a no-op, ``enabled`` is False.
+
+    The machine never calls hooks on a disabled session (it normalizes
+    to ``None`` up front), but the no-ops make the null object safe to
+    pass anywhere a :class:`Telemetry` is accepted.
+    """
+
+    enabled = False
+    registry = None
+    events = None
+    sampler = None
+    timeline = None
+    attached_to = None
+
+    def attach(self, label: str) -> None:
+        pass
+
+    def emit(self, *args, **kwargs) -> None:
+        pass
+
+    def record_phase(self, *args, **kwargs) -> None:
+        pass
+
+    def on_window(self, *args, **kwargs) -> None:
+        pass
+
+    def finish(self, *args, **kwargs) -> None:
+        pass
+
+
+#: The shared disabled session.
+NULL_TELEMETRY = _NullTelemetry()

@@ -8,7 +8,7 @@ hundreds of thousands of references fast enough for pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +37,13 @@ class Trace:
     * ``is_load`` (bool) — load vs. store,
     * ``dep``   (int64)  — producer-load index or ``NO_DEP``,
     * ``gap``   (int32)  — non-memory instructions before each reference.
+
+    ``phases`` carries workload phase markers as ``(ref_index, label)``
+    pairs sorted by index: the phase named ``label`` begins at reference
+    ``ref_index`` (which may equal ``len(trace)`` for a boundary hit
+    exactly when the budget ran out).  Markers annotate the trace only —
+    they never affect replay, so simulation results are independent of
+    their presence.
     """
 
     addr: np.ndarray
@@ -46,6 +53,7 @@ class Trace:
     gap: np.ndarray
     name: str = "trace"
     core: int = 0
+    phases: list[tuple[int, str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         lengths = {
@@ -57,6 +65,16 @@ class Trace:
         }
         if len(lengths) != 1:
             raise ValueError("trace arrays must be parallel")
+        last = -1
+        for index, label in self.phases:
+            if not (0 <= index <= len(self.addr)):
+                raise ValueError(
+                    "phase %r at index %d outside trace of %d refs"
+                    % (label, index, len(self.addr))
+                )
+            if index < last:
+                raise ValueError("phase markers must be sorted by index")
+            last = index
 
     def __len__(self) -> int:
         return len(self.addr)
@@ -108,6 +126,11 @@ class Trace:
             self.gap[start:stop].copy(),
             name="%s[%d:%d]" % (self.name, start, stop),
             core=self.core,
+            phases=[
+                (index - start, label)
+                for index, label in self.phases
+                if start <= index <= stop
+            ],
         )
 
 
@@ -151,6 +174,7 @@ class TraceBuffer:
         self._is_load: list[bool] = []
         self._dep: list[int] = []
         self._gap: list[int] = []
+        self._phases: list[tuple[int, str]] = []
 
     def __len__(self) -> int:
         return len(self._addr)
@@ -196,6 +220,16 @@ class TraceBuffer:
         """Shorthand for recording a store."""
         return self.append(addr, kind, is_load=False, dep=dep, gap=gap)
 
+    def mark_phase(self, label: str) -> None:
+        """Mark a workload phase boundary starting at the next reference.
+
+        Markers hit while still inside the warm-up skip window all land
+        at recorded index 0; :meth:`finalize` keeps only the last of any
+        same-index run, so the trace starts in the correct phase without
+        a pile of zero-length warm-up phases.
+        """
+        self._phases.append((len(self._addr), str(label)))
+
     def finalize(self) -> Trace:
         """Freeze into an array-backed :class:`Trace`.
 
@@ -205,6 +239,12 @@ class TraceBuffer:
         dep = np.array(self._dep, dtype=np.int64)
         if self.skip:
             dep = np.where(dep >= self.skip, dep - self.skip, NO_DEP)
+        phases: list[tuple[int, str]] = []
+        for index, label in self._phases:
+            if phases and phases[-1][0] == index:
+                phases[-1] = (index, label)  # keep-last on same-index runs
+            else:
+                phases.append((index, label))
         return Trace(
             addr=np.array(self._addr, dtype=np.int64),
             kind=np.array(self._kind, dtype=np.int8),
@@ -213,4 +253,5 @@ class TraceBuffer:
             gap=np.array(self._gap, dtype=np.int32),
             name=self.name,
             core=self.core,
+            phases=phases,
         )

@@ -8,6 +8,7 @@ parallel arrays plus metadata, so it is stable and readable elsewhere.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +18,8 @@ from .buffer import Trace
 __all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
 
 #: Bump when the on-disk layout changes incompatibly.
-TRACE_FORMAT_VERSION = 1
+#: v2 added workload phase markers (``phase_index`` + ``phase_labels``).
+TRACE_FORMAT_VERSION = 2
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -33,6 +35,10 @@ def save_trace(trace: Trace, path: str | Path) -> None:
         gap=trace.gap,
         name=np.bytes_(trace.name.encode()),
         core=np.int64(trace.core),
+        phase_index=np.array([i for i, _ in trace.phases], dtype=np.int64),
+        phase_labels=np.bytes_(
+            json.dumps([label for _, label in trace.phases]).encode()
+        ),
     )
 
 
@@ -46,6 +52,11 @@ def load_trace(path: str | Path) -> Trace:
                 "trace %s has format version %d; this build reads %d"
                 % (path, version, TRACE_FORMAT_VERSION)
             )
+        labels = json.loads(bytes(archive["phase_labels"]).decode())
+        phases = [
+            (int(index), label)
+            for index, label in zip(archive["phase_index"], labels)
+        ]
         return Trace(
             addr=archive["addr"],
             kind=archive["kind"],
@@ -54,4 +65,5 @@ def load_trace(path: str | Path) -> Trace:
             gap=archive["gap"],
             name=bytes(archive["name"]).decode(),
             core=int(archive["core"]),
+            phases=phases,
         )

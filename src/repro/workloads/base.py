@@ -57,6 +57,14 @@ class Tracer:
         self.tb = tb
         self.layout = layout
 
+    def phase(self, label: str) -> None:
+        """Mark a workload phase boundary (iteration, frontier level).
+
+        Markers annotate the trace for telemetry; they emit no memory
+        reference and never change simulation results.
+        """
+        self.tb.mark_phase(label)
+
     def load_offset(self, v: int, dep: int = NO_DEP) -> int:
         """Load ``offsets[v]`` (intermediate data)."""
         return self.tb.load(

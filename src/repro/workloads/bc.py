@@ -82,7 +82,8 @@ class BetweennessCentrality(Workload):
         load_off = tracer.load_offset
         load_im = tracer.load_intermediate
         store_im = tracer.store_intermediate
-        for source in self._sources(graph, num_sources):
+        for src_no, source in enumerate(self._sources(graph, num_sources)):
+            tracer.phase("forward:%d" % src_no)
             depth = np.full(n, -1, dtype=np.int64)
             sigma = np.zeros(n)
             depth[source] = 0
@@ -114,6 +115,7 @@ class BetweennessCentrality(Workload):
                         sigma[v] += sigma[u]
                         store_prop("sigma", v, dep=s)
             # Backward phase: successor-check accumulation.
+            tracer.phase("backward:%d" % src_no)
             delta = np.zeros(n)
             for pos in range(len(order) - 1, -1, -1):
                 tracer.stack_access(pos)

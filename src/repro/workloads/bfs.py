@@ -127,6 +127,7 @@ class BFS(Workload):
         switch_at = max(n // alpha, 1)
         while queue:
             bottom_up = direction_optimizing and len(queue) > switch_at
+            tracer.phase("%s:%d" % ("bottomup" if bottom_up else "level", level))
             if bottom_up:
                 # Tag the current frontier (sequential-ish property stores).
                 for u in queue:

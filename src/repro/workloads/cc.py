@@ -75,7 +75,10 @@ class ConnectedComponents(Workload):
         load_struct = tracer.load_structure
         load_off = tracer.load_offset
         changed = True
+        round_no = 0
         while changed:
+            tracer.phase("iteration:%d" % round_no)
+            round_no += 1
             changed = False
             # Hooking sweep: sequential vertices, streaming structure.
             for u in range(v_lo, v_hi):

@@ -88,7 +88,8 @@ class PageRank(Workload):
         store_prop = tracer.store_property
         load_struct = tracer.load_structure
         load_off = tracer.load_offset
-        for _ in range(iterations):
+        for it in range(iterations):
+            tracer.phase("iteration:%d" % it)
             # Contribution pass: sequential property read-modify-write.
             for u in range(v_lo, v_hi):
                 tracer.stack_access(u)

@@ -113,7 +113,8 @@ class EdgeCentricPageRank(Workload):
         stack = layout.stack
         score_region = layout.properties["score"]
         contrib_region = layout.properties["contrib"]
-        for _ in range(iterations):
+        for it in range(iterations):
+            tb.mark_phase("iteration:%d" % it)
             # Contribution pass: sequential property read-modify-write.
             for u in range(n):
                 tb.load(stack.addr(u % stack.num_elements), DataType.INTERMEDIATE, gap=1)

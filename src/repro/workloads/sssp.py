@@ -90,6 +90,7 @@ class SSSP(Workload):
         current_bin = 0
         while bins:
             current_bin = min(bins)
+            tracer.phase("bin:%d" % current_bin)
             frontier = bins.pop(current_bin)
             while frontier:
                 u = frontier.pop()

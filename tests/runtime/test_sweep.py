@@ -187,6 +187,83 @@ class TestDeterminism:
         assert first.metrics.cache_misses == 1  # traced once, memo reused
 
 
+class TestMetricsAggregation:
+    """Satellite: worker/utilization accounting on the serial fallback."""
+
+    def test_serial_fallback_reports_one_serial_worker(self, tmp_path):
+        for workers in (None, 0, 1):
+            runner = SweepRunner(
+                workers=workers, trace_cache=TraceCache(tmp_path / "traces")
+            )
+            report = runner.run(make_points(workloads=("PR",), setups=("none",)))
+            assert report.metrics.workers == 1
+            assert report.metrics.mode == "serial"
+            # Serial execution is ~100% busy by construction; timer
+            # granularity must never push it past 1.0.
+            assert 0 < report.metrics.utilization <= 1.0
+            assert "serial worker" in report.metrics.to_text()
+
+    def test_parallel_mode_reported(self, tmp_path):
+        report = parallel_runner(tmp_path).run(
+            make_points(workloads=("PR",), setups=("none",))
+        )
+        assert report.metrics.mode == "parallel"
+        assert report.metrics.workers == 2
+        assert report.metrics.as_dict()["mode"] == "parallel"
+
+    def test_degenerate_metrics_are_zero_not_nan(self):
+        from repro.runtime.sweep import SweepMetrics
+
+        assert SweepMetrics().utilization == 0.0
+        assert SweepMetrics(elapsed=0.0, point_time=5.0).utilization == 0.0
+        capped = SweepMetrics(elapsed=1.0, point_time=1.5, workers=1)
+        assert capped.utilization == 1.0
+
+
+class TestTelemetrySweep:
+    """Tentpole: per-point telemetry payloads riding on sweep results."""
+
+    def test_serial_sweep_attaches_payloads(self, tmp_path):
+        runner = serial_runner(tmp_path, telemetry=True, telemetry_interval=2000)
+        report = runner.run(make_points(workloads=("PR",)))
+        from repro.telemetry import validate_telemetry_payload
+
+        for r in report.points:
+            assert r.telemetry is not None
+            validate_telemetry_payload(r.telemetry)
+            assert r.telemetry["meta"]["label"] == r.point.label
+            # Sweep payloads stay slim: summary counts only, no records.
+            assert "records" not in r.telemetry["events"]
+            assert r.as_dict()["telemetry"] == r.telemetry
+
+    def test_parallel_payloads_cross_the_pool(self, tmp_path):
+        points = make_points(workloads=("PR",))
+        serial = serial_runner(
+            tmp_path, telemetry=True, telemetry_interval=2000
+        ).run(points)
+        parallel = parallel_runner(
+            tmp_path, telemetry=True, telemetry_interval=2000
+        ).run(points)
+        for s, p in zip(serial.points, parallel.points):
+            assert p.telemetry is not None
+            assert p.telemetry["samples"] == s.telemetry["samples"]
+
+    def test_telemetry_off_by_default(self, tmp_path):
+        report = serial_runner(tmp_path).run(
+            make_points(workloads=("PR",), setups=("none",))
+        )
+        assert all(r.telemetry is None for r in report.points)
+        assert "telemetry" not in report.points[0].as_dict()
+
+    def test_telemetry_does_not_change_summaries(self, tmp_path):
+        points = make_points(workloads=("PR",))
+        plain = serial_runner(tmp_path).run(points)
+        instrumented = serial_runner(
+            tmp_path, telemetry=True, telemetry_interval=2000
+        ).run(points)
+        assert instrumented.summaries() == plain.summaries()
+
+
 class TestCompareSetups:
     """Satellite: compare_setups construction fix + PrefetchSetup objects."""
 

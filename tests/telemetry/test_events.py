@@ -1,0 +1,63 @@
+"""EventTrace ring buffer and TraceEvent serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import EVENT_KINDS, EventTrace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_fields_and_tuple_identity(self):
+        ev = TraceEvent(100, "writeback", line=7, core=1, dtype="property")
+        assert (ev.cycle, ev.kind, ev.line, ev.core) == (100, "writeback", 7, 1)
+        assert ev.dtype == "property" and ev.detail is None
+        assert tuple(ev) == (100, "writeback", 7, 1, "property", None)
+
+    def test_as_dict_omits_none_fields(self):
+        full = TraceEvent(5, "prefetch_issue", line=1, core=0, dtype="s", detail="d")
+        assert set(full.as_dict()) == {
+            "cycle", "kind", "line", "core", "dtype", "detail",
+        }
+        untimed = TraceEvent(None, "tlb_walk", core=2)
+        assert untimed.as_dict() == {"kind": "tlb_walk", "core": 2}
+
+
+class TestEventTrace:
+    def test_emit_and_read_back(self):
+        trace = EventTrace(capacity=8)
+        trace.emit(1, "writeback", line=3)
+        trace.emit(2, "dram_demand", line=4, core=0)
+        assert trace.emitted == 2 and len(trace) == 2 and trace.dropped == 0
+        kinds = [ev.kind for ev in trace.events()]
+        assert kinds == ["writeback", "dram_demand"]
+        assert trace.counts_by_kind() == {"writeback": 1, "dram_demand": 1}
+
+    def test_ring_drops_oldest(self):
+        trace = EventTrace(capacity=3)
+        for cycle in range(5):
+            trace.emit(cycle, "writeback")
+        assert trace.emitted == 5 and len(trace) == 3 and trace.dropped == 2
+        assert [ev.cycle for ev in trace.events()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            EventTrace(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.emit(1, "mpp_chase", line=9, dtype="structure")
+        trace.emit(None, "prefetch_drop", detail="mtlb_fault")
+        path = tmp_path / "events.jsonl"
+        assert trace.write_jsonl(path) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == trace.as_dicts()
+        assert lines[1] == {"kind": "prefetch_drop", "detail": "mtlb_fault"}
+
+    def test_machine_vocabulary_is_closed(self):
+        # The instrumented machine only emits kinds from EVENT_KINDS;
+        # keep the vocabulary explicit so JSONL consumers can rely on it.
+        assert "phase" in EVENT_KINDS
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)

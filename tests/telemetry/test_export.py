@@ -1,0 +1,215 @@
+"""Exporters: payload shape, derived rates, schema validation, writers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TELEMETRY_FORMAT,
+    Telemetry,
+    derive_rates,
+    telemetry_dict,
+    validate_telemetry_payload,
+    write_csv,
+    write_html,
+    write_json,
+    write_profile,
+)
+
+
+def instrumented_session() -> Telemetry:
+    """A hand-driven session with the machine's well-known metric names."""
+    tel = Telemetry(interval_cycles=100, event_capacity=16)
+    box = {
+        "core.instructions": 0.0,
+        "core.miss_latency": 0.0,
+        "core.exposed_latency": 0.0,
+        "cache.l2.hits": 0.0,
+        "cache.l2.misses": 0.0,
+        "cache.l3.misses": 0.0,
+        "cache.l3.misses.structure": 0.0,
+        "cache.l3.misses.property": 0.0,
+        "dram.bus_accesses": 0.0,
+        "prefetch.issued": 0.0,
+        "prefetch.useful": 0.0,
+    }
+    for name in box:
+        tel.registry.gauge(name, lambda name=name: box[name])
+    tel._box = box  # test handle, not part of the API
+    return tel
+
+
+def drive(tel: Telemetry) -> None:
+    box = tel._box
+    box.update(
+        {
+            "core.instructions": 1000.0,
+            "core.miss_latency": 400.0,
+            "core.exposed_latency": 200.0,
+            "cache.l2.hits": 60.0,
+            "cache.l2.misses": 40.0,
+            "cache.l3.misses": 20.0,
+            "cache.l3.misses.structure": 12.0,
+            "cache.l3.misses.property": 8.0,
+            "dram.bus_accesses": 25.0,
+            "prefetch.issued": 10.0,
+            "prefetch.useful": 6.0,
+        }
+    )
+    tel.emit(50, "prefetch_issue", line=1, core=0, dtype="structure")
+    tel.on_window(120, 80)
+    tel.record_phase("iteration:1", 150, 100)
+    box["core.instructions"] = 1800.0
+    tel.finish(260, 180)
+
+
+class TestDeriveRates:
+    def test_rates_from_one_interval(self):
+        interval = {
+            "cycles": 1000.0,
+            "values": {
+                "core.instructions": 2000.0,
+                "cache.l3.misses": 10.0,
+                "cache.l3.misses.structure": 6.0,
+                "cache.l3.misses.property": 4.0,
+                "cache.l2.hits": 30.0,
+                "cache.l2.misses": 10.0,
+                "dram.bus_accesses": 16.0,
+                "prefetch.issued": 8.0,
+                "prefetch.useful": 6.0,
+                "core.miss_latency": 500.0,
+                "core.exposed_latency": 100.0,
+            },
+        }
+        rates = derive_rates(interval)
+        assert rates["ipc"] == pytest.approx(2.0)
+        assert rates["llc_mpki"] == pytest.approx(5.0)
+        assert rates["llc_mpki_structure"] == pytest.approx(3.0)
+        assert rates["llc_mpki_property"] == pytest.approx(2.0)
+        assert rates["l2_hit_rate"] == pytest.approx(0.75)
+        assert rates["bpki"] == pytest.approx(8.0)
+        assert rates["dram_bytes_per_cycle"] == pytest.approx(16 * 64 / 1000)
+        assert rates["pf_accuracy"] == pytest.approx(0.75)
+        assert rates["mlp"] == pytest.approx(5.0)
+
+    def test_empty_interval_is_all_zero(self):
+        rates = derive_rates({"cycles": 0.0, "values": {}})
+        assert set(rates.values()) == {0.0}
+
+
+class TestTelemetryDict:
+    def test_payload_shape_and_validation(self):
+        tel = instrumented_session()
+        drive(tel)
+        payload = telemetry_dict(tel, meta={"label": "unit"})
+        validate_telemetry_payload(payload, require_phases=True)
+        assert payload["format"] == TELEMETRY_FORMAT
+        assert payload["meta"] == {"label": "unit"}
+        assert payload["interval_cycles"] == 100
+        assert set(("cache", "core", "dram", "prefetch")) <= set(payload["families"])
+        assert payload["phases"] == ["iteration:1"]
+        assert [s["reason"] for s in payload["samples"]] == [
+            "interval", "phase", "final",
+        ]
+        assert len(payload["intervals"]) == len(payload["samples"])
+        # The final interval only accrued instructions.
+        last = payload["intervals"][-1]
+        assert last["values"]["core.instructions"] == pytest.approx(800.0)
+        assert last["derived"]["ipc"] == pytest.approx(800.0 / 110.0)
+        # JSON-safe end to end.
+        json.dumps(payload)
+
+    def test_event_block_and_exclusion(self):
+        tel = instrumented_session()
+        drive(tel)
+        with_events = telemetry_dict(tel)
+        assert with_events["events"]["emitted"] == 2  # prefetch_issue + phase
+        kinds = [r["kind"] for r in with_events["events"]["records"]]
+        assert kinds == ["prefetch_issue", "phase"]
+        trimmed = telemetry_dict(tel, max_events=1)
+        assert [r["kind"] for r in trimmed["events"]["records"]] == ["phase"]
+        without = telemetry_dict(tel, include_events=False)
+        assert "records" not in without["events"]
+        assert without["events"]["counts_by_kind"] == {
+            "prefetch_issue": 1, "phase": 1,
+        }
+
+    def test_validation_rejects_broken_payloads(self):
+        tel = instrumented_session()
+        drive(tel)
+        good = telemetry_dict(tel)
+
+        def corrupt(**changes):
+            bad = json.loads(json.dumps(good))
+            bad.update(changes)
+            return bad
+
+        with pytest.raises(ValueError, match="format"):
+            validate_telemetry_payload(corrupt(format="nope"))
+        with pytest.raises(ValueError, match="families missing"):
+            validate_telemetry_payload(corrupt(families=["cache"]))
+        with pytest.raises(ValueError, match="no samples"):
+            validate_telemetry_payload(corrupt(samples=[], intervals=[]))
+        with pytest.raises(ValueError, match="disagree"):
+            validate_telemetry_payload(corrupt(intervals=[]))
+        backwards = corrupt()
+        backwards["samples"][0]["cycle"] = 1e12
+        with pytest.raises(ValueError, match="backwards"):
+            validate_telemetry_payload(backwards)
+        unlabeled = corrupt()
+        unlabeled["samples"][1]["phase"] = None
+        with pytest.raises(ValueError, match="without a label"):
+            validate_telemetry_payload(unlabeled)
+        no_phases = corrupt(phases=[])
+        validate_telemetry_payload(no_phases)  # fine without the flag
+        with pytest.raises(ValueError, match="phase boundaries"):
+            validate_telemetry_payload(no_phases, require_phases=True)
+
+
+class TestWriters:
+    @pytest.fixture()
+    def payload(self):
+        tel = instrumented_session()
+        drive(tel)
+        return telemetry_dict(tel, meta={"label": "unit", "trace": "t"})
+
+    def test_json_round_trip(self, payload, tmp_path):
+        path = write_json(payload, tmp_path / "p.json")
+        assert json.loads(path.read_text()) == payload
+
+    def test_csv_columns(self, payload, tmp_path):
+        path = write_csv(payload, tmp_path / "p.csv")
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert header[:4] == ["cycle", "ref_index", "reason", "phase"]
+        assert "core.instructions" in header
+        assert "derived.ipc" in header
+        assert len(lines) == 1 + len(payload["samples"])
+
+    def test_html_is_self_contained(self, payload, tmp_path):
+        path = write_html(payload, tmp_path / "p.html")
+        text = path.read_text()
+        assert "telemetry-data" in text
+        assert "iteration:1" in text
+        # The embedded JSON must not terminate the script block early.
+        data = text.split('type="application/json">', 1)[1]
+        assert "</script" not in data.split("</script>", 1)[0][:-1]
+
+    def test_profile_bundle(self, payload, tmp_path):
+        paths = write_profile(payload, tmp_path / "out")
+        assert set(paths) == {"json", "csv", "html", "events"}
+        assert all(p.exists() for p in paths.values())
+        records = [
+            json.loads(line)
+            for line in paths["events"].read_text().splitlines()
+        ]
+        assert records == payload["events"]["records"]
+
+    def test_profile_bundle_without_event_records(self, payload, tmp_path):
+        tel = instrumented_session()
+        drive(tel)
+        slim = telemetry_dict(tel, include_events=False)
+        paths = write_profile(slim, tmp_path / "slim")
+        assert set(paths) == {"json", "csv", "html"}

@@ -1,0 +1,111 @@
+"""MetricRegistry: naming, lookup, snapshots, collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_reads_through_the_callable(self):
+        box = {"v": 3}
+        g = Gauge("x", lambda: box["v"])
+        assert g.value == 3.0
+        box["v"] = 7
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_buckets_and_mean(self):
+        h = Histogram("x", boundaries=(1, 4, 8))
+        for v in (0.5, 1.0, 3.0, 9.0):
+            h.observe(v)
+        # Buckets are [lo, hi): <1 gets 0.5; [1,4) gets 1.0 and 3.0;
+        # overflow gets 9.0.
+        assert h.counts == [1, 2, 0, 1]
+        assert h.value == pytest.approx(13.5 / 4)
+        d = h.as_dict()
+        assert d["count"] == 4 and d["sum"] == pytest.approx(13.5)
+        assert d["boundaries"] == [1.0, 4.0, 8.0]
+
+    def test_needs_boundaries(self):
+        with pytest.raises(ValueError, match="boundary"):
+            Histogram("x", boundaries=())
+
+
+class TestRegistry:
+    def test_registration_and_lookup(self):
+        reg = MetricRegistry()
+        reg.gauge("cache.l2.hits", lambda: 1)
+        reg.gauge("cache.l2.misses", lambda: 2)
+        reg.counter("dram.reads")
+        assert len(reg) == 3
+        assert "cache.l2.hits" in reg
+        assert reg.names() == ["cache.l2.hits", "cache.l2.misses", "dram.reads"]
+        assert reg.find("cache.l2") == ["cache.l2.hits", "cache.l2.misses"]
+        assert reg.find("cache") == ["cache.l2.hits", "cache.l2.misses"]
+        assert reg.families() == ["cache", "dram"]
+        assert reg.get("dram.reads").kind == "counter"
+
+    def test_find_does_not_match_partial_segments(self):
+        reg = MetricRegistry()
+        reg.gauge("cache.l2.hits", lambda: 1)
+        reg.gauge("cache.l20.hits", lambda: 1)
+        assert reg.find("cache.l2") == ["cache.l2.hits"]
+
+    def test_duplicate_and_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a.b", lambda: 0)
+        for bad in ("", ".a", "a."):
+            with pytest.raises(ValueError, match="invalid"):
+                reg.counter(bad)
+
+    def test_snapshot_is_flat_and_live(self):
+        reg = MetricRegistry()
+        box = {"v": 1}
+        reg.gauge("g", lambda: box["v"])
+        c = reg.counter("c")
+        h = reg.histogram("h", boundaries=(10,))
+        h.observe(4)
+        first = reg.snapshot()
+        assert first == {"g": 1.0, "c": 0, "h": 4.0}
+        box["v"] = 9
+        c.inc(2)
+        assert reg.snapshot() == {"g": 9.0, "c": 2, "h": 4.0}
+        # Snapshots are independent dicts.
+        assert first["g"] == 1.0
+
+    def test_collectors_merge_into_snapshots(self):
+        reg = MetricRegistry()
+        reg.gauge("pf.total", lambda: 5)
+        reg.add_collector(lambda: {"pf.stream.issued": 3})
+        assert reg.snapshot() == {"pf.total": 5.0, "pf.stream.issued": 3.0}
+
+    def test_collector_collision_raises_at_snapshot(self):
+        reg = MetricRegistry()
+        reg.gauge("pf.total", lambda: 5)
+        reg.add_collector(lambda: {"pf.total": 1})
+        with pytest.raises(ValueError, match="collides"):
+            reg.snapshot()
+
+    def test_histograms_export(self):
+        reg = MetricRegistry()
+        reg.histogram("core.mlp", boundaries=(1, 2))
+        reg.gauge("g", lambda: 0)
+        assert set(reg.histograms()) == {"core.mlp"}

@@ -1,0 +1,85 @@
+"""IntervalSampler cadence and Timeline delta computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import IntervalSampler, MetricRegistry, Timeline
+
+
+def make_sampler(interval=100):
+    reg = MetricRegistry()
+    box = {"v": 0.0}
+    reg.gauge("core.cycles", lambda: box["v"])
+    sampler = IntervalSampler(reg, interval_cycles=interval)
+    return sampler, box
+
+
+class TestIntervalSampler:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            IntervalSampler(MetricRegistry(), interval_cycles=0)
+
+    def test_samples_only_on_interval_crossings(self):
+        sampler, box = make_sampler(interval=100)
+        assert sampler.on_window(50, 10) is None
+        box["v"] = 120
+        sample = sampler.on_window(120, 20)
+        assert sample is not None and sample.reason == "interval"
+        assert sample.cycle == 120 and sample.ref_index == 20
+        assert sample.values == {"core.cycles": 120.0}
+        # Not again until the *next* boundary.
+        assert sampler.on_window(180, 30) is None
+        assert sampler.on_window(205, 40) is not None
+
+    def test_skipped_intervals_collapse_to_one_sample(self):
+        sampler, _ = make_sampler(interval=100)
+        # One window jumped from 0 to 950: a single sample, then the next
+        # boundary is 1000 — no burst of identical snapshots.
+        assert sampler.on_window(950, 5) is not None
+        assert sampler.on_window(990, 6) is None
+        assert sampler.on_window(1001, 7) is not None
+
+    def test_phase_and_final_always_sample(self):
+        sampler, _ = make_sampler(interval=10_000)
+        sampler.on_phase("iteration:0", 50, 3)
+        sampler.finish(80, 9)
+        reasons = [s.reason for s in sampler.timeline]
+        assert reasons == ["phase", "final"]
+        phase = sampler.timeline.samples[0]
+        assert phase.phase == "iteration:0" and phase.cycle == 50
+
+
+class TestTimeline:
+    def build(self):
+        sampler, box = make_sampler(interval=100)
+        box["v"] = 100
+        sampler.on_window(100, 10)
+        box["v"] = 150
+        sampler.on_phase("iteration:1", 150, 15)
+        box["v"] = 230
+        sampler.finish(230, 23)
+        return sampler.timeline
+
+    def test_phase_queries(self):
+        timeline = self.build()
+        assert len(timeline) == 3
+        assert timeline.phase_labels() == ["iteration:1"]
+        assert [s.cycle for s in timeline.phases()] == [150]
+
+    def test_metric_series(self):
+        timeline = self.build()
+        assert timeline.metric("core.cycles") == [
+            (100.0, 100.0), (150.0, 150.0), (230.0, 230.0),
+        ]
+        assert timeline.metric("nope") == []
+
+    def test_deltas_difference_consecutive_samples(self):
+        deltas = self.build().deltas()
+        assert [d["cycles"] for d in deltas] == [100.0, 50.0, 80.0]
+        assert [d["values"]["core.cycles"] for d in deltas] == [100.0, 50.0, 80.0]
+        assert [d["reason"] for d in deltas] == ["interval", "phase", "final"]
+        assert deltas[1]["phase"] == "iteration:1"
+
+    def test_empty_timeline_deltas(self):
+        assert Timeline().deltas() == []

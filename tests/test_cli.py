@@ -26,6 +26,31 @@ class TestParser:
         args = build_parser().parse_args(["figure", "fig11b", "--quick"])
         assert args.name == "fig11b" and args.quick
 
+    def test_profile_args(self):
+        args = build_parser().parse_args(
+            [
+                "profile", "--workload", "bfs", "--dataset", "mesh",
+                "--interval", "1000", "--out", "somewhere",
+            ]
+        )
+        assert args.workload == "BFS"  # case-normalized
+        assert args.dataset == "mesh"
+        assert args.setup == "droplet"
+        assert args.interval == 1000 and args.out == "somewhere"
+
+    def test_profile_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--workload", "bfs", "--dataset", "nope"]
+            )
+
+    def test_sweep_telemetry_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "--telemetry", "--telemetry-interval", "9000"]
+        )
+        assert args.telemetry and args.telemetry_interval == 9000
+        assert not build_parser().parse_args(["sweep"]).telemetry
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -56,3 +81,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Baseline architecture" in out
         assert "Prefetchers for evaluation" in out
+
+    def test_profile(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import validate_telemetry_payload
+
+        out_dir = tmp_path / "prof"
+        code = main(
+            [
+                "profile",
+                "--workload", "bfs",
+                "--dataset", "mesh",
+                "--scale-shift", "-3",
+                "--max-refs", "8000",
+                "--interval", "2000",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profiled BFS/mesh/droplet" in out
+        assert "timeline:" in out
+        payload = json.loads((out_dir / "profile.json").read_text())
+        validate_telemetry_payload(payload, require_phases=True)
+        assert payload["meta"]["workload"] == "BFS"
+        assert (out_dir / "profile.html").exists()
+        assert (out_dir / "profile.csv").exists()
+        assert (out_dir / "profile.events.jsonl").exists()
+
+    def test_sweep_with_telemetry(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--workloads", "PR",
+                "--datasets", "kron",
+                "--setups", "droplet",
+                "--max-refs", "3000",
+                "--scale-shift", "-6",
+                "--no-trace-cache",
+                "--telemetry",
+                "--telemetry-interval", "2000",
+                "--out", str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["formats"]["telemetry"] == "repro-telemetry-v1"
+        for entry in payload["points"]:
+            assert entry["seed"] == 7  # kron paper-default backfilled
+            assert entry["telemetry"]["samples"]

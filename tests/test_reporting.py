@@ -6,9 +6,11 @@ import pytest
 
 from repro.reporting import (
     compare_summaries,
+    format_versions,
     load_results,
     save_results,
     summarize,
+    summarize_sweep,
 )
 from repro.system import Machine, SystemConfig
 from repro.trace import gather_trace
@@ -53,6 +55,58 @@ class TestSaveLoad:
         path.write_text(json.dumps({"format": "something-else", "results": []}))
         with pytest.raises(ValueError):
             load_results(path)
+
+
+class TestSweepReportSchema:
+    """Satellite: sweep reports are self-describing (seeds + formats)."""
+
+    @staticmethod
+    def make_report(**point_kwargs):
+        from repro.runtime.points import PointResult, SweepPoint
+        from repro.runtime.sweep import SweepReport
+
+        point = SweepPoint("PR", "kron", max_refs=100, scale_shift=-6, **point_kwargs)
+        return SweepReport(points=[PointResult(point=point, summary={"cycles": 1})])
+
+    def test_points_record_full_trace_identity(self):
+        payload = summarize_sweep(self.make_report())
+        (entry,) = payload["points"]
+        assert entry["max_refs"] == 100
+        assert entry["scale_shift"] == -6
+        # seed=None backfills to the dataset's paper-default seed so the
+        # report alone suffices to regenerate the trace.
+        assert entry["seed"] == 7
+
+    def test_explicit_seed_passes_through(self):
+        (entry,) = summarize_sweep(self.make_report(seed=42))["points"]
+        assert entry["seed"] == 42
+
+    def test_unknown_dataset_leaves_seed_unresolved(self):
+        from repro.runtime.points import PointResult, SweepPoint
+        from repro.runtime.sweep import SweepReport
+
+        point = SweepPoint("PR", "mystery", max_refs=100)
+        report = SweepReport(points=[PointResult(point=point, summary={})])
+        (entry,) = summarize_sweep(report)["points"]
+        assert entry["seed"] is None
+
+    def test_formats_block(self):
+        payload = summarize_sweep(self.make_report())
+        assert payload["formats"] == format_versions()
+        formats = payload["formats"]
+        assert formats["sweep"] == "repro-sweep-v1"
+        assert formats["results"] == "repro-results-v1"
+        assert formats["telemetry"] == "repro-telemetry-v1"
+        from repro.runtime import CACHE_FORMAT_VERSION
+        from repro.trace import TRACE_FORMAT_VERSION
+
+        assert formats["trace"] == TRACE_FORMAT_VERSION
+        assert formats["trace_cache"] == CACHE_FORMAT_VERSION
+
+    def test_metrics_carry_execution_mode(self):
+        payload = summarize_sweep(self.make_report())
+        assert payload["metrics"]["mode"] == "serial"
+        json.dumps(payload)  # whole report stays JSON-safe
 
 
 class TestCompare:

@@ -48,6 +48,67 @@ class TestTraceBuffer:
             TraceBuffer(capacity=-1)
 
 
+class TestPhaseMarkers:
+    def test_mark_phase_records_next_ref_index(self):
+        tb = TraceBuffer()
+        tb.mark_phase("iteration:0")
+        tb.load(0, DataType.STRUCTURE)
+        tb.load(4, DataType.STRUCTURE)
+        tb.mark_phase("iteration:1")
+        tb.load(8, DataType.STRUCTURE)
+        assert tb.finalize().phases == [(0, "iteration:0"), (2, "iteration:1")]
+
+    def test_marker_at_end_of_budget_is_kept(self):
+        tb = TraceBuffer(capacity=1)
+        tb.load(0, DataType.STRUCTURE)
+        tb.mark_phase("tail")
+        t = tb.finalize()
+        assert t.phases == [(1, "tail")]  # index == len(trace) is legal
+
+    def test_skip_window_markers_collapse_keep_last(self):
+        tb = TraceBuffer(skip=2)
+        tb.mark_phase("warmup:0")
+        tb.load(0, DataType.STRUCTURE)
+        tb.mark_phase("warmup:1")
+        tb.load(4, DataType.STRUCTURE)
+        tb.mark_phase("recorded")
+        tb.load(8, DataType.STRUCTURE)
+        # Both warm-up markers land at recorded index 0; only the last
+        # same-index marker survives, so the trace opens in "recorded".
+        assert tb.finalize().phases == [(0, "recorded")]
+
+    def test_trace_validates_marker_ordering_and_range(self):
+        def one_ref(phases):
+            return Trace(
+                addr=np.array([0], dtype=np.int64),
+                kind=np.array([0], dtype=np.int8),
+                is_load=np.array([True]),
+                dep=np.array([NO_DEP], dtype=np.int64),
+                gap=np.array([0], dtype=np.int32),
+                phases=phases,
+            )
+
+        with pytest.raises(ValueError, match="outside trace"):
+            one_ref([(5, "late")])
+        with pytest.raises(ValueError, match="sorted"):
+            one_ref([(1, "b"), (0, "a")])
+        assert one_ref([(0, "a"), (1, "b")]).phases == [(0, "a"), (1, "b")]
+
+    def test_slice_rebases_and_filters_markers(self):
+        tb = TraceBuffer()
+        for label, refs in (("a", 2), ("b", 2), ("c", 2)):
+            tb.mark_phase(label)
+            for _ in range(refs):
+                tb.load(0, DataType.STRUCTURE)
+        t = tb.finalize()
+        assert t.slice(2, 6).phases == [(0, "b"), (2, "c")]
+        # A marker at index == stop marks a boundary at the slice edge
+        # and is kept; markers strictly outside are dropped.
+        assert t.slice(3, 4).phases == [(1, "c")]
+        assert t.slice(0, 2).phases == [(0, "a"), (2, "b")]
+        assert t.slice(3, 3).phases == []
+
+
 class TestSkip:
     def test_skip_drops_leading_refs(self):
         tb = TraceBuffer(skip=2)

@@ -41,6 +41,19 @@ class TestRoundTrip:
         b = Machine(SystemConfig.scaled_baseline()).run(load_trace(path))
         assert a.cycles == b.cycles
 
+    def test_phase_markers_preserved(self, tmp_path):
+        t = gather_trace(10)
+        t.phases = [(0, "warm"), (4, "iteration:0"), (10, "tail")]
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        assert load_trace(path).phases == t.phases
+
+    def test_empty_phases_round_trip(self, tmp_path):
+        t = gather_trace(5)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        assert load_trace(path).phases == []
+
     def test_version_check(self, tmp_path):
         t = gather_trace(5)
         path = tmp_path / "t.npz"
