@@ -70,21 +70,29 @@ class CacheHierarchy:
         self.l3 = Cache(_named(l3_config, "L3", None))
         self.line_size = l3_config.line_size
         self.events: list[HierarchyEvent] = []
+        #: Optional :class:`repro.prefetch.stats.PollutionTracker` —
+        #: attached for attribution-enabled runs; purely observational.
+        self.pollution = None
+        self._pf_issuer: str | None = None
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
-    def _note_eviction(self, line: int, meta, level: str) -> None:
+    def _note_eviction(self, line: int, meta, level: str, by_prefetch: bool = False) -> None:
         if meta.prefetched:
             kind = "evict_pf" if meta.used else "evict_unused_pf"
             self.events.append(HierarchyEvent(kind, line, level))
+        if by_prefetch and self.pollution is not None:
+            self.pollution.on_prefetch_eviction(level, line, self._pf_issuer)
 
     def _fill_l1(self, core: int, line: int, kind: DataType, dirty: bool, pf: bool) -> None:
         victim = self.l1s[core].insert(line, kind, dirty=dirty, prefetched=pf)
+        if self.pollution is not None:
+            self.pollution.on_fill("L1", line)
         if victim is None:
             return
         vline, vmeta = victim
-        self._note_eviction(vline, vmeta, "L1")
+        self._note_eviction(vline, vmeta, "L1", by_prefetch=pf)
         if vmeta.dirty:
             self._merge_dirty_below(core, vline)
 
@@ -92,10 +100,12 @@ class CacheHierarchy:
         if self.l2s is None:
             return
         victim = self.l2s[core].insert(line, kind, prefetched=pf)
+        if self.pollution is not None:
+            self.pollution.on_fill("L2", line)
         if victim is None:
             return
         vline, vmeta = victim
-        self._note_eviction(vline, vmeta, "L2")
+        self._note_eviction(vline, vmeta, "L2", by_prefetch=pf)
         # Inclusion: the L1 above must drop the line too.
         l1_meta = self.l1s[core].invalidate(vline)
         dirty = vmeta.dirty or (l1_meta is not None and l1_meta.dirty)
@@ -104,10 +114,12 @@ class CacheHierarchy:
 
     def _fill_l3(self, line: int, kind: DataType, pf: bool) -> None:
         victim = self.l3.insert(line, kind, prefetched=pf)
+        if self.pollution is not None:
+            self.pollution.on_fill("L3", line)
         if victim is None:
             return
         vline, vmeta = victim
-        self._note_eviction(vline, vmeta, "L3")
+        self._note_eviction(vline, vmeta, "L3", by_prefetch=pf)
         dirty = vmeta.dirty
         # Inclusion: back-invalidate every private cache.
         for core in range(self.num_cores):
@@ -168,6 +180,9 @@ class CacheHierarchy:
                 meta.dirty = True
             return AccessOutcome("L1", meta.prefetched, first)
         l1.stats.record(kind, hit=False)
+        pollution = self.pollution
+        if pollution is not None:
+            pollution.on_demand_miss("L1", line, kind)
 
         if self.l2s is not None:
             l2 = self.l2s[core]
@@ -182,6 +197,8 @@ class CacheHierarchy:
                 self._fill_l1(core, line, kind, dirty=is_store, pf=False)
                 return AccessOutcome("L2", meta.prefetched, first)
             l2.stats.record(kind, hit=False)
+            if pollution is not None:
+                pollution.on_demand_miss("L2", line, kind)
 
         meta = self.l3.lookup(line)
         if meta is not None:
@@ -193,6 +210,8 @@ class CacheHierarchy:
             self._fill_l1(core, line, kind, dirty=is_store, pf=False)
             return AccessOutcome("L3", meta.prefetched, first)
         self.l3.stats.record(kind, hit=False)
+        if pollution is not None:
+            pollution.on_demand_miss("L3", line, kind)
 
         # Serviced by DRAM: install everywhere on the refill path.
         self._fill_l3(line, kind, pf=False)
@@ -209,16 +228,25 @@ class CacheHierarchy:
         line: int,
         kind: DataType,
         into_l1: bool = False,
+        issuer: str | None = None,
     ) -> None:
-        """Install a prefetched line (L2+L3, optionally L1 for mono-L1)."""
+        """Install a prefetched line (L2+L3, optionally L1 for mono-L1).
+
+        ``issuer`` names the prefetch engine for pollution attribution;
+        it is only read when a :class:`PollutionTracker` is attached.
+        """
+        self._pf_issuer = issuer
         self._fill_l3(line, kind, pf=True)
         self._fill_l2(core, line, kind, pf=True)
         if into_l1:
             self._fill_l1(core, line, kind, dirty=False, pf=True)
 
-    def copy_to_l2(self, core: int, line: int, kind: DataType) -> None:
+    def copy_to_l2(
+        self, core: int, line: int, kind: DataType, issuer: str | None = None
+    ) -> None:
         """LLC→L2 copy of an already on-chip line (DROPLET's on-chip path)."""
         if self.l3.contains(line):
+            self._pf_issuer = issuer
             self._fill_l2(core, line, kind, pf=True)
 
     def on_chip(self, line: int) -> bool:

@@ -17,14 +17,18 @@ import numpy as np
 from ..trace.buffer import Trace
 from ..trace.record import DataType
 
-__all__ = ["ReuseProfile", "reuse_distance_profile", "COLD_DISTANCE"]
+__all__ = ["ReuseProfile", "reuse_distance_profile", "Fenwick", "COLD_DISTANCE"]
 
 #: Stack distance reported for first-touch (cold) accesses.
 COLD_DISTANCE = -1
 
 
-class _Fenwick:
-    """Fenwick tree over access timestamps for stack-distance counting."""
+class Fenwick:
+    """Fenwick tree over access timestamps for stack-distance counting.
+
+    Shared between the offline trace profiler below and the online
+    shadow tag stores of :mod:`repro.telemetry.attribution`.
+    """
 
     def __init__(self, n: int):
         self.n = n
@@ -115,7 +119,7 @@ def reuse_distance_profile(trace: Trace, line_size: int = 64) -> ReuseProfile:
     profile = ReuseProfile(line_size=line_size)
     dist_by_kind: dict[DataType, list[int]] = {dt: [] for dt in DataType}
     cold: dict[DataType, int] = {dt: 0 for dt in DataType}
-    fen = _Fenwick(n)
+    fen = Fenwick(n)
     last_seen: dict[int, int] = {}
     for t in range(n):
         line = int(lines[t])

@@ -16,7 +16,12 @@ Commands
     Print Tables I–V and the §V-D overhead report.
 ``profile``
     Instrument one run with the telemetry subsystem and write a
-    phase-sampled timeline (JSON + CSV + self-contained HTML report).
+    phase-sampled timeline (JSON + CSV + self-contained HTML report),
+    including per-region miss attribution, shadow-tag miss
+    classification and prefetch pollution tracking.
+``diff``
+    Compare two saved profiles: phase-aligned per-metric deltas as
+    JSON, a terminal table, and a side-by-side HTML report.
 """
 
 from __future__ import annotations
@@ -156,6 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="output directory for profile.{json,csv,html} (+ events.jsonl)",
     )
+    p_prof.add_argument(
+        "--no-attribution",
+        action="store_true",
+        help="skip per-region miss attribution and pollution tracking",
+    )
+    p_prof.add_argument(
+        "--no-classify",
+        action="store_true",
+        help="skip the shadow-tag compulsory/capacity/conflict classifier",
+    )
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two saved telemetry profiles"
+    )
+    p_diff.add_argument("baseline", metavar="BASELINE_JSON")
+    p_diff.add_argument("candidate", metavar="CANDIDATE_JSON")
+    p_diff.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the diff JSON here (PATH.html gets the HTML report)",
+    )
+    p_diff.add_argument(
+        "--metrics",
+        nargs="+",
+        metavar="PREFIX",
+        help="restrict raw-counter totals to these metric prefixes",
+    )
+    p_diff.add_argument(
+        "--phase-rate",
+        default="llc_mpki_property",
+        metavar="RATE",
+        help="derived rate shown in the per-phase terminal table",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=sorted(_figure_runners()) + ["all"])
@@ -290,7 +328,10 @@ def _cmd_profile(args) -> int:
         graph, max_refs=args.max_refs, skip_refs=workload.recommended_skip(graph)
     )
     telemetry = Telemetry(
-        interval_cycles=args.interval, event_capacity=args.events
+        interval_cycles=args.interval,
+        event_capacity=args.events,
+        attribution=not args.no_attribution,
+        classify_misses=not args.no_classify,
     )
     result = simulate(run, setup=args.setup, telemetry=telemetry)
     payload = telemetry_dict(
@@ -326,8 +367,80 @@ def _cmd_profile(args) -> int:
             telemetry.events.emitted,
         )
     )
+    profiler = telemetry.attribution_profiler
+    if profiler is not None:
+        for lvl in profiler.levels():
+            top = sorted(
+                lvl.misses_by_region().items(), key=lambda kv: -kv[1]
+            )[:3]
+            hot = ", ".join("%s=%d" % kv for kv in top if kv[1])
+            line = "attribution: %s misses %d" % (lvl.level, lvl.total_misses)
+            if hot:
+                line += " (%s)" % hot
+            if lvl.shadow is not None:
+                line += "; " + "/".join(
+                    "%s %d" % kv for kv in lvl.class_counts().items()
+                )
+            print(line)
+    dropped = payload["events"]["dropped"]
+    if dropped:
+        print(
+            "warning: event ring buffer dropped %d of %d events; rerun "
+            "with a larger --events (e.g. --events %d) to keep them all"
+            % (dropped, payload["events"]["emitted"], _next_events_size(payload)),
+            file=sys.stderr,
+        )
     for kind in sorted(paths):
         print("%-7s %s" % (kind, paths[kind]))
+    return 0
+
+
+def _next_events_size(payload: dict) -> int:
+    """Smallest power-of-two ring capacity that keeps every event."""
+    emitted = payload["events"]["emitted"]
+    size = 1
+    while size < emitted:
+        size *= 2
+    return size
+
+
+def _cmd_diff(args) -> int:
+    from .experiments.common import render_table
+    from .telemetry import (
+        diff_payloads,
+        diff_table_rows,
+        load_profile,
+        phase_table_rows,
+        validate_diff_payload,
+        write_diff_html,
+        write_diff_json,
+    )
+
+    baseline = load_profile(args.baseline)
+    candidate = load_profile(args.candidate)
+    diff = diff_payloads(baseline, candidate, metrics=args.metrics)
+    validate_diff_payload(diff)
+    print(render_table(diff_table_rows(diff)))
+    phase_rows = phase_table_rows(diff, args.phase_rate)
+    if phase_rows:
+        print()
+        print("per-phase %s:" % args.phase_rate)
+        print(render_table(phase_rows))
+    unmatched = diff["unmatched_phases"]
+    for side in ("baseline", "candidate"):
+        if unmatched[side]:
+            print(
+                "warning: %d %s phase(s) had no counterpart: %s"
+                % (len(unmatched[side]), side, ", ".join(unmatched[side])),
+                file=sys.stderr,
+            )
+    if args.out:
+        from pathlib import Path
+
+        json_path = write_diff_json(diff, args.out)
+        html_path = write_diff_html(diff, Path(args.out).with_suffix(".html"))
+        print("json    %s" % json_path)
+        print("html    %s" % html_path)
     return 0
 
 
@@ -364,6 +477,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "tables": _cmd_tables,
         "profile": _cmd_profile,
+        "diff": _cmd_diff,
     }
     try:
         return handlers[args.command](args)

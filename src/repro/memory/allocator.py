@@ -84,6 +84,16 @@ class Region:
             raise IndexError("%#x outside region %r" % (vaddr, self.name))
         return (vaddr - self.base) // self.element_size
 
+    def as_dict(self) -> dict:
+        """JSON-safe descriptor (used by telemetry attribution reports)."""
+        return {
+            "name": self.name,
+            "base": self.base,
+            "size": self.size,
+            "kind": self.kind.short_name,
+            "element_size": self.element_size,
+        }
+
 
 class AddressSpace:
     """Bump allocator + page table for one simulated process."""
@@ -135,6 +145,17 @@ class AddressSpace:
             if region.contains(vaddr):
                 return region
         return None
+
+    def sorted_regions(self) -> list[Region]:
+        """All regions in ascending base-address order.
+
+        The canonical region table consumed by the bisect-based address
+        classifiers (:class:`repro.system.machine.RegionClassifier`, the
+        telemetry :class:`~repro.telemetry.attribution.RegionResolver`).
+        Regions never overlap (the allocator leaves a guard page between
+        neighbours), so base order is total.
+        """
+        return sorted(self.regions.values(), key=lambda r: r.base)
 
 
 class GraphLayout:

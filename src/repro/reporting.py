@@ -73,6 +73,7 @@ def format_versions() -> dict:
     deciding whether an old report is comparable to a fresh run.
     """
     from .runtime.trace_cache import CACHE_FORMAT_VERSION
+    from .telemetry.diff import DIFF_FORMAT
     from .telemetry.export import TELEMETRY_FORMAT
     from .trace.io import TRACE_FORMAT_VERSION
 
@@ -82,6 +83,7 @@ def format_versions() -> dict:
         "trace": TRACE_FORMAT_VERSION,
         "trace_cache": CACHE_FORMAT_VERSION,
         "telemetry": TELEMETRY_FORMAT,
+        "telemetry_diff": DIFF_FORMAT,
     }
 
 

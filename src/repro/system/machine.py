@@ -43,8 +43,7 @@ class RegionClassifier:
         self._ends: list[int] = []
         self._kinds: list[int] = []
         if layout is not None:
-            regions = sorted(layout.space.regions.values(), key=lambda r: r.base)
-            for region in regions:
+            for region in layout.space.sorted_regions():
                 self._bases.append(region.base)
                 self._ends.append(region.end)
                 self._kinds.append(int(region.kind))
@@ -190,6 +189,7 @@ class Machine:
             telemetry = None
         self._telemetry = telemetry
         self._window_telemetry: WindowTelemetry | None = None
+        self._attribution = None
         if telemetry is not None:
             self._bind_telemetry(telemetry)
 
@@ -219,6 +219,44 @@ class Machine:
             self.mpp.telemetry = telemetry
         self._window_telemetry = WindowTelemetry()
         self._window_telemetry.register_telemetry(registry, "core")
+        if getattr(telemetry, "attribution", False):
+            self._bind_attribution(telemetry, registry)
+
+    def _bind_attribution(self, telemetry, registry) -> None:
+        """Attach the attribution profiler + prefetch pollution tracker.
+
+        Both are observers: the profiler is fed from the run loop behind
+        the same ``is not None`` guard style as the event trace, and the
+        pollution tracker hangs off the hierarchy's fill/miss paths.
+        Neither changes residency or timing, so simulated results stay
+        bit-identical (asserted by ``tests/telemetry/test_overhead.py``).
+        """
+        from ..telemetry.attribution import AttributionProfiler
+
+        l2_lines = (
+            self.hierarchy.l2s[0].config.num_lines
+            if self.hierarchy.l2s is not None
+            else None
+        )
+        l3_lines = self.hierarchy.l3.config.num_lines
+        profiler = AttributionProfiler(
+            layout=self.layout,
+            line_size=self._line_size,
+            l2_lines=l2_lines,
+            l3_lines=l3_lines,
+            classify=getattr(telemetry, "classify_misses", True),
+        )
+        profiler.register_telemetry(registry, "attribution")
+        capacities = {"L3": l3_lines}
+        if l2_lines is not None:
+            capacities["L2"] = l2_lines
+        if self.setup.fill_into_l1:
+            capacities["L1"] = self.hierarchy.l1s[0].config.num_lines
+        tracker = self.ledger.enable_pollution_tracking(capacities)
+        self.hierarchy.pollution = tracker
+        profiler.pollution = tracker
+        self._attribution = profiler
+        telemetry.attribution_profiler = profiler
 
     # ------------------------------------------------------------------
     # Prefetch issue paths
@@ -232,10 +270,10 @@ class Machine:
         kind = self.classifier.classify(line * self._line_size)
         latency = self.dram.access(line, int(now), is_prefetch=True)
         ready = now + latency + self.config.dram_base_latency
-        self.hierarchy.prefetch_fill(
-            core, line, kind, into_l1=self.setup.fill_into_l1
-        )
         issuer = issuer or self.setup.l2_prefetcher.name
+        self.hierarchy.prefetch_fill(
+            core, line, kind, into_l1=self.setup.fill_into_l1, issuer=issuer
+        )
         self.ledger.issue(line, DataType(kind), ready, issuer)
         if self._telemetry is not None:
             self._telemetry.emit(
@@ -301,7 +339,7 @@ class Machine:
             if self.hierarchy.on_chip(pline):
                 # Already on chip: copy from the inclusive LLC into the
                 # requesting core's private L2 (paper §V-A).
-                self.hierarchy.copy_to_l2(req.core, pline, _PROPERTY)
+                self.hierarchy.copy_to_l2(req.core, pline, _PROPERTY, issuer="mpp")
                 self.ledger.issue(
                     pline,
                     DataType.PROPERTY,
@@ -311,7 +349,11 @@ class Machine:
             else:
                 latency = self.dram.access(pline, int(issue_time), is_prefetch=True)
                 self.hierarchy.prefetch_fill(
-                    req.core, pline, _PROPERTY, into_l1=self.setup.fill_into_l1
+                    req.core,
+                    pline,
+                    _PROPERTY,
+                    into_l1=self.setup.fill_into_l1,
+                    issuer="mpp",
                 )
                 self.ledger.issue(
                     pline, DataType.PROPERTY, issue_time + latency, "mpp"
@@ -365,6 +407,7 @@ class Machine:
         # simulator state, so results are identical either way.
         tel = self._telemetry
         wintel = self._window_telemetry
+        attr = self._attribution
         phase_marks = getattr(trace, "phases", [])
         phase_ptr = 0
         num_phase_marks = len(phase_marks) if tel is not None else 0
@@ -378,6 +421,10 @@ class Machine:
 
             outcome = hierarchy.demand_access(core, line, kind, is_store=not load)
             level = outcome.level
+            if attr is not None and level != "L1":
+                # The L2's reference stream is exactly the L1 misses;
+                # attribution reads but never writes simulator state.
+                attr.on_demand_access(level, line)
             if level == "L1":
                 latency = 0.0
             elif level == "L2":

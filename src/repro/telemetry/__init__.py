@@ -1,12 +1,31 @@
 """Unified telemetry subsystem: registry, sampler, events, exporters.
 
-See ``docs/telemetry.md`` for the metric catalogue and report formats.
+See ``docs/telemetry.md`` for the metric catalogue, the attribution
+profiler and the report/diff formats.
 """
 
+from .attribution import (
+    MISS_CLASSES,
+    AttributionProfiler,
+    RegionResolver,
+    ShadowTagStore,
+)
+from .diff import (
+    DIFF_FORMAT,
+    diff_payloads,
+    diff_table_rows,
+    load_profile,
+    phase_segments,
+    phase_table_rows,
+    validate_diff_payload,
+    write_diff_html,
+    write_diff_json,
+)
 from .events import EVENT_KINDS, EventTrace, TraceEvent
 from .export import (
     TELEMETRY_FORMAT,
     derive_rates,
+    html_page,
     telemetry_dict,
     validate_telemetry_payload,
     write_csv,
@@ -23,13 +42,27 @@ __all__ = [
     "EventTrace",
     "TraceEvent",
     "TELEMETRY_FORMAT",
+    "DIFF_FORMAT",
+    "MISS_CLASSES",
+    "AttributionProfiler",
+    "RegionResolver",
+    "ShadowTagStore",
     "derive_rates",
     "telemetry_dict",
     "validate_telemetry_payload",
+    "diff_payloads",
+    "diff_table_rows",
+    "load_profile",
+    "phase_segments",
+    "phase_table_rows",
+    "validate_diff_payload",
+    "html_page",
     "write_csv",
     "write_html",
     "write_json",
     "write_profile",
+    "write_diff_html",
+    "write_diff_json",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,325 @@
+"""Miss attribution: per-region accounting and shadow-tag classification.
+
+The paper's characterization (Sections III-IV, Figs. 4-8, 13-14) is an
+*attribution* exercise — which graph data structure misses where, and
+why.  This module supplies that layer for the telemetry subsystem:
+
+* :class:`RegionResolver` — reverse-maps a cache-line number through the
+  :class:`~repro.memory.allocator.GraphLayout` regions (offsets,
+  neighbors, each named property array, intermediates) with one bisect
+  per lookup.
+* :class:`ShadowTagStore` — an online fully-associative LRU tag store
+  built on the Fenwick stack-distance machinery of
+  :mod:`repro.cache.reuse`.  Feeding it a level's demand stream yields
+  the exact LRU stack distance of every access, which classifies each
+  real miss *compulsory* (first touch), *capacity* (would miss even
+  fully-associative: distance >= capacity) or *conflict* (fully-
+  associative hit, set-associative miss).
+* :class:`AttributionProfiler` — one per instrumented run; the machine
+  feeds it every demand access that missed the L1 and it maintains
+  per-region miss/byte counters and per-class counters for the L2 and
+  LLC, all exposed through the :class:`~repro.telemetry.registry
+  .MetricRegistry` as pull-gauges under the ``attribution`` family.
+
+Attribution follows the telemetry invariants: it only observes (never
+mutates simulator state — instrumented runs stay bit-identical), and a
+run without it pays nothing beyond the machine's existing
+``is not None`` guards.
+
+Classification is exact for the demand stream; prefetching perturbs the
+*real* cache's contents but not the shadow store, so with an aggressive
+prefetcher the three classes describe the demand reference pattern
+rather than the polluted cache (the standard 3C caveat).  Prefetch
+pollution itself is tracked separately by
+:class:`repro.prefetch.stats.PollutionTracker`.
+"""
+
+from __future__ import annotations
+
+from ..cache.reuse import COLD_DISTANCE, Fenwick
+
+__all__ = [
+    "AttributionProfiler",
+    "LevelAttribution",
+    "RegionResolver",
+    "ShadowTagStore",
+    "MISS_CLASSES",
+]
+
+#: Miss classes in report order (Hill's 3C model).
+MISS_CLASSES = ("compulsory", "capacity", "conflict")
+
+#: Region label for addresses outside every layout region (synthetic
+#: traces, or runs without a GraphLayout).
+OTHER_REGION = "other"
+
+
+class RegionResolver:
+    """Cache-line number → layout-region index, via one bisect.
+
+    The region table comes from
+    :meth:`repro.memory.allocator.AddressSpace.sorted_regions`; index
+    ``len(regions)`` is the catch-all :data:`OTHER_REGION`.  Lines never
+    straddle regions (allocations are page-aligned with a guard page),
+    so the line's base byte address identifies its region.
+    """
+
+    def __init__(self, layout=None, line_size: int = 64):
+        from bisect import bisect_right
+
+        self._bisect = bisect_right
+        self.line_size = line_size
+        regions = layout.space.sorted_regions() if layout is not None else []
+        self.regions = regions
+        self.names: list[str] = [r.name for r in regions] + [OTHER_REGION]
+        self.other_index = len(regions)
+        self._bases = [r.base for r in regions]
+        self._ends = [r.end for r in regions]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def resolve_addr(self, addr: int) -> int:
+        """Region index of a byte address (``other_index`` if unmapped)."""
+        i = self._bisect(self._bases, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return i
+        return self.other_index
+
+    def resolve_line(self, line: int) -> int:
+        """Region index of a cache-line number."""
+        return self.resolve_addr(line * self.line_size)
+
+    def catalogue(self) -> list[dict]:
+        """JSON-safe region descriptors, in base-address order."""
+        return [r.as_dict() for r in self.regions]
+
+
+class ShadowTagStore:
+    """Online fully-associative LRU tag store with exact stack distances.
+
+    Each :meth:`access` returns the LRU stack distance of the line —
+    the number of *distinct* lines touched since its previous access
+    (:data:`~repro.cache.reuse.COLD_DISTANCE` for a first touch).  By
+    the Mattson inclusion property, a fully-associative LRU cache of
+    ``capacity`` lines hits iff the distance is below ``capacity``.
+
+    Distances come from the same Fenwick-tree counting used by
+    :func:`repro.cache.reuse.reuse_distance_profile`, made online by
+    compacting timestamps whenever the tree fills: active lines are
+    renumbered densely in recency order, so memory stays proportional
+    to the number of distinct lines, not the stream length.
+    """
+
+    def __init__(self, capacity_lines: int, initial_slots: int = 4096):
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        self.capacity = capacity_lines
+        self.accesses = 0
+        self._fen = Fenwick(max(initial_slots, 16))
+        self._t = 0
+        self._last: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct lines ever touched (still tracked)."""
+        return len(self._last)
+
+    def _compact(self) -> None:
+        order = sorted(self._last.items(), key=lambda kv: kv[1])
+        self._fen = Fenwick(max(2 * (len(order) + 1), 4096))
+        for slot, (line, _) in enumerate(order):
+            self._last[line] = slot
+            self._fen.add(slot, +1)
+        self._t = len(order)
+
+    def access(self, line: int) -> int:
+        """Touch ``line``; returns its stack distance (or COLD_DISTANCE)."""
+        self.accesses += 1
+        prev = self._last.pop(line, None)
+        if prev is None:
+            distance = COLD_DISTANCE
+        else:
+            distance = self._fen.prefix_sum(self._t - 1) - self._fen.prefix_sum(prev)
+            self._fen.add(prev, -1)
+        if self._t >= self._fen.n:
+            self._compact()
+        self._fen.add(self._t, +1)
+        self._last[line] = self._t
+        self._t += 1
+        return distance
+
+    def would_hit(self, distance: int) -> bool:
+        """Whether a fully-associative LRU cache of this capacity hits."""
+        return distance != COLD_DISTANCE and distance < self.capacity
+
+
+class LevelAttribution:
+    """Per-region and per-class miss counters for one cache level."""
+
+    def __init__(
+        self,
+        level: str,
+        resolver: RegionResolver,
+        capacity_lines: int,
+        classify: bool = True,
+    ):
+        self.level = level
+        self.resolver = resolver
+        self.capacity_lines = capacity_lines
+        self.misses = [0] * len(resolver)
+        self.total_misses = 0
+        self.shadow = ShadowTagStore(capacity_lines) if classify else None
+        self.classes = [0, 0, 0]  # compulsory, capacity, conflict
+        self.classes_by_region = [[0, 0, 0] for _ in range(len(resolver))]
+
+    def observe(self, line: int, region: int, missed: bool) -> None:
+        """Feed one demand access of this level's stream.
+
+        The shadow store must see *every* access (hit or miss) to keep
+        its recency stack exact; counters only advance on real misses.
+        """
+        shadow = self.shadow
+        distance = shadow.access(line) if shadow is not None else None
+        if not missed:
+            return
+        self.misses[region] += 1
+        self.total_misses += 1
+        if shadow is None:
+            return
+        if distance == COLD_DISTANCE:
+            cls = 0  # compulsory
+        elif distance >= self.capacity_lines:
+            cls = 1  # capacity
+        else:
+            cls = 2  # conflict
+        self.classes[cls] += 1
+        self.classes_by_region[region][cls] += 1
+
+    # ------------------------------------------------------------------
+    def misses_by_region(self) -> dict[str, int]:
+        """``{region name: miss count}`` (zero-count regions included)."""
+        return dict(zip(self.resolver.names, self.misses))
+
+    def class_counts(self) -> dict[str, int]:
+        """``{class: count}`` over all classified misses."""
+        return dict(zip(MISS_CLASSES, self.classes))
+
+    def as_dict(self, line_size: int, instructions: int | None = None) -> dict:
+        """JSON-safe block for the telemetry payload."""
+        out: dict = {
+            "capacity_lines": self.capacity_lines,
+            "total_misses": self.total_misses,
+            "misses": self.misses_by_region(),
+            "bytes": {
+                name: count * line_size
+                for name, count in zip(self.resolver.names, self.misses)
+            },
+        }
+        if instructions:
+            out["mpki"] = {
+                name: 1000.0 * count / instructions
+                for name, count in zip(self.resolver.names, self.misses)
+            }
+        if self.shadow is not None:
+            out["classes"] = self.class_counts()
+            out["classes_by_region"] = {
+                name: dict(zip(MISS_CLASSES, counts))
+                for name, counts in zip(
+                    self.resolver.names, self.classes_by_region
+                )
+            }
+        return out
+
+
+class AttributionProfiler:
+    """Attribution state for one instrumented run.
+
+    The machine calls :meth:`on_demand_access` for every demand access
+    that missed the L1 — exactly the L2's reference stream; the subset
+    serviced by L3/DRAM is the LLC's stream.  Per-region counters
+    therefore sum to the corresponding
+    :class:`~repro.cache.stats.CacheStats` miss totals by construction.
+    """
+
+    def __init__(
+        self,
+        layout=None,
+        line_size: int = 64,
+        l2_lines: int | None = None,
+        l3_lines: int = 4096,
+        classify: bool = True,
+    ):
+        self.line_size = line_size
+        self.resolver = RegionResolver(layout, line_size)
+        self.l2 = (
+            LevelAttribution("l2", self.resolver, l2_lines, classify)
+            if l2_lines
+            else None
+        )
+        self.l3 = LevelAttribution("l3", self.resolver, l3_lines, classify)
+        self.classify = classify
+        #: Optional :class:`repro.prefetch.stats.PollutionTracker`,
+        #: attached by the machine so reports carry pollution next to
+        #: the region/class accounting.
+        self.pollution = None
+
+    def levels(self) -> list[LevelAttribution]:
+        """The instrumented levels, nearest first."""
+        return [lvl for lvl in (self.l2, self.l3) if lvl is not None]
+
+    # ------------------------------------------------------------------
+    # Machine-facing hook (hot-adjacent; called only when enabled)
+    # ------------------------------------------------------------------
+    def on_demand_access(self, level: str, line: int) -> None:
+        """One demand access that missed the L1; ``level`` serviced it."""
+        region = self.resolver.resolve_line(line)
+        l2 = self.l2
+        if l2 is not None:
+            l2.observe(line, region, missed=level != "L2")
+            if level == "L2":
+                return
+        self.l3.observe(line, region, missed=level == "DRAM")
+
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry, prefix: str = "attribution") -> None:
+        """Expose per-region and per-class counters as pull-gauges.
+
+        ``attribution.<level>.misses[.<region>]``,
+        ``attribution.<level>.bytes.<region>`` and (when classifying)
+        ``attribution.<level>.<class>`` — all cumulative, so phase/
+        interval deltas and ``repro diff`` work on them unchanged.
+        """
+        line_size = self.line_size
+        for lvl in self.levels():
+            base = "%s.%s" % (prefix, lvl.level)
+            registry.gauge(base + ".misses", lambda lvl=lvl: lvl.total_misses)
+            for i, name in enumerate(self.resolver.names):
+                registry.gauge(
+                    "%s.misses.%s" % (base, name),
+                    lambda lvl=lvl, i=i: lvl.misses[i],
+                )
+                registry.gauge(
+                    "%s.bytes.%s" % (base, name),
+                    lambda lvl=lvl, i=i: lvl.misses[i] * line_size,
+                )
+            if lvl.shadow is not None:
+                for cls, label in enumerate(MISS_CLASSES):
+                    registry.gauge(
+                        "%s.%s" % (base, label),
+                        lambda lvl=lvl, cls=cls: lvl.classes[cls],
+                    )
+
+    def as_dict(self, instructions: int | None = None) -> dict:
+        """The payload's ``attribution`` block."""
+        out: dict = {
+            "line_size": self.line_size,
+            "classify": self.classify,
+            "regions": self.resolver.catalogue(),
+            "levels": {
+                lvl.level: lvl.as_dict(self.line_size, instructions)
+                for lvl in self.levels()
+            },
+        }
+        if self.pollution is not None:
+            out["pollution"] = self.pollution.as_dict()
+        return out

@@ -1,0 +1,487 @@
+"""Differential telemetry analysis: the ``repro diff`` backend.
+
+Loads two saved profile payloads (``repro-telemetry-v1``), aligns their
+phase timelines, and emits a ``repro-telemetry-diff-v1`` document with
+per-metric totals, whole-run derived-rate deltas, per-phase rate deltas
+and — when both profiles carry an attribution block — per-region miss /
+MPKI deltas, miss-class deltas and prefetch-pollution deltas.  The
+typical question it answers is the paper's: *which phases and which
+graph regions did DROPLET actually help?*
+
+Phase alignment is by label: identical label sequences zip directly;
+otherwise the longest common subsequence of labels
+(:class:`difflib.SequenceMatcher`) pairs what it can and the leftovers
+are reported under ``unmatched_phases`` rather than silently dropped.
+
+Everything here is pure payload-to-payload transformation: no simulator
+imports, so ``repro diff`` works on archived JSON from any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from difflib import SequenceMatcher
+from pathlib import Path
+
+from .export import derive_rates, html_page, validate_telemetry_payload
+
+__all__ = [
+    "DIFF_FORMAT",
+    "load_profile",
+    "phase_segments",
+    "align_segments",
+    "diff_payloads",
+    "validate_diff_payload",
+    "diff_table_rows",
+    "phase_table_rows",
+    "write_diff_json",
+    "write_diff_html",
+]
+
+#: Format marker of saved diff documents.
+DIFF_FORMAT = "repro-telemetry-diff-v1"
+
+#: Derived rates where a smaller candidate value is an improvement.
+_LOWER_IS_BETTER = frozenset(
+    {
+        "llc_mpki",
+        "llc_mpki_structure",
+        "llc_mpki_property",
+        "bpki",
+        "dram_bytes_per_cycle",
+    }
+)
+
+#: Synthetic sample marking the (all-zero-counters) start of a run.
+_RUN_START = {"cycle": 0.0, "ref_index": 0, "values": {}}
+
+
+def load_profile(path: str | Path) -> dict:
+    """Read and schema-check one saved telemetry payload."""
+    payload = json.loads(Path(path).read_text())
+    validate_telemetry_payload(payload)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Phase segmentation and alignment
+# ----------------------------------------------------------------------
+def _segment(label: str, start: dict, end: dict) -> dict:
+    """Cumulative-counter deltas between two samples, plus derived rates."""
+    start_vals = start["values"]
+    seg = {
+        "label": label,
+        "start_cycle": start["cycle"],
+        "end_cycle": end["cycle"],
+        "cycles": end["cycle"] - start["cycle"],
+        "refs": end["ref_index"] - start["ref_index"],
+        "values": {
+            name: value - start_vals.get(name, 0.0)
+            for name, value in end["values"].items()
+        },
+    }
+    seg["derived"] = derive_rates(seg)
+    return seg
+
+
+def phase_segments(payload: dict) -> list[dict]:
+    """Split a profile's timeline into per-phase cumulative segments.
+
+    Phase samples mark phase *beginnings*, so segment k runs from phase
+    sample k to phase sample k+1 (the last one runs to the final
+    sample).  Work before the first phase boundary becomes a ``warmup``
+    segment; a run with no phase boundaries is one ``run`` segment.
+    """
+    samples = payload["samples"]
+    if not samples:
+        return []
+    marks = [s for s in samples if s["reason"] == "phase"]
+    final = samples[-1]
+    if not marks:
+        return [_segment("run", _RUN_START, final)]
+    bounds = [_RUN_START] + marks + [final]
+    labels = ["warmup"] + [s["phase"] for s in marks]
+    return [
+        _segment(label, start, end)
+        for label, start, end in zip(labels, bounds, bounds[1:])
+    ]
+
+
+def align_segments(
+    a: list[dict], b: list[dict]
+) -> tuple[list[tuple[dict, dict]], list[str], list[str]]:
+    """Pair two segment lists by label.
+
+    Returns ``(pairs, unmatched_a, unmatched_b)``.  Equal label
+    sequences pair positionally; differing sequences pair along their
+    longest common subsequence of labels.
+    """
+    a_labels = [s["label"] for s in a]
+    b_labels = [s["label"] for s in b]
+    if a_labels == b_labels:
+        return list(zip(a, b)), [], []
+    matcher = SequenceMatcher(a=a_labels, b=b_labels, autojunk=False)
+    pairs: list[tuple[dict, dict]] = []
+    matched_a: set[int] = set()
+    matched_b: set[int] = set()
+    for block in matcher.get_matching_blocks():
+        for k in range(block.size):
+            pairs.append((a[block.a + k], b[block.b + k]))
+            matched_a.add(block.a + k)
+            matched_b.add(block.b + k)
+    unmatched_a = [lbl for i, lbl in enumerate(a_labels) if i not in matched_a]
+    unmatched_b = [lbl for i, lbl in enumerate(b_labels) if i not in matched_b]
+    return pairs, unmatched_a, unmatched_b
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+def _entry(a: float, b: float) -> dict:
+    """One compared value: baseline, candidate, delta and ratio."""
+    return {
+        "baseline": a,
+        "candidate": b,
+        "delta": b - a,
+        "ratio": b / a if a else None,
+    }
+
+
+def _diff_mapping(a: dict, b: dict, names=None) -> dict:
+    """Entry-per-key diff of two ``{name: number}`` mappings."""
+    if names is None:
+        names = sorted(set(a) | set(b))
+    return {n: _entry(a.get(n, 0.0), b.get(n, 0.0)) for n in names}
+
+
+def _diff_attribution(a: dict, b: dict) -> dict:
+    """Diff two payload ``attribution`` blocks (levels + pollution)."""
+    out: dict = {"levels": {}}
+    for level in sorted(set(a["levels"]) & set(b["levels"])):
+        a_l, b_l = a["levels"][level], b["levels"][level]
+        block = {
+            "total_misses": _entry(a_l["total_misses"], b_l["total_misses"]),
+            "misses": _diff_mapping(a_l["misses"], b_l["misses"]),
+        }
+        if "mpki" in a_l and "mpki" in b_l:
+            block["mpki"] = _diff_mapping(a_l["mpki"], b_l["mpki"])
+        if "classes" in a_l and "classes" in b_l:
+            block["classes"] = _diff_mapping(a_l["classes"], b_l["classes"])
+        out["levels"][level] = block
+    a_pol, b_pol = a.get("pollution"), b.get("pollution")
+    if a_pol is not None and b_pol is not None:
+        out["pollution"] = {
+            level: {
+                key: _entry(
+                    a_pol["levels"][level][key], b_pol["levels"][level][key]
+                )
+                for key in ("prefetch_evictions", "pollution_misses")
+            }
+            for level in sorted(set(a_pol["levels"]) & set(b_pol["levels"]))
+        }
+    return out
+
+
+def diff_payloads(
+    baseline: dict, candidate: dict, metrics: list[str] | None = None
+) -> dict:
+    """Compare two telemetry payloads into a diff document.
+
+    ``metrics`` optionally restricts the raw-counter ``totals`` block to
+    names equal to, or namespaced under, one of the given prefixes (the
+    derived rates and attribution blocks are always complete).
+    """
+    a_final = baseline["samples"][-1]["values"] if baseline["samples"] else {}
+    b_final = candidate["samples"][-1]["values"] if candidate["samples"] else {}
+    names = sorted(set(a_final) & set(b_final))
+    if metrics:
+        prefixes = tuple(metrics)
+        names = [
+            n
+            for n in names
+            if any(n == p or n.startswith(p + ".") for p in prefixes)
+        ]
+    totals = _diff_mapping(a_final, b_final, names)
+
+    a_segments = phase_segments(baseline)
+    b_segments = phase_segments(candidate)
+    a_run = _segment("run", _RUN_START, baseline["samples"][-1])
+    b_run = _segment("run", _RUN_START, candidate["samples"][-1])
+    derived = _diff_mapping(a_run["derived"], b_run["derived"])
+
+    pairs, unmatched_a, unmatched_b = align_segments(a_segments, b_segments)
+    phases = [
+        {
+            "label": pa["label"],
+            "cycles": _entry(pa["cycles"], pb["cycles"]),
+            "refs": _entry(pa["refs"], pb["refs"]),
+            "rates": _diff_mapping(pa["derived"], pb["derived"]),
+        }
+        for pa, pb in pairs
+    ]
+
+    diff: dict = {
+        "format": DIFF_FORMAT,
+        "baseline": {"meta": dict(baseline.get("meta", {}))},
+        "candidate": {"meta": dict(candidate.get("meta", {}))},
+        "totals": totals,
+        "derived": derived,
+        "phases": phases,
+        "unmatched_phases": {
+            "baseline": unmatched_a,
+            "candidate": unmatched_b,
+        },
+    }
+    a_attr = baseline.get("attribution")
+    b_attr = candidate.get("attribution")
+    if a_attr is not None and b_attr is not None:
+        diff["attribution"] = _diff_attribution(a_attr, b_attr)
+    return diff
+
+
+def validate_diff_payload(payload: dict) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a valid diff doc."""
+
+    def fail(msg):
+        raise ValueError("invalid diff payload: %s" % msg)
+
+    if payload.get("format") != DIFF_FORMAT:
+        fail("format is %r, expected %r" % (payload.get("format"), DIFF_FORMAT))
+    for key, typ in (
+        ("baseline", dict),
+        ("candidate", dict),
+        ("totals", dict),
+        ("derived", dict),
+        ("phases", list),
+        ("unmatched_phases", dict),
+    ):
+        if not isinstance(payload.get(key), typ):
+            fail("missing or mistyped field %r" % key)
+
+    def check_entry(entry, where):
+        if not isinstance(entry, dict):
+            fail("%s is not an entry" % where)
+        for key in ("baseline", "candidate", "delta", "ratio"):
+            if key not in entry:
+                fail("%s lacks %r" % (where, key))
+        if abs(entry["candidate"] - entry["baseline"] - entry["delta"]) > 1e-9:
+            fail("%s has an inconsistent delta" % where)
+
+    for block in ("totals", "derived"):
+        for name, entry in payload[block].items():
+            check_entry(entry, "%s[%r]" % (block, name))
+    for i, phase in enumerate(payload["phases"]):
+        for key in ("label", "cycles", "rates"):
+            if key not in phase:
+                fail("phase %d lacks %r" % (i, key))
+        for name, entry in phase["rates"].items():
+            check_entry(entry, "phase %d rate %r" % (i, name))
+    attribution = payload.get("attribution")
+    if attribution is not None:
+        if not isinstance(attribution.get("levels"), dict):
+            fail("attribution block lacks 'levels'")
+        for level, block in attribution["levels"].items():
+            check_entry(
+                block.get("total_misses"), "attribution %s total" % level
+            )
+            for region, entry in block.get("misses", {}).items():
+                check_entry(entry, "attribution %s region %r" % (level, region))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def diff_table_rows(diff: dict, keys: list[str] | None = None) -> list[dict]:
+    """Terminal-table rows of whole-run derived-rate deltas."""
+    keys = list(keys) if keys else sorted(diff["derived"])
+    rows = []
+    for key in keys:
+        entry = diff["derived"].get(key)
+        if entry is None:
+            continue
+        rows.append(
+            {
+                "metric": key,
+                "baseline": entry["baseline"],
+                "candidate": entry["candidate"],
+                "delta": entry["delta"],
+                "ratio": entry["ratio"],
+            }
+        )
+    return rows
+
+
+def phase_table_rows(diff: dict, rate: str = "llc_mpki_property") -> list[dict]:
+    """Terminal-table rows of one derived rate across aligned phases."""
+    rows = []
+    for phase in diff["phases"]:
+        entry = phase["rates"].get(rate)
+        if entry is None:
+            continue
+        rows.append(
+            {
+                "phase": phase["label"],
+                "baseline": entry["baseline"],
+                "candidate": entry["candidate"],
+                "delta": entry["delta"],
+            }
+        )
+    return rows
+
+
+def write_diff_json(diff: dict, path: str | Path) -> Path:
+    """Write the diff document as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(diff, indent=2, sort_keys=True))
+    return path
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _delta_cell(key: str, entry: dict) -> str:
+    """Delta cell with better/worse colouring by metric direction."""
+    delta = entry["delta"]
+    cls = ""
+    if delta:
+        improved = (delta < 0) == (key in _LOWER_IS_BETTER)
+        cls = ' class="better"' if improved else ' class="worse"'
+    return "<td%s>%+.4g</td>" % (cls, delta)
+
+
+def _entry_row(name: str, entry: dict, colour_key: str | None = None) -> str:
+    import html as _html
+
+    cells = "<td>%s</td><td>%s</td>" % (
+        _fmt(entry["baseline"]),
+        _fmt(entry["candidate"]),
+    )
+    delta = (
+        _delta_cell(colour_key, entry)
+        if colour_key is not None
+        else "<td>%s</td>" % _fmt(entry["delta"])
+    )
+    return "<tr><td>%s</td>%s%s<td>%s</td></tr>" % (
+        _html.escape(name),
+        cells,
+        delta,
+        _fmt(entry["ratio"]),
+    )
+
+
+_DIFF_HEADER = (
+    "<tr><th>%s</th><th>baseline</th><th>candidate</th>"
+    "<th>delta</th><th>ratio</th></tr>"
+)
+
+
+def write_diff_html(diff: dict, path: str | Path, title: str | None = None) -> Path:
+    """Write a self-contained side-by-side HTML diff report.
+
+    Reuses the profile report's scaffolding (:func:`html_page`): one
+    meta table, the whole-run derived rates, every aligned phase, and —
+    when present — per-region attribution and pollution deltas.  The
+    full diff document is embedded for archival.
+    """
+    import html as _html
+
+    path = Path(path)
+    a_meta = diff["baseline"]["meta"]
+    b_meta = diff["candidate"]["meta"]
+    if title is None:
+        title = "Telemetry diff — %s vs %s" % (
+            a_meta.get("setup") or a_meta.get("label") or "baseline",
+            b_meta.get("setup") or b_meta.get("label") or "candidate",
+        )
+    parts: list[str] = []
+
+    meta_keys = sorted(set(a_meta) | set(b_meta))
+    parts.append("<h2>Runs</h2><table class='diff'>")
+    parts.append("<tr><th></th><th>baseline</th><th>candidate</th></tr>")
+    for key in meta_keys:
+        parts.append(
+            "<tr><td>%s</td><td>%s</td><td>%s</td></tr>"
+            % (
+                _html.escape(str(key)),
+                _html.escape(str(a_meta.get(key, ""))),
+                _html.escape(str(b_meta.get(key, ""))),
+            )
+        )
+    parts.append("</table>")
+
+    parts.append("<h2>Whole-run derived rates</h2><table class='diff'>")
+    parts.append(_DIFF_HEADER % "metric")
+    for name in sorted(diff["derived"]):
+        parts.append(_entry_row(name, diff["derived"][name], colour_key=name))
+    parts.append("</table>")
+
+    for phase in diff["phases"]:
+        parts.append(
+            "<h2>Phase %s</h2><table class='diff'>"
+            % _html.escape(phase["label"])
+        )
+        parts.append(_DIFF_HEADER % "metric")
+        parts.append(_entry_row("cycles", phase["cycles"]))
+        for name in sorted(phase["rates"]):
+            parts.append(_entry_row(name, phase["rates"][name], colour_key=name))
+        parts.append("</table>")
+    unmatched = diff.get("unmatched_phases", {})
+    leftovers = [
+        "%s only in %s" % (", ".join(labels), side)
+        for side, labels in sorted(unmatched.items())
+        if labels
+    ]
+    if leftovers:
+        parts.append(
+            "<p class='label'>Unaligned phases: %s</p>"
+            % _html.escape("; ".join(leftovers))
+        )
+
+    attribution = diff.get("attribution")
+    if attribution is not None:
+        for level, block in sorted(attribution["levels"].items()):
+            parts.append(
+                "<h2>Attribution — %s misses by region</h2>"
+                "<table class='diff'>" % _html.escape(level)
+            )
+            parts.append(_DIFF_HEADER % "region")
+            source = block.get("mpki") or block["misses"]
+            key_hint = "llc_mpki"  # fewer misses is better at every level
+            for region in sorted(source):
+                parts.append(
+                    _entry_row(region, source[region], colour_key=key_hint)
+                )
+            if "classes" in block:
+                for cls in sorted(block["classes"]):
+                    parts.append(
+                        _entry_row(
+                            "class: " + cls,
+                            block["classes"][cls],
+                            colour_key=key_hint,
+                        )
+                    )
+            parts.append("</table>")
+        pollution = attribution.get("pollution")
+        if pollution:
+            parts.append("<h2>Prefetch pollution</h2><table class='diff'>")
+            parts.append(_DIFF_HEADER % "level / counter")
+            for level, counters in sorted(pollution.items()):
+                for key, entry in sorted(counters.items()):
+                    parts.append(
+                        _entry_row(
+                            "%s %s" % (level, key), entry, colour_key="llc_mpki"
+                        )
+                    )
+            parts.append("</table>")
+
+    data = json.dumps(diff, sort_keys=True).replace("</", "<\\/")
+    parts.append(
+        '<script id="diff-data" type="application/json">%s</script>' % data
+    )
+    path.write_text(html_page(title, "\n".join(parts)))
+    return path

@@ -24,6 +24,7 @@ __all__ = [
     "telemetry_dict",
     "derive_rates",
     "validate_telemetry_payload",
+    "html_page",
     "write_json",
     "write_csv",
     "write_html",
@@ -49,6 +50,10 @@ def derive_rates(interval: dict, line_size: int = 64) -> dict:
     l2_acc = values.get("cache.l2.hits", 0.0) + values.get("cache.l2.misses", 0.0)
     issued = values.get("prefetch.issued", 0.0)
     exposed = values.get("core.exposed_latency", 0.0)
+    useful = values.get("prefetch.useful", 0.0)
+    # Misses the prefetcher failed to cover are the demand misses that
+    # still reached DRAM, so coverage = useful / (useful + LLC misses).
+    covered_denom = useful + values.get("cache.l3.misses", 0.0)
 
     def per_kilo(count):
         return 1000.0 * count / instructions if instructions else 0.0
@@ -65,7 +70,8 @@ def derive_rates(interval: dict, line_size: int = 64) -> dict:
             if cycles
             else 0.0
         ),
-        "pf_accuracy": values.get("prefetch.useful", 0.0) / issued if issued else 0.0,
+        "pf_accuracy": useful / issued if issued else 0.0,
+        "pf_coverage": useful / covered_denom if covered_denom else 0.0,
         "mlp": values.get("core.miss_latency", 0.0) / exposed if exposed else 0.0,
     }
 
@@ -93,7 +99,7 @@ def telemetry_dict(
         if max_events is not None and len(records) > max_events:
             records = records[-max_events:]
         event_block["records"] = records
-    return {
+    payload = {
         "format": TELEMETRY_FORMAT,
         "meta": dict(meta or {}),
         "interval_cycles": telemetry.sampler.interval_cycles,
@@ -105,6 +111,15 @@ def telemetry_dict(
         "histograms": telemetry.registry.histograms(),
         "events": event_block,
     }
+    profiler = getattr(telemetry, "attribution_profiler", None)
+    if profiler is not None:
+        instructions = 0
+        if payload["samples"]:
+            instructions = int(
+                payload["samples"][-1]["values"].get("core.instructions", 0)
+            )
+        payload["attribution"] = profiler.as_dict(instructions or None)
+    return payload
 
 
 def validate_telemetry_payload(payload: dict, require_phases: bool = False) -> None:
@@ -159,6 +174,24 @@ def validate_telemetry_payload(payload: dict, require_phases: bool = False) -> N
     for key in ("emitted", "retained", "dropped", "counts_by_kind"):
         if key not in payload["events"]:
             fail("events block lacks %r" % key)
+    attribution = payload.get("attribution")
+    if attribution is not None:
+        for key, typ in (
+            ("line_size", int),
+            ("regions", list),
+            ("levels", dict),
+        ):
+            if not isinstance(attribution.get(key), typ):
+                fail("attribution block lacks %r" % key)
+        for level, block in attribution["levels"].items():
+            total = block.get("total_misses")
+            if not isinstance(total, int):
+                fail("attribution level %r lacks total_misses" % level)
+            if sum(block.get("misses", {}).values()) != total:
+                fail("attribution %s region misses do not sum to the total" % level)
+            classes = block.get("classes")
+            if classes is not None and sum(classes.values()) != total:
+                fail("attribution %s class counts do not sum to the total" % level)
 
 
 # ----------------------------------------------------------------------
@@ -213,31 +246,47 @@ _HTML_CHARTS = (
     ("bpki", "DRAM bus accesses / kilo-instruction"),
     ("dram_bytes_per_cycle", "DRAM bandwidth (bytes/cycle)"),
     ("pf_accuracy", "Prefetch accuracy"),
+    ("pf_coverage", "Prefetch coverage"),
     ("mlp", "MLP (overlapped miss latency)"),
 )
 
-_HTML_TEMPLATE = """<!doctype html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<title>%(title)s</title>
-<style>
+#: Stylesheet shared by every self-contained HTML report (profile + diff).
+_HTML_CSS = """\
   body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a1a; }
   h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
   .meta td { padding: 0 1rem 0 0; color: #444; }
   .chart { margin: 1.2rem 0; }
-  .chart svg { background: #fafafa; border: 1px solid #ddd; width: 100%%; height: 160px; }
+  .chart svg { background: #fafafa; border: 1px solid #ddd; width: 100%; height: 160px; }
   .chart .title { font-weight: 600; }
   .phase-line { stroke: #c33; stroke-dasharray: 3 3; opacity: .6; }
   .series { fill: none; stroke: #2563eb; stroke-width: 1.5; }
+  .series.b { stroke: #d97706; }
   .axis { stroke: #999; stroke-width: 1; }
   .label { font-size: 10px; fill: #666; }
-  table.events { border-collapse: collapse; }
-  table.events td, table.events th { border: 1px solid #ddd; padding: .2rem .6rem; text-align: right; }
-</style>
-</head>
-<body>
-<h1>%(title)s</h1>
+  table.events, table.diff { border-collapse: collapse; }
+  table.events td, table.events th,
+  table.diff td, table.diff th { border: 1px solid #ddd; padding: .2rem .6rem; text-align: right; }
+  table.diff td:first-child, table.diff th:first-child { text-align: left; }
+  td.better { color: #15803d; } td.worse { color: #b91c1c; }
+"""
+
+
+def html_page(title: str, body: str) -> str:
+    """Wrap a report ``body`` in the standalone HTML scaffolding.
+
+    Shared by :func:`write_html` and the diff report writer so every
+    report carries the same inline stylesheet and needs no external
+    assets.  ``body`` is raw HTML; ``title`` is escaped here.
+    """
+    return (
+        '<!doctype html>\n<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        "<title>%(title)s</title>\n<style>\n%(css)s</style>\n</head>\n"
+        "<body>\n<h1>%(title)s</h1>\n%(body)s\n</body>\n</html>\n"
+        % {"title": html.escape(title), "css": _HTML_CSS, "body": body}
+    )
+
+
+_HTML_BODY_TEMPLATE = """\
 <table class="meta"><tr>%(meta_cells)s</tr></table>
 <div id="charts"></div>
 <h2>Event counts</h2>
@@ -280,8 +329,6 @@ _HTML_TEMPLATE = """<!doctype html>
   });
 })();
 </script>
-</body>
-</html>
 """
 
 
@@ -313,17 +360,14 @@ def write_html(payload: dict, path: str | Path, title: str | None = None) -> Pat
     )
     # </script> inside the JSON would terminate the data block early.
     data = json.dumps(payload, sort_keys=True).replace("</", "<\\/")
-    path.write_text(
-        _HTML_TEMPLATE
-        % {
-            "title": html.escape(title),
-            "meta_cells": meta_cells,
-            "event_rows": event_rows,
-            "event_note": html.escape(event_note),
-            "data": data,
-            "charts": json.dumps(list(_HTML_CHARTS)),
-        }
-    )
+    body = _HTML_BODY_TEMPLATE % {
+        "meta_cells": meta_cells,
+        "event_rows": event_rows,
+        "event_note": html.escape(event_note),
+        "data": data,
+        "charts": json.dumps(list(_HTML_CHARTS)),
+    }
+    path.write_text(html_page(title, body))
     return path
 
 

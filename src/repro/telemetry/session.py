@@ -34,14 +34,36 @@ class Telemetry:
         Cadence of periodic timeline samples (simulated cycles).
     event_capacity:
         Ring-buffer size of the structured event trace.
+    attribution:
+        Ask the machine to attach an
+        :class:`~repro.telemetry.attribution.AttributionProfiler`:
+        per-region L2/LLC miss accounting, prefetch pollution tracking
+        and (with ``classify_misses``) shadow-tag miss classification.
+        The profiler lands on :attr:`attribution_profiler` during
+        :meth:`Machine._bind_telemetry` and its counters join the
+        registry under the ``attribution`` family.
+    classify_misses:
+        Maintain the fully-associative shadow tag stores that classify
+        each miss compulsory/capacity/conflict.  Only read when
+        ``attribution`` is on; off skips the per-access shadow updates.
     """
 
     enabled = True
 
-    def __init__(self, interval_cycles: int = 50_000, event_capacity: int = 65536):
+    def __init__(
+        self,
+        interval_cycles: int = 50_000,
+        event_capacity: int = 65536,
+        attribution: bool = False,
+        classify_misses: bool = True,
+    ):
         self.registry = MetricRegistry()
         self.sampler = IntervalSampler(self.registry, interval_cycles)
         self.events = EventTrace(capacity=event_capacity)
+        self.attribution = attribution
+        self.classify_misses = classify_misses
+        #: Set by the machine when ``attribution`` is requested.
+        self.attribution_profiler = None
         self.attached_to: str | None = None
 
     # ------------------------------------------------------------------
@@ -101,6 +123,9 @@ class _NullTelemetry:
     sampler = None
     timeline = None
     attached_to = None
+    attribution = False
+    classify_misses = False
+    attribution_profiler = None
 
     def attach(self, label: str) -> None:
         pass

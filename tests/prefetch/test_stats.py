@@ -1,6 +1,7 @@
-"""Unit tests for prefetch usefulness accounting."""
+"""Unit tests for prefetch usefulness and pollution accounting."""
 
 from repro.prefetch import NullPrefetcher, PrefetchLedger
+from repro.prefetch.stats import PollutionTracker
 from repro.trace import DataType
 
 
@@ -67,6 +68,83 @@ class TestLedger:
         ledger = PrefetchLedger()
         ledger.drop("mpp")
         assert ledger.counters["mpp"].dropped == 1
+
+
+class TestPollutionTracker:
+    def _tracker(self, capacities=None):
+        ledger = PrefetchLedger()
+        tracker = ledger.enable_pollution_tracking(capacities or {"L3": 4})
+        return ledger, tracker
+
+    def test_enable_is_idempotent(self):
+        ledger, tracker = self._tracker()
+        assert ledger.enable_pollution_tracking({"L2": 99}) is tracker
+        assert tracker.tracked_levels() == ["L3"]
+
+    def test_eviction_then_miss_counts_against_issuer(self):
+        ledger, tracker = self._tracker()
+        tracker.on_prefetch_eviction("L3", 7, "stream")
+        assert tracker.on_demand_miss("L3", 7, int(DataType.PROPERTY))
+        assert ledger.counters["stream"].polluting[DataType.PROPERTY] == 1
+        assert ledger.counters["stream"].total_polluting == 1
+        assert ledger.total_polluting() == 1
+        assert ledger.total_polluting(DataType.STRUCTURE) == 0
+        # Claimed: a second miss on the same line is not re-counted.
+        assert not tracker.on_demand_miss("L3", 7, int(DataType.PROPERTY))
+
+    def test_fill_clears_shadow_entry(self):
+        ledger, tracker = self._tracker()
+        tracker.on_prefetch_eviction("L3", 7, "stream")
+        tracker.on_fill("L3", 7)  # line came back before any demand miss
+        assert not tracker.on_demand_miss("L3", 7, int(DataType.STRUCTURE))
+        assert ledger.total_polluting() == 0
+
+    def test_shadow_set_is_bounded(self):
+        ledger, tracker = self._tracker({"L3": 2})
+        for line in (1, 2, 3):
+            tracker.on_prefetch_eviction("L3", line, "s")
+        # Oldest entry (line 1) fell off the bounded shadow set.
+        assert not tracker.on_demand_miss("L3", 1, int(DataType.STRUCTURE))
+        assert tracker.on_demand_miss("L3", 2, int(DataType.STRUCTURE))
+        assert tracker.on_demand_miss("L3", 3, int(DataType.STRUCTURE))
+
+    def test_untracked_level_is_a_noop(self):
+        ledger, tracker = self._tracker({"L3": 4})
+        tracker.on_prefetch_eviction("L1", 5, "s")
+        assert not tracker.on_demand_miss("L1", 5, int(DataType.STRUCTURE))
+        assert ledger.total_polluting() == 0
+
+    def test_unknown_issuer_bucket(self):
+        ledger, tracker = self._tracker()
+        tracker.on_prefetch_eviction("L3", 9, None)
+        assert tracker.on_demand_miss("L3", 9, int(DataType.INTERMEDIATE))
+        assert ledger.counters["unknown"].polluting[DataType.INTERMEDIATE] == 1
+
+    def test_as_dict_shape(self):
+        ledger, tracker = self._tracker({"L3": 4})
+        tracker.on_prefetch_eviction("L3", 1, "s")
+        tracker.on_demand_miss("L3", 1, int(DataType.PROPERTY))
+        block = tracker.as_dict()
+        l3 = block["levels"]["L3"]
+        assert l3["prefetch_evictions"] == 1
+        assert l3["pollution_misses"] == 1
+        assert l3["shadow_capacity"] == 4
+        assert l3["shadow_occupancy"] == 0
+        assert block["by_issuer"]["s"]["property"] == 1
+
+    def test_polluting_gauges_registered(self):
+        from repro.telemetry import MetricRegistry
+
+        ledger, tracker = self._tracker()
+        registry = MetricRegistry()
+        ledger.register_telemetry(registry)
+        tracker.on_prefetch_eviction("L3", 1, "s")
+        tracker.on_demand_miss("L3", 1, int(DataType.PROPERTY))
+        values = registry.snapshot()
+        assert values["prefetch.polluting"] == 1
+        assert values["prefetch.polluting.property"] == 1
+        assert values["prefetch.polluting.structure"] == 0
+        assert values["prefetch.s.polluting"] == 1
 
 
 class TestNullPrefetcher:

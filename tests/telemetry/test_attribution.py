@@ -1,0 +1,213 @@
+"""Attribution profiler: region resolution, shadow tags, conservation.
+
+The load-bearing property: per-region miss counts must sum *exactly* to
+each level's total miss counters, and shadow-tag class counts must sum
+to the same totals — for every workload.  Attribution that loses or
+double-counts misses is worse than none.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cache.reuse import COLD_DISTANCE
+from repro.memory.allocator import AddressSpace
+from repro.runtime import TraceSpec
+from repro.system.runner import simulate
+from repro.telemetry import (
+    MISS_CLASSES,
+    AttributionProfiler,
+    RegionResolver,
+    ShadowTagStore,
+    Telemetry,
+)
+from repro.trace import DataType
+
+ALL_WORKLOADS = ["BC", "BFS", "PR", "SSSP", "CC", "PR-EDGE"]
+
+
+def _space_layout():
+    """A minimal layout stand-in: a real AddressSpace, no graph."""
+    space = AddressSpace()
+    space.alloc("offsets", 4096, DataType.STRUCTURE, element_size=8)
+    space.alloc("structure", 8192, DataType.STRUCTURE)
+    space.alloc("prop:rank", 4096, DataType.PROPERTY)
+    return SimpleNamespace(space=space)
+
+
+class TestRegionResolver:
+    def test_resolves_every_region_and_other(self):
+        layout = _space_layout()
+        resolver = RegionResolver(layout)
+        assert resolver.names == ["offsets", "structure", "prop:rank", "other"]
+        for region in layout.space.sorted_regions():
+            idx = resolver.names.index(region.name)
+            assert resolver.resolve_addr(region.base) == idx
+            assert resolver.resolve_addr(region.end - 1) == idx
+            assert resolver.resolve_line(region.base // 64) == idx
+        # Below the heap, in a guard gap, and far above: all "other".
+        assert resolver.resolve_addr(0) == resolver.other_index
+        assert resolver.resolve_addr(2**40) == resolver.other_index
+        first = layout.space.sorted_regions()[0]
+        assert resolver.resolve_addr(first.end) == resolver.other_index
+
+    def test_no_layout_maps_everything_to_other(self):
+        resolver = RegionResolver(None)
+        assert resolver.names == ["other"]
+        assert resolver.resolve_line(12345) == 0
+        assert resolver.catalogue() == []
+
+    def test_catalogue_is_json_safe(self):
+        resolver = RegionResolver(_space_layout())
+        cat = resolver.catalogue()
+        assert [r["name"] for r in cat] == ["offsets", "structure", "prop:rank"]
+        assert all(
+            set(r) == {"name", "base", "size", "kind", "element_size"}
+            for r in cat
+        )
+
+
+class TestShadowTagStore:
+    def test_cold_then_reuse_distances(self):
+        shadow = ShadowTagStore(capacity_lines=4)
+        assert shadow.access(10) == COLD_DISTANCE
+        assert shadow.access(11) == COLD_DISTANCE
+        assert shadow.access(10) == 1  # one distinct line in between
+        assert shadow.access(10) == 0  # immediate re-touch
+        assert shadow.access(11) == 1
+
+    def test_distance_counts_distinct_lines_not_accesses(self):
+        shadow = ShadowTagStore(capacity_lines=8)
+        shadow.access(1)
+        for _ in range(5):
+            shadow.access(2)  # many touches, one distinct line
+        assert shadow.access(1) == 1
+
+    def test_would_hit_matches_capacity(self):
+        shadow = ShadowTagStore(capacity_lines=2)
+        assert not shadow.would_hit(COLD_DISTANCE)
+        assert shadow.would_hit(0)
+        assert shadow.would_hit(1)
+        assert not shadow.would_hit(2)
+
+    def test_compaction_preserves_distances(self):
+        # Tiny timestamp arena forces repeated compaction mid-stream.
+        shadow = ShadowTagStore(capacity_lines=64, initial_slots=16)
+        n = 50
+        for line in range(n):
+            assert shadow.access(line) == COLD_DISTANCE
+        for line in range(n):
+            # Every other line was touched since this line's last access.
+            assert shadow.access(line) == n - 1
+        assert len(shadow) == n
+        assert shadow.accesses == 2 * n
+
+    def test_matches_naive_lru_stack(self):
+        import random
+
+        rng = random.Random(7)
+        shadow = ShadowTagStore(capacity_lines=8, initial_slots=16)
+        stack: list[int] = []  # most recent last
+        for _ in range(2000):
+            line = rng.randrange(24)
+            if line in stack:
+                expected = len(stack) - 1 - stack.index(line)
+                stack.remove(line)
+            else:
+                expected = COLD_DISTANCE
+            stack.append(line)
+            assert shadow.access(line) == expected
+
+
+class TestConservation:
+    """Attribution sums must equal the real hierarchy's miss counters."""
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_regions_and_classes_sum_to_level_totals(self, workload):
+        run = TraceSpec(workload, "mesh", max_refs=3000, scale_shift=-3).trace()
+        session = Telemetry(interval_cycles=5_000, attribution=True)
+        result = simulate(run, setup="droplet", telemetry=session)
+        profiler = session.attribution_profiler
+        assert profiler is not None
+
+        l2_total = result.hierarchy.l2s[0].stats.total_misses
+        l3_total = result.hierarchy.l3.stats.total_misses
+        assert profiler.l2.total_misses == l2_total
+        assert profiler.l3.total_misses == l3_total
+        for lvl, total in ((profiler.l2, l2_total), (profiler.l3, l3_total)):
+            assert sum(lvl.misses) == total
+            assert sum(lvl.classes) == total
+            for region, per_class in enumerate(lvl.classes_by_region):
+                assert sum(per_class) == lvl.misses[region]
+
+    def test_shadow_stream_length_matches_l2_accesses(self):
+        run = TraceSpec("PR", "mesh", max_refs=3000, scale_shift=-3).trace()
+        session = Telemetry(attribution=True)
+        result = simulate(run, setup="stream", telemetry=session)
+        profiler = session.attribution_profiler
+        stats = result.hierarchy.l2s[0].stats
+        # The L2 stream is every demand access that missed the L1.
+        assert profiler.l2.shadow.accesses == stats.total_hits + stats.total_misses
+        l3 = result.hierarchy.l3.stats
+        assert profiler.l3.shadow.accesses == l3.total_hits + l3.total_misses
+
+    def test_classify_off_skips_shadow(self):
+        run = TraceSpec("BFS", "mesh", max_refs=2000, scale_shift=-3).trace()
+        session = Telemetry(attribution=True, classify_misses=False)
+        simulate(run, setup="none", telemetry=session)
+        profiler = session.attribution_profiler
+        assert profiler.l3.shadow is None
+        block = profiler.as_dict()
+        assert "classes" not in block["levels"]["l3"]
+
+
+class TestProfilerReporting:
+    @pytest.fixture(scope="class")
+    def profiler(self):
+        run = TraceSpec("BFS", "mesh", max_refs=3000, scale_shift=-3).trace()
+        session = Telemetry(attribution=True)
+        simulate(run, setup="droplet", telemetry=session)
+        return session.attribution_profiler
+
+    def test_registry_gauges_match_profiler(self):
+        run = TraceSpec("BFS", "mesh", max_refs=3000, scale_shift=-3).trace()
+        session = Telemetry(attribution=True)
+        simulate(run, setup="droplet", telemetry=session)
+        profiler = session.attribution_profiler
+        values = session.registry.snapshot()
+        assert values["attribution.l3.misses"] == profiler.l3.total_misses
+        by_region = profiler.l3.misses_by_region()
+        for name, count in by_region.items():
+            assert values["attribution.l3.misses.%s" % name] == count
+            assert (
+                values["attribution.l3.bytes.%s" % name]
+                == count * profiler.line_size
+            )
+        for cls, label in enumerate(MISS_CLASSES):
+            assert values["attribution.l3.%s" % label] == profiler.l3.classes[cls]
+
+    def test_as_dict_shape(self, profiler):
+        block = profiler.as_dict(instructions=10_000)
+        assert set(block) >= {"line_size", "classify", "regions", "levels"}
+        l3 = block["levels"]["l3"]
+        assert sum(l3["misses"].values()) == l3["total_misses"]
+        assert sum(l3["classes"].values()) == l3["total_misses"]
+        for name, count in l3["misses"].items():
+            assert l3["bytes"][name] == count * block["line_size"]
+            assert l3["mpki"][name] == pytest.approx(1000.0 * count / 10_000)
+        # Pollution rides along once the machine attaches the tracker.
+        assert "pollution" in block
+
+
+class TestStandaloneProfiler:
+    def test_manual_feed_without_layout(self):
+        profiler = AttributionProfiler(l2_lines=4, l3_lines=4)
+        profiler.on_demand_access("L2", 1)  # L2 hit: no miss anywhere
+        profiler.on_demand_access("L3", 1)  # L2 miss, L3 hit
+        profiler.on_demand_access("DRAM", 2)  # misses both levels
+        assert profiler.l2.total_misses == 2
+        assert profiler.l3.total_misses == 1
+        assert profiler.l2.misses_by_region() == {"other": 2}
+        assert profiler.l3.class_counts()["compulsory"] == 1

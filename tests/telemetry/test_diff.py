@@ -1,0 +1,178 @@
+"""Differential analyzer: segmentation, alignment, diffing, writers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import TraceSpec
+from repro.system.runner import simulate
+from repro.telemetry import (
+    DIFF_FORMAT,
+    Telemetry,
+    diff_payloads,
+    diff_table_rows,
+    load_profile,
+    phase_segments,
+    phase_table_rows,
+    telemetry_dict,
+    validate_diff_payload,
+    write_diff_html,
+    write_diff_json,
+    write_json,
+)
+from repro.telemetry.diff import align_segments
+
+
+def _profile(setup: str) -> dict:
+    run = TraceSpec("BFS", "mesh", max_refs=6000, scale_shift=-3).trace()
+    session = Telemetry(interval_cycles=2_000, attribution=True)
+    simulate(run, setup=setup, telemetry=session)
+    return telemetry_dict(
+        session, meta={"workload": "BFS", "dataset": "mesh", "setup": setup}
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_payload():
+    return _profile("stream")
+
+
+@pytest.fixture(scope="module")
+def droplet_payload():
+    return _profile("droplet")
+
+
+class TestPhaseSegments:
+    def test_labels_cover_warmup_plus_phases(self, stream_payload):
+        segments = phase_segments(stream_payload)
+        assert segments[0]["label"] == "warmup"
+        assert [s["label"] for s in segments[1:]] == stream_payload["phases"]
+
+    def test_segments_telescope_to_final_totals(self, stream_payload):
+        segments = phase_segments(stream_payload)
+        final = stream_payload["samples"][-1]["values"]
+        for name in ("core.instructions", "cache.l3.misses", "core.cycles"):
+            total = sum(s["values"].get(name, 0.0) for s in segments)
+            assert total == pytest.approx(final[name])
+        assert sum(s["cycles"] for s in segments) == pytest.approx(
+            stream_payload["samples"][-1]["cycle"]
+        )
+
+    def test_unphased_payload_is_one_run_segment(self, stream_payload):
+        flat = dict(stream_payload)
+        flat["samples"] = [
+            s for s in stream_payload["samples"] if s["reason"] != "phase"
+        ]
+        segments = phase_segments(flat)
+        assert [s["label"] for s in segments] == ["run"]
+
+
+class TestAlignment:
+    def test_identical_labels_zip(self):
+        a = [{"label": "x"}, {"label": "y"}]
+        pairs, ua, ub = align_segments(a, list(a))
+        assert [(p[0]["label"], p[1]["label"]) for p in pairs] == [
+            ("x", "x"),
+            ("y", "y"),
+        ]
+        assert ua == [] and ub == []
+
+    def test_lcs_alignment_reports_leftovers(self):
+        a = [{"label": l} for l in ("warmup", "level:2", "level:3", "level:4")]
+        b = [{"label": l} for l in ("warmup", "level:2", "level:4")]
+        pairs, ua, ub = align_segments(a, b)
+        assert [p[0]["label"] for p in pairs] == ["warmup", "level:2", "level:4"]
+        assert ua == ["level:3"]
+        assert ub == []
+
+
+class TestDiffPayloads:
+    def test_self_diff_is_all_zero(self, stream_payload):
+        diff = diff_payloads(stream_payload, stream_payload)
+        validate_diff_payload(diff)
+        assert all(e["delta"] == 0 for e in diff["totals"].values())
+        assert all(e["delta"] == 0 for e in diff["derived"].values())
+        for phase in diff["phases"]:
+            assert all(e["delta"] == 0 for e in phase["rates"].values())
+        levels = diff["attribution"]["levels"]
+        for block in levels.values():
+            assert block["total_misses"]["delta"] == 0
+            assert all(e["delta"] == 0 for e in block["misses"].values())
+
+    def test_droplet_reduces_property_mpki(
+        self, stream_payload, droplet_payload
+    ):
+        diff = diff_payloads(stream_payload, droplet_payload)
+        validate_diff_payload(diff)
+        entry = diff["derived"]["llc_mpki_property"]
+        assert entry["candidate"] < entry["baseline"]
+        # ... and at least one aligned phase shows the reduction too.
+        assert any(
+            p["rates"]["llc_mpki_property"]["delta"] < 0 for p in diff["phases"]
+        )
+
+    def test_metrics_prefix_filter(self, stream_payload, droplet_payload):
+        diff = diff_payloads(
+            stream_payload, droplet_payload, metrics=["cache.l3"]
+        )
+        assert diff["totals"]
+        assert all(n.startswith("cache.l3") for n in diff["totals"])
+
+    def test_entry_shape(self, stream_payload, droplet_payload):
+        diff = diff_payloads(stream_payload, droplet_payload)
+        entry = diff["totals"]["cache.l3.misses"]
+        assert entry["delta"] == entry["candidate"] - entry["baseline"]
+        assert entry["ratio"] == pytest.approx(
+            entry["candidate"] / entry["baseline"]
+        )
+
+    def test_validation_rejects_corruption(self, stream_payload):
+        diff = diff_payloads(stream_payload, stream_payload)
+        diff["format"] = "nonsense"
+        with pytest.raises(ValueError, match="format"):
+            validate_diff_payload(diff)
+        diff["format"] = DIFF_FORMAT
+        diff["derived"]["ipc"]["delta"] = 42.0
+        with pytest.raises(ValueError, match="inconsistent delta"):
+            validate_diff_payload(diff)
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def diff(self, stream_payload, droplet_payload):
+        return diff_payloads(stream_payload, droplet_payload)
+
+    def test_table_rows(self, diff):
+        rows = diff_table_rows(diff)
+        assert {"metric", "baseline", "candidate", "delta", "ratio"} <= set(
+            rows[0]
+        )
+        assert any(r["metric"] == "llc_mpki_property" for r in rows)
+        phase_rows = phase_table_rows(diff, "llc_mpki_property")
+        assert phase_rows[0]["phase"] == "warmup"
+
+    def test_json_round_trip(self, diff, tmp_path):
+        path = write_diff_json(diff, tmp_path / "diff.json")
+        loaded = json.loads(path.read_text())
+        validate_diff_payload(loaded)
+        assert loaded["format"] == DIFF_FORMAT
+
+    def test_html_report(self, diff, tmp_path):
+        path = write_diff_html(diff, tmp_path / "diff.html")
+        text = path.read_text()
+        assert text.startswith("<!doctype html>")
+        assert "stream vs droplet" in text
+        assert "Whole-run derived rates" in text
+        assert "llc_mpki_property" in text
+        assert "Attribution" in text
+        assert 'id="diff-data"' in text
+
+    def test_load_profile_round_trip(self, stream_payload, tmp_path):
+        path = write_json(stream_payload, tmp_path / "profile.json")
+        loaded = load_profile(path)
+        assert loaded == stream_payload
+        with pytest.raises(ValueError):
+            (tmp_path / "bad.json").write_text('{"format": "nope"}')
+            load_profile(tmp_path / "bad.json")

@@ -61,6 +61,42 @@ class TestZeroInterference:
         with pytest.raises(RuntimeError, match="already attached"):
             simulate(kron_run, setup="none", telemetry=session)
 
+    @pytest.mark.parametrize("setup", ["none", "stream", "droplet"])
+    def test_attribution_never_changes_simulated_results(self, kron_run, setup):
+        absent = summarize(simulate(kron_run, setup=setup, telemetry=None))
+        session = Telemetry(interval_cycles=5_000, attribution=True)
+        instrumented = summarize(
+            simulate(kron_run, setup=setup, telemetry=session)
+        )
+        assert instrumented == absent
+        profiler = session.attribution_profiler
+        assert profiler is not None
+        assert profiler.l3.total_misses > 0  # it really did observe
+
+    def test_attribution_block_in_payload_validates(self, kron_run):
+        session = Telemetry(interval_cycles=5_000, attribution=True)
+        simulate(kron_run, setup="droplet", telemetry=session)
+        payload = telemetry_dict(session, meta={"label": "unit"})
+        validate_telemetry_payload(payload)
+        assert "attribution" in payload["families"]
+        block = payload["attribution"]
+        assert set(block["levels"]) == {"l2", "l3"}
+        assert "pollution" in block
+        # MPKI uses the final sample's instruction count.
+        instructions = payload["samples"][-1]["values"]["core.instructions"]
+        l3 = block["levels"]["l3"]
+        total_mpki = sum(l3["mpki"].values())
+        assert total_mpki == pytest.approx(
+            1000.0 * l3["total_misses"] / instructions
+        )
+
+    def test_plain_session_has_no_attribution_block(self, kron_run):
+        session = Telemetry(interval_cycles=5_000)
+        simulate(kron_run, setup="droplet", telemetry=session)
+        payload = telemetry_dict(session)
+        assert "attribution" not in payload
+        assert "attribution" not in payload["families"]
+
 
 class TestInstrumentedRun:
     @pytest.fixture(scope="class")

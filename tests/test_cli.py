@@ -51,6 +51,27 @@ class TestParser:
         assert args.telemetry and args.telemetry_interval == 9000
         assert not build_parser().parse_args(["sweep"]).telemetry
 
+    def test_profile_attribution_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--workload", "bfs", "--dataset", "mesh"]
+        )
+        assert not args.no_attribution and not args.no_classify
+        args = build_parser().parse_args(
+            [
+                "profile", "--workload", "bfs", "--dataset", "mesh",
+                "--no-attribution", "--no-classify",
+            ]
+        )
+        assert args.no_attribution and args.no_classify
+
+    def test_diff_args(self):
+        args = build_parser().parse_args(
+            ["diff", "a.json", "b.json", "--out", "d.json", "--metrics", "cache"]
+        )
+        assert args.baseline == "a.json" and args.candidate == "b.json"
+        assert args.out == "d.json" and args.metrics == ["cache"]
+        assert args.phase_rate == "llc_mpki_property"
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -109,6 +130,85 @@ class TestCommands:
         assert (out_dir / "profile.html").exists()
         assert (out_dir / "profile.csv").exists()
         assert (out_dir / "profile.events.jsonl").exists()
+        # Attribution is on by default for profiles.
+        assert "attribution:" in out
+        assert "attribution" in payload
+        assert "attribution" in payload["families"]
+
+    def test_profile_no_attribution(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "prof"
+        code = main(
+            [
+                "profile",
+                "--workload", "bfs",
+                "--dataset", "mesh",
+                "--scale-shift", "-3",
+                "--max-refs", "4000",
+                "--no-attribution",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attribution:" not in out
+        payload = json.loads((out_dir / "profile.json").read_text())
+        assert "attribution" not in payload
+
+    def test_profile_warns_on_dropped_events(self, capsys, tmp_path):
+        code = main(
+            [
+                "profile",
+                "--workload", "bfs",
+                "--dataset", "mesh",
+                "--scale-shift", "-3",
+                "--max-refs", "8000",
+                "--events", "8",  # tiny ring: must drop and warn
+                "--out", str(tmp_path / "prof"),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "dropped" in err and "--events" in err
+
+    def test_diff_command(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import validate_diff_payload
+
+        for setup, out_dir in (("stream", "a"), ("droplet", "b")):
+            assert main(
+                [
+                    "profile",
+                    "--workload", "bfs",
+                    "--dataset", "mesh",
+                    "--scale-shift", "-3",
+                    "--max-refs", "6000",
+                    "--interval", "2000",
+                    "--setup", setup,
+                    "--out", str(tmp_path / out_dir),
+                ]
+            ) == 0
+        capsys.readouterr()
+        diff_path = tmp_path / "diff.json"
+        code = main(
+            [
+                "diff",
+                str(tmp_path / "a" / "profile.json"),
+                str(tmp_path / "b" / "profile.json"),
+                "--out", str(diff_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "llc_mpki_property" in out
+        assert "per-phase llc_mpki_property" in out
+        diff = json.loads(diff_path.read_text())
+        validate_diff_payload(diff)
+        assert diff["baseline"]["meta"]["setup"] == "stream"
+        assert diff["candidate"]["meta"]["setup"] == "droplet"
+        assert (tmp_path / "diff.html").exists()
 
     def test_sweep_with_telemetry(self, capsys, tmp_path):
         import json
