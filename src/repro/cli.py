@@ -130,6 +130,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="telemetry sampling interval in simulated cycles",
     )
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point watchdog timeout (default: none)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max retries per point for transient failures (default: 2)",
+    )
+    p_sweep.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="initial retry backoff, doubled per attempt",
+    )
+    p_sweep.add_argument(
+        "--run-id",
+        metavar="ID",
+        help="run-ledger id for this sweep (default: generated)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="resume an interrupted sweep from its run ledger",
+    )
+    p_sweep.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the run ledger (sweep is not resumable)",
+    )
+    p_sweep.add_argument(
+        "--ledger-root",
+        metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUN_LEDGER or "
+        "~/.cache/repro/runs)",
+    )
+    p_sweep.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject faults, e.g. 'crash@2,hang@5,corrupt@0' (testing/CI)",
+    )
 
     p_prof = sub.add_parser(
         "profile", help="instrument one run and write a telemetry report"
@@ -257,7 +304,14 @@ def _cmd_simulate(args) -> int:
 def _cmd_sweep(args) -> int:
     from .experiments.common import render_table
     from .reporting import save_results_payload, summarize_sweep, sweep_table_rows
-    from .runtime import SweepPoint, SweepRunner
+    from .runtime import (
+        FaultPlan,
+        RetryPolicy,
+        RunLedger,
+        SweepPoint,
+        SweepRunner,
+        new_run_id,
+    )
 
     points = [
         SweepPoint(
@@ -271,23 +325,58 @@ def _cmd_sweep(args) -> int:
         for dataset in args.datasets
         for setup in dict.fromkeys(["none", *args.setups])
     ]
+    retry = RetryPolicy(
+        max_attempts=max(1, args.retries + 1),
+        timeout=args.timeout,
+        backoff=args.backoff,
+    )
+    ledger = None
+    run_id = args.resume or args.run_id
+    if not args.no_ledger:
+        run_id = run_id or new_run_id()
+        ledger = RunLedger(run_id, root=args.ledger_root)
+        if args.resume and not ledger.exists():
+            print(
+                "no ledger found for run id %r at %s"
+                % (args.resume, ledger.path),
+                file=sys.stderr,
+            )
+            return 2
+    faults = None
+    if args.faults:
+        trip_dir = None
+        if ledger is not None:
+            trip_dir = str(ledger.root / (ledger.run_id + ".faults"))
+        faults = FaultPlan.from_spec(args.faults, trip_dir=trip_dir)
     runner = SweepRunner(
         workers=args.workers,
         trace_cache=False if args.no_trace_cache else None,
         return_full=False,
         telemetry=args.telemetry,
         telemetry_interval=args.telemetry_interval,
+        retry=retry,
+        faults=faults,
+        ledger=ledger,
     )
     report = runner.run(points)
     print(render_table(sweep_table_rows(report)))
     print(report.metrics.to_text())
+    if ledger is not None:
+        print(
+            "run id %s (%d/%d points journaled; resume with "
+            "`repro sweep --resume %s`)"
+            % (run_id, len(ledger), len(points), run_id)
+        )
     for failed in report.errors():
         print("error at %s:" % failed.point.label)
         print(failed.error.traceback.rstrip())
     if args.out:
         save_results_payload(summarize_sweep(report), args.out)
         print("report written to %s" % args.out)
-    return 1 if report.errors() else 0
+    summary = report.failure_summary()
+    if summary:
+        print(summary, file=sys.stderr)
+    return report.exit_code()
 
 
 #: Figure runners that accept a SweepRunner for parallel execution.
@@ -300,9 +389,9 @@ def _cmd_figure(args) -> int:
     cfg = ExperimentConfig.quick() if args.quick else ExperimentConfig()
     runner = None
     if args.workers >= 2:
-        from .runtime import SweepRunner
+        from .experiments.common import make_runner
 
-        runner = SweepRunner(workers=args.workers)
+        runner = make_runner(args.workers)
     runners = _figure_runners()
     names = sorted(runners) if args.name == "all" else [args.name]
     for name in names:

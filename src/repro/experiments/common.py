@@ -24,6 +24,7 @@ __all__ = [
     "ExperimentResult",
     "get_graph",
     "get_trace_run",
+    "make_runner",
     "geomean",
     "render_table",
     "clear_caches",
@@ -124,6 +125,28 @@ def get_trace_run(
         )
         _TRACE_CACHE[key] = _disk_cache().get_or_trace(spec, graph=graph)[0]
     return _TRACE_CACHE[key]
+
+
+def make_runner(
+    workers: int,
+    timeout: float | None = None,
+    retries: int | None = None,
+):
+    """A :class:`~repro.runtime.sweep.SweepRunner` for figure drivers.
+
+    Figures re-simulate the same points across driver invocations, so
+    the runner keeps the default shared on-disk trace cache and full
+    results.  ``timeout``/``retries`` tune the resilience policy; the
+    defaults retry transient failures (worker deaths, injected faults,
+    timeouts) and fail deterministic errors fast.
+    """
+    from ..runtime import RetryPolicy, SweepRunner
+
+    retry = RetryPolicy(
+        max_attempts=max(1, (retries if retries is not None else 2) + 1),
+        timeout=timeout,
+    )
+    return SweepRunner(workers=workers, retry=retry)
 
 
 def clear_caches() -> None:

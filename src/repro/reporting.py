@@ -30,8 +30,10 @@ __all__ = [
 #: Format marker for saved result files.
 RESULTS_FORMAT = "repro-results-v1"
 
-#: Format marker for saved sweep reports.
-SWEEP_FORMAT = "repro-sweep-v1"
+#: Format marker for saved sweep reports.  v2 added the resilience
+#: metrics block (retries/timeouts/recovered_workers/quarantined_entries/
+#: restored_points) and per-point ``attempts``/``restored`` fields.
+SWEEP_FORMAT = "repro-sweep-v2"
 
 
 def summarize(result: SimResult) -> dict:
@@ -110,7 +112,9 @@ def sweep_table_rows(report) -> list[dict]:
 
     Adds a ``speedup`` column over the same (workload, dataset) pair's
     ``none`` setup when that baseline is part of the sweep.  Failed
-    points render with their error in place of metrics.
+    points render with their error in place of metrics.  A ``tries``
+    column appears when any point needed retries or was restored from a
+    run ledger, so resilient runs are visible in the report table.
     """
     baselines = {
         (p.point.workload, p.point.dataset): p.summary["cycles"]
@@ -118,6 +122,7 @@ def sweep_table_rows(report) -> list[dict]:
         if p.ok and p.point.setup == "none" and p.point.llc_multiplier is None
         and p.point.l2_config is None
     }
+    resilient = any(p.attempts > 1 or p.restored for p in report.points)
     rows: list[dict] = []
     for p in report.points:
         row: dict = {
@@ -125,6 +130,8 @@ def sweep_table_rows(report) -> list[dict]:
             "dataset": p.point.dataset,
             "setup": p.point.setup,
         }
+        if resilient:
+            row["tries"] = "restored" if p.restored else str(p.attempts)
         if p.ok:
             s = p.summary
             base = baselines.get((p.point.workload, p.point.dataset))

@@ -1,4 +1,4 @@
-"""Sweep execution runtime: parallel runners and the on-disk trace cache.
+"""Sweep execution runtime: parallel runners, caching and resilience.
 
 The experiment layer describes *what* to simulate; this package owns
 *how* simulation points execute:
@@ -9,15 +9,38 @@ The experiment layer describes *what* to simulate; this package owns
 * :mod:`repro.runtime.trace_cache` — a content-addressed on-disk cache of
   finalized traces, keyed by workload + generator parameters + seed +
   format versions, so traces are regenerated once across experiments,
-  processes and runs.
+  processes and runs.  Entries carry checksums; corrupt entries are
+  quarantined and regenerated instead of crashing the run.
 * :mod:`repro.runtime.sweep` — :class:`SweepRunner`, which fans points
   out over a :class:`~concurrent.futures.ProcessPoolExecutor` (or runs
   them serially) with deterministic result ordering, per-point error
-  capture and wall-time/cache/utilization metrics.
+  capture, watchdog timeouts, bounded retry (:class:`RetryPolicy`),
+  worker-pool recovery and wall-time/cache/utilization metrics.
+* :mod:`repro.runtime.ledger` — append-only :class:`RunLedger` journals
+  that checkpoint completed points, enabling ``repro sweep --resume``.
+* :mod:`repro.runtime.faults` — deterministic :class:`FaultPlan` fault
+  injection (crashes, hangs, transient errors, cache corruption) used by
+  the resilience tests and the CI smoke job.
 """
 
+from .faults import FaultError, FaultPlan, WorkerCrash
+from .ledger import (
+    LEDGER_FORMAT,
+    LedgerError,
+    RunLedger,
+    default_ledger_root,
+    new_run_id,
+    point_key,
+)
 from .points import PointError, PointResult, SweepPoint, TraceSpec
-from .sweep import SweepError, SweepMetrics, SweepReport, SweepRunner
+from .sweep import (
+    PointTimeout,
+    RetryPolicy,
+    SweepError,
+    SweepMetrics,
+    SweepReport,
+    SweepRunner,
+)
 from .trace_cache import (
     CACHE_FORMAT_VERSION,
     TraceCache,
@@ -34,6 +57,17 @@ __all__ = [
     "SweepMetrics",
     "SweepReport",
     "SweepRunner",
+    "RetryPolicy",
+    "PointTimeout",
+    "FaultError",
+    "FaultPlan",
+    "WorkerCrash",
+    "RunLedger",
+    "LedgerError",
+    "LEDGER_FORMAT",
+    "point_key",
+    "new_run_id",
+    "default_ledger_root",
     "CACHE_FORMAT_VERSION",
     "TraceCache",
     "default_cache_root",

@@ -182,6 +182,15 @@ class PointResult:
     trace_cache_hit: bool | None = None
     #: JSON-safe telemetry payload when the runner sampled this point.
     telemetry: dict | None = None
+    #: Execution attempts this outcome took (1 = first try; >1 means the
+    #: retry policy re-ran the point after transient failures).
+    attempts: int = 1
+    #: Whether this result was restored from a run ledger rather than
+    #: executed in this sweep (``repro sweep --resume``).
+    restored: bool = False
+    #: Trace-cache entries quarantined as corrupt while executing this
+    #: point (the cache regenerated them instead of crashing).
+    cache_quarantined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -215,6 +224,8 @@ class PointResult:
             "ok": self.ok,
             "wall_time": self.wall_time,
             "trace_cache_hit": self.trace_cache_hit,
+            "attempts": self.attempts,
+            "restored": self.restored,
         }
         if self.summary is not None:
             out["summary"] = self.summary

@@ -1,4 +1,5 @@
-"""Parallel sweep execution with deterministic ordering and metrics.
+"""Parallel sweep execution with deterministic ordering, metrics and
+failure recovery.
 
 :class:`SweepRunner` executes a list of :class:`~repro.runtime.points.SweepPoint`
 descriptions either serially in-process or fanned out over a
@@ -12,9 +13,20 @@ descriptions either serially in-process or fanned out over a
   :class:`~repro.runtime.points.PointError` inside its
   :class:`~repro.runtime.points.PointResult`; the rest of the sweep
   completes.
+* **Resilience** — a :class:`RetryPolicy` gives every point a watchdog
+  timeout and bounded retries with exponential backoff.  Deterministic
+  failures (bad arguments, simulation bugs) fail fast; transient ones
+  (injected faults, worker deaths, timeouts, OOM kills) retry.  A broken
+  process pool is respawned — repeatedly-broken pools degrade to fewer
+  workers and ultimately to in-process serial execution — and completed
+  results are never lost.  With a :class:`~repro.runtime.ledger.RunLedger`
+  attached, completed points journal to disk as they finish, so a killed
+  sweep resumes from where it died.
 * **Metrics** — per-point wall time, trace-cache hit/miss counts, trace
-  generation counts and aggregate worker utilization, carried on the
-  returned :class:`SweepReport`.
+  generation counts, aggregate worker utilization, and the resilience
+  counters (retries, timeouts, pool recoveries, quarantined cache
+  entries, ledger-restored points), carried on the returned
+  :class:`SweepReport`.
 
 On a cold cache the runner first warms the trace cache over the sweep's
 *unique* trace specs (in parallel), so the simulation phase never traces
@@ -23,18 +35,104 @@ the same workload twice across workers.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .points import PointError, PointResult, SweepPoint, TraceSpec
 from .trace_cache import TraceCache, trace_key
 
-__all__ = ["SweepRunner", "SweepReport", "SweepMetrics", "SweepError"]
+__all__ = [
+    "SweepRunner",
+    "SweepReport",
+    "SweepMetrics",
+    "SweepError",
+    "RetryPolicy",
+    "PointTimeout",
+]
+
+#: ``PointError.kind`` recorded when a point hits its watchdog timeout.
+POINT_TIMEOUT_KIND = "PointTimeout"
+
+#: ``PointError.kind`` recorded when a worker process dies mid-point.
+WORKER_CRASH_KIND = "WorkerCrash"
 
 
 class SweepError(RuntimeError):
     """Raised by :meth:`SweepReport.raise_errors` when any point failed."""
+
+
+class PointTimeout(Exception):
+    """Raised inside a point when it exceeds the watchdog timeout.
+
+    The class name doubles as the structured ``PointError.kind``
+    (:data:`POINT_TIMEOUT_KIND`), in both the in-process and the
+    worker-pool execution paths.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-point timeout, retry and pool-recovery knobs of one sweep.
+
+    ``max_attempts`` bounds *total* executions of one point (1 disables
+    retry).  Only transient failures retry: an error whose ``kind`` (the
+    exception type name) is listed in ``transient_kinds`` — injected
+    faults, worker deaths, watchdog timeouts, OOM-ish conditions.
+    Anything else (a ``ValueError`` from a bad setup, a simulation bug)
+    is deterministic: retrying cannot help, so the point fails fast with
+    its structured error and the sweep moves on.
+
+    ``timeout`` is enforced twice in parallel mode: a soft in-worker
+    ``SIGALRM`` watchdog that interrupts the point cleanly at
+    ``timeout`` seconds, and a supervisor-side hard deadline at
+    ``2 × timeout + 5`` that kills and respawns the pool if a worker is
+    wedged beyond signals.  Serial sweeps use the soft watchdog only
+    (when the platform supports ``setitimer`` on the main thread).
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+    transient_kinds: tuple[str, ...] = (
+        "FaultError",
+        WORKER_CRASH_KIND,
+        POINT_TIMEOUT_KIND,
+        "MemoryError",
+        "OSError",
+        "ConnectionResetError",
+        "BrokenProcessPool",
+    )
+    #: Pool-breakage budget: respawn at full size once, then halve the
+    #: worker count per respawn; past the budget the sweep finishes
+    #: serially in-process.
+    max_pool_respawns: int = 3
+
+    def is_transient(self, error: PointError | None) -> bool:
+        """Whether ``error`` is worth retrying."""
+        return error is not None and error.kind in self.transient_kinds
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff before the next attempt, after ``failed_attempts``."""
+        if self.backoff <= 0:
+            return 0.0
+        exponent = max(0, failed_attempts - 1)
+        return min(self.backoff * self.backoff_factor**exponent, self.max_backoff)
+
+    @property
+    def hard_timeout(self) -> float | None:
+        """Supervisor-side kill deadline backing the soft watchdog."""
+        return None if self.timeout is None else self.timeout * 2.0 + 5.0
 
 
 @dataclass
@@ -46,6 +144,13 @@ class SweepMetrics:
     the serial in-process path, and its metrics must say ``workers=1``,
     ``mode="serial"`` — utilization is normalized by the executing
     worker count, never by the requested pool size.
+
+    The resilience counters record recovery work: ``retries`` (extra
+    attempts scheduled), ``timeouts`` (watchdog expiries observed),
+    ``recovered_workers`` (pool respawn events after crashes or hard
+    timeouts), ``quarantined_entries`` (corrupt trace-cache entries
+    quarantined and regenerated) and ``restored`` (points restored from
+    a run ledger instead of executed).
     """
 
     workers: int = 1
@@ -57,6 +162,11 @@ class SweepMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     traces_generated: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    recovered_workers: int = 0
+    quarantined_entries: int = 0
+    restored: int = 0
 
     @property
     def utilization(self) -> float:
@@ -85,11 +195,16 @@ class SweepMetrics:
             "trace_cache_hits": self.cache_hits,
             "trace_cache_misses": self.cache_misses,
             "traces_generated": self.traces_generated,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "recovered_workers": self.recovered_workers,
+            "quarantined_entries": self.quarantined_entries,
+            "restored_points": self.restored,
         }
 
     def to_text(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             "%d points (%d errors) in %.2fs wall / %.2fs cpu, "
             "%d %s worker(s) at %.0f%% utilization, "
             "trace cache %d hits / %d misses"
@@ -105,6 +220,25 @@ class SweepMetrics:
                 self.cache_misses,
             )
         )
+        if (
+            self.retries
+            or self.timeouts
+            or self.recovered_workers
+            or self.quarantined_entries
+            or self.restored
+        ):
+            text += (
+                "; resilience: %d retries, %d timeouts, %d pool "
+                "recoveries, %d quarantined, %d restored"
+                % (
+                    self.retries,
+                    self.timeouts,
+                    self.recovered_workers,
+                    self.quarantined_entries,
+                    self.restored,
+                )
+            )
+        return text
 
 
 @dataclass
@@ -128,18 +262,34 @@ class SweepReport:
         """The failed points, in sweep order."""
         return [p for p in self.points if not p.ok]
 
+    def exit_code(self) -> int:
+        """Process exit status for this sweep's outcome.
+
+        0 — every point succeeded; 1 — partial failure (some points
+        survived); 2 — total failure (every point failed).
+        """
+        failed = self.errors()
+        if not failed:
+            return 0
+        return 2 if len(failed) == len(self.points) else 1
+
+    def failure_summary(self) -> str:
+        """Multi-line summary of the failed points ('' when none)."""
+        failed = self.errors()
+        if not failed:
+            return ""
+        lines = [
+            "%d/%d sweep points failed:" % (len(failed), len(self.points))
+        ] + [
+            "  %s: %s: %s" % (p.point.label, p.error.kind, p.error.message)
+            for p in failed
+        ]
+        return "\n".join(lines)
+
     def raise_errors(self) -> None:
         """Raise :class:`SweepError` summarizing any failed points."""
-        failed = self.errors()
-        if failed:
-            lines = [
-                "%s: %s: %s" % (p.point.label, p.error.kind, p.error.message)
-                for p in failed
-            ]
-            raise SweepError(
-                "%d/%d sweep points failed:\n%s"
-                % (len(failed), len(self.points), "\n".join(lines))
-            )
+        if self.errors():
+            raise SweepError(self.failure_summary())
 
     def summaries(self) -> list[dict]:
         """Summaries of the successful points, in sweep order."""
@@ -184,6 +334,38 @@ def resolve_point_config(point: SweepPoint, base):
     return config
 
 
+@contextmanager
+def _watchdog(seconds: float | None):
+    """SIGALRM-based per-point timeout (main thread, POSIX only).
+
+    Arms a one-shot interval timer that raises :class:`PointTimeout`
+    inside the running point; yields whether the watchdog is actually
+    armed.  Where unsupported (non-main thread, platforms without
+    ``setitimer``) the point runs unguarded — the parallel supervisor's
+    hard deadline still covers it.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield False
+        return
+
+    def _alarm(signum, frame):
+        raise PointTimeout("point exceeded the %.1fs watchdog" % seconds)
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _fetch_trace(spec: TraceSpec, cache: TraceCache, memo: dict):
     """Cached trace lookup: in-memory memo first, then disk, then trace.
 
@@ -206,6 +388,10 @@ def _execute_point(
     memo: dict,
     return_full: bool,
     telemetry_interval: int | None = None,
+    index: int | None = None,
+    faults=None,
+    timeout: float | None = None,
+    attempt: int = 1,
 ) -> PointResult:
     """Run one point, capturing any failure as a structured error.
 
@@ -213,35 +399,54 @@ def _execute_point(
     telemetry: the point result then carries a JSON-safe timeline
     payload (no raw event records — those stay per-``repro profile``),
     which survives the pickle boundary back from worker processes.
+
+    ``index``/``faults`` inject the point's scheduled faults (testing);
+    ``timeout`` arms the soft watchdog; ``attempt`` is carried onto the
+    result for retry accounting.  A :class:`PointTimeout` raised by the
+    watchdog is captured like any other failure, so both execution modes
+    report timeouts as structured ``PointError(kind="PointTimeout")``.
     """
     from ..reporting import summarize
     from ..system.runner import simulate
 
     start = time.perf_counter()
     hit: bool | None = None
+    quarantined_before = getattr(cache, "quarantined", 0)
+
+    def _quarantined() -> int:
+        return getattr(cache, "quarantined", 0) - quarantined_before
+
     try:
-        run, hit, _generated = _fetch_trace(point.trace_spec, cache, memo)
-        telemetry = None
-        if telemetry_interval is not None:
-            from ..telemetry import Telemetry
+        with _watchdog(timeout):
+            if faults is not None and index is not None:
+                faults.fire(
+                    index,
+                    cache=cache,
+                    spec=point.trace_spec,
+                    in_worker=_IN_WORKER,
+                )
+            run, hit, _generated = _fetch_trace(point.trace_spec, cache, memo)
+            telemetry = None
+            if telemetry_interval is not None:
+                from ..telemetry import Telemetry
 
-            telemetry = Telemetry(interval_cycles=telemetry_interval)
-        result = simulate(
-            run,
-            config=resolve_point_config(point, config),
-            setup=point.setup,
-            multi_property=point.multi_property,
-            telemetry=telemetry,
-        )
-        payload = None
-        if telemetry is not None:
-            from ..telemetry import telemetry_dict
-
-            payload = telemetry_dict(
-                telemetry,
-                meta={"label": point.label, "trace": run.trace.name},
-                include_events=False,
+                telemetry = Telemetry(interval_cycles=telemetry_interval)
+            result = simulate(
+                run,
+                config=resolve_point_config(point, config),
+                setup=point.setup,
+                multi_property=point.multi_property,
+                telemetry=telemetry,
             )
+            payload = None
+            if telemetry is not None:
+                from ..telemetry import telemetry_dict
+
+                payload = telemetry_dict(
+                    telemetry,
+                    meta={"label": point.label, "trace": run.trace.name},
+                    include_events=False,
+                )
         return PointResult(
             point=point,
             summary=summarize(result),
@@ -249,6 +454,8 @@ def _execute_point(
             wall_time=time.perf_counter() - start,
             trace_cache_hit=hit,
             telemetry=payload,
+            attempts=attempt,
+            cache_quarantined=_quarantined(),
         )
     except Exception as exc:
         return PointResult(
@@ -256,6 +463,8 @@ def _execute_point(
             error=PointError.from_exception(exc),
             wall_time=time.perf_counter() - start,
             trace_cache_hit=hit,
+            attempts=attempt,
+            cache_quarantined=_quarantined(),
         )
 
 
@@ -264,24 +473,33 @@ def _execute_point(
 # ----------------------------------------------------------------------
 _WORKER_CACHE: TraceCache | None = None
 _WORKER_MEMO: dict = {}
+#: Whether this module is executing inside a pool worker; selects the
+#: real-crash (``os._exit``) vs raised-exception form of crash faults.
+_IN_WORKER = False
 
 
 def _worker_init(cache_root: str | None) -> None:
     """Process-pool initializer: bind the worker's trace cache."""
-    global _WORKER_CACHE, _WORKER_MEMO
+    global _WORKER_CACHE, _WORKER_MEMO, _IN_WORKER
     _WORKER_CACHE = TraceCache(cache_root, enabled=cache_root is not None)
     _WORKER_MEMO = {}
+    _IN_WORKER = True
 
 
-def _worker_warm(spec: TraceSpec) -> tuple[bool, float]:
+def _worker_warm(spec: TraceSpec) -> tuple[bool, float, int]:
     """Phase-1 task: ensure ``spec``'s trace exists on disk.
 
-    Returns ``(was_hit, seconds)`` for the runner's metrics.
+    Returns ``(was_hit, seconds, quarantined)`` for the runner's metrics.
     """
     start = time.perf_counter()
+    quarantined_before = _WORKER_CACHE.quarantined
     run, hit, _generated = _fetch_trace(spec, _WORKER_CACHE, _WORKER_MEMO)
     del run
-    return hit, time.perf_counter() - start
+    return (
+        hit,
+        time.perf_counter() - start,
+        _WORKER_CACHE.quarantined - quarantined_before,
+    )
 
 
 def _worker_execute(
@@ -289,6 +507,10 @@ def _worker_execute(
     config,
     return_full: bool,
     telemetry_interval: int | None = None,
+    index: int | None = None,
+    faults=None,
+    timeout: float | None = None,
+    attempt: int = 1,
 ) -> PointResult:
     """Phase-2 task: simulate one point inside a worker process."""
     return _execute_point(
@@ -298,6 +520,10 @@ def _worker_execute(
         _WORKER_MEMO,
         return_full,
         telemetry_interval=telemetry_interval,
+        index=index,
+        faults=faults,
+        timeout=timeout,
+        attempt=attempt,
     )
 
 
@@ -324,6 +550,16 @@ class SweepRunner:
         (``PointResult.telemetry``) that crosses the process boundary.
     telemetry_interval:
         Sampling cadence (simulated cycles) when ``telemetry`` is on.
+    retry:
+        The sweep's :class:`RetryPolicy` (timeouts, bounded retry with
+        backoff, pool-respawn budget); ``None`` uses the defaults.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` injected into
+        point execution — testing/CI only.
+    ledger:
+        Optional :class:`~repro.runtime.ledger.RunLedger`.  Completed
+        points journal to it as they finish; points already journaled
+        (a resumed run) are restored instead of re-executed.
     """
 
     def __init__(
@@ -333,6 +569,9 @@ class SweepRunner:
         return_full: bool = True,
         telemetry: bool = False,
         telemetry_interval: int = 50_000,
+        retry: RetryPolicy | None = None,
+        faults=None,
+        ledger=None,
     ):
         self.workers = int(workers or 0)
         if trace_cache is False:
@@ -343,7 +582,21 @@ class SweepRunner:
         self.return_full = return_full
         self.telemetry = bool(telemetry)
         self.telemetry_interval = int(telemetry_interval)
+        self.retry = retry or RetryPolicy()
+        self.faults = faults
+        self.ledger = ledger
         self._memo: dict = {}
+        #: Lifetime resilience tallies (across runs) backing the
+        #: telemetry gauges registered by :meth:`register_telemetry`.
+        self.counters: dict[str, int] = {
+            "retries": 0,
+            "timeouts": 0,
+            "recovered_workers": 0,
+            "quarantined_entries": 0,
+            "restored_points": 0,
+            "points_completed": 0,
+            "points_failed": 0,
+        }
 
     @property
     def parallel(self) -> bool:
@@ -354,6 +607,14 @@ class SweepRunner:
         """Drop in-memory trace memoization (disk entries are kept)."""
         self._memo.clear()
 
+    def register_telemetry(self, registry, prefix: str = "sweep") -> None:
+        """Expose the lifetime resilience counters as pull-based gauges."""
+        for name in self.counters:
+            registry.gauge(
+                "%s.%s" % (prefix, name),
+                (lambda key: lambda: self.counters[key])(name),
+            )
+
     # ------------------------------------------------------------------
     def run(self, points, config=None) -> SweepReport:
         """Execute ``points`` and return an ordered :class:`SweepReport`.
@@ -362,6 +623,11 @@ class SweepRunner:
         exactly once here (per-point variants derive from it); every
         point gets a fresh ``Machine``, so no simulator state leaks
         between points in either execution mode.
+
+        With a ledger attached, points journaled by a previous run of
+        the same run id are restored without execution and every fresh
+        completion is journaled as it lands — interrupting the process
+        at any moment loses at most the points still in flight.
         """
         from ..system.config import SystemConfig
 
@@ -369,80 +635,362 @@ class SweepRunner:
         config = config or SystemConfig.scaled_baseline()
         start = time.perf_counter()
         interval = self.telemetry_interval if self.telemetry else None
-        if self.parallel and points:
-            results, warm_stats = self._run_parallel(points, config, interval)
+        metrics = SweepMetrics(
+            workers=self.workers if self.parallel else 1,
+            mode="parallel" if self.parallel else "serial",
+        )
+
+        slots: dict[int, PointResult] = {}
+        if self.ledger is not None:
+            self.ledger.open(
+                telemetry=self.telemetry,
+                telemetry_interval=interval,
+            )
+            for idx, point in enumerate(points):
+                restored = self.ledger.restore(point)
+                if restored is not None:
+                    slots[idx] = restored
+        todo = [(i, p) for i, p in enumerate(points) if i not in slots]
+
+        def on_final(idx: int, point: SweepPoint, result: PointResult) -> None:
+            slots[idx] = result
+            if self.ledger is not None:
+                self.ledger.record(point, result)
+
+        warm_stats: list[tuple[bool, float, int]] = []
+        if self.parallel and todo:
+            warm_stats = self._run_parallel(
+                todo, config, interval, metrics, on_final
+            )
         else:
-            results = [
-                _execute_point(
-                    p,
+            self._run_serial(todo, config, interval, metrics, on_final)
+
+        results = [slots[i] for i in range(len(points))]
+        self._finalize_metrics(
+            metrics, results, warm_stats, time.perf_counter() - start
+        )
+        self._accumulate(metrics)
+        return SweepReport(points=results, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def _should_retry(
+        self, result: PointResult, attempt: int, metrics: SweepMetrics
+    ) -> bool:
+        """One retry decision shared by the serial and parallel paths."""
+        if result.ok:
+            return False
+        if result.error.kind == POINT_TIMEOUT_KIND:
+            metrics.timeouts += 1
+        if attempt < self.retry.max_attempts and self.retry.is_transient(
+            result.error
+        ):
+            metrics.retries += 1
+            return True
+        return False
+
+    def _run_serial(
+        self,
+        todo,
+        config,
+        interval,
+        metrics: SweepMetrics,
+        on_final,
+        first_attempts: dict[int, int] | None = None,
+    ) -> None:
+        """In-process execution with the same retry/timeout decisions."""
+        for idx, point in todo:
+            attempt = (first_attempts or {}).get(idx, 1)
+            while True:
+                result = _execute_point(
+                    point,
                     config,
                     self.trace_cache,
                     self._memo,
                     self.return_full,
                     telemetry_interval=interval,
+                    index=idx,
+                    faults=self.faults,
+                    timeout=self.retry.timeout,
+                    attempt=attempt,
                 )
-                for p in points
-            ]
-            warm_stats = []
-        metrics = self._collect_metrics(
-            results, warm_stats, time.perf_counter() - start
-        )
-        return SweepReport(points=results, metrics=metrics)
+                if not self._should_retry(result, attempt, metrics):
+                    on_final(idx, point, result)
+                    break
+                delay = self.retry.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
 
     # ------------------------------------------------------------------
-    def _run_parallel(self, points, config, telemetry_interval=None):
-        root = (
-            str(self.trace_cache.root)
-            if self.trace_cache.enabled
-            else None
-        )
-        warm_stats: list[tuple[bool, float]] = []
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
+    def _make_pool(self, workers: int, root: str | None) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
             initializer=_worker_init,
             initargs=(root,),
-        ) as pool:
-            if root is not None:
-                # Warm phase: trace each unique spec once across the pool
-                # so the simulation phase never re-traces concurrently.
-                unique = list(dict.fromkeys(p.trace_spec for p in points))
-                warm_stats = list(pool.map(_worker_warm, unique))
-            futures = [
-                pool.submit(
-                    _worker_execute,
-                    p,
-                    config,
-                    self.return_full,
-                    telemetry_interval,
-                )
-                for p in points
-            ]
-            results = [f.result() for f in futures]
-        return results, warm_stats
-
-    def _collect_metrics(self, results, warm_stats, elapsed) -> SweepMetrics:
-        metrics = SweepMetrics(
-            workers=self.workers if self.parallel else 1,
-            mode="parallel" if self.parallel else "serial",
-            total_points=len(results),
-            errors=sum(1 for r in results if not r.ok),
-            elapsed=elapsed,
         )
-        for hit, seconds in warm_stats:
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor, terminate: bool) -> None:
+        """Tear a pool down without waiting on its (possibly hung) tasks."""
+        if terminate:
+            for proc in list(getattr(pool, "_processes", {}).values() or []):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_parallel(
+        self, todo, config, interval, metrics: SweepMetrics, on_final
+    ) -> list[tuple[bool, float, int]]:
+        """Supervised pool execution: watchdogs, respawn, degradation.
+
+        The scheduler keeps at most ``workers`` points in flight.  A
+        completed future carrying a transient error requeues its point
+        with backoff; a broken pool (worker killed by signal/OOM)
+        converts every in-flight point into a structured ``WorkerCrash``
+        — retried like any transient failure — and respawns the pool,
+        halving the worker count after repeated breakage.  A point past
+        its *hard* deadline (the in-worker soft watchdog missed) is
+        failed as a timeout and the pool's processes are terminated, so
+        one wedged worker cannot hold the sweep hostage.  Once the
+        respawn budget is exhausted the remaining points finish on the
+        in-process serial path — degraded, but never lost.
+        """
+        policy = self.retry
+        workers = self.workers
+        root = str(self.trace_cache.root) if self.trace_cache.enabled else None
+
+        pool = self._make_pool(workers, root)
+        warm_stats: list[tuple[bool, float, int]] = []
+        if root is not None:
+            unique = list(dict.fromkeys(p.trace_spec for _, p in todo))
+            try:
+                warm_stats = list(pool.map(_worker_warm, unique))
+            except BrokenExecutor:
+                # Traces regenerate during execution; recover and move on.
+                metrics.recovered_workers += 1
+                self._kill_pool(pool, terminate=False)
+                pool = self._make_pool(workers, root)
+                warm_stats = []
+
+        # (index, point, attempt, not_before) — submission-ordered.
+        pending: list[list] = [[idx, p, 1, 0.0] for idx, p in todo]
+        in_flight: dict = {}  # future -> (index, point, attempt, deadline)
+        respawns = 0
+
+        def finish_or_requeue(idx, point, attempt, result):
+            if self._should_retry(result, attempt, metrics):
+                pending.append(
+                    [
+                        idx,
+                        point,
+                        attempt + 1,
+                        time.monotonic() + policy.delay(attempt),
+                    ]
+                )
+            else:
+                on_final(idx, point, result)
+
+        def crash_result(point, attempt, message):
+            return PointResult(
+                point=point,
+                error=PointError(kind=WORKER_CRASH_KIND, message=message),
+                attempts=attempt,
+            )
+
+        def handle_breakage():
+            """Respawn (or degrade) after the pool broke."""
+            nonlocal pool, workers, respawns
+            respawns += 1
+            metrics.recovered_workers += 1
+            for fut, (idx, p, att, _dl) in list(in_flight.items()):
+                finish_or_requeue(
+                    idx,
+                    p,
+                    att,
+                    crash_result(
+                        p,
+                        att,
+                        "worker pool broke while %s was in flight" % p.label,
+                    ),
+                )
+            in_flight.clear()
+            self._kill_pool(pool, terminate=False)
+            if respawns > 1:
+                workers = max(1, workers // 2)
+            if respawns <= policy.max_pool_respawns:
+                pool = self._make_pool(workers, root)
+
+        try:
+            while pending or in_flight:
+                if respawns > policy.max_pool_respawns:
+                    # Degrade to in-process execution for whatever is left,
+                    # preserving each point's attempt count.
+                    remaining = sorted(pending)
+                    pending = []
+                    self._run_serial(
+                        [(idx, p) for idx, p, _att, _nb in remaining],
+                        config,
+                        interval,
+                        metrics,
+                        on_final,
+                        first_attempts={
+                            idx: att for idx, _p, att, _nb in remaining
+                        },
+                    )
+                    break
+
+                now = time.monotonic()
+                # Fill the pool with ready (backoff-elapsed) points.
+                submit_failed = False
+                while pending and len(in_flight) < workers:
+                    entry = next((e for e in pending if e[3] <= now), None)
+                    if entry is None:
+                        break
+                    pending.remove(entry)
+                    idx, point, attempt, _nb = entry
+                    try:
+                        fut = pool.submit(
+                            _worker_execute,
+                            point,
+                            config,
+                            self.return_full,
+                            interval,
+                            idx,
+                            self.faults,
+                            policy.timeout,
+                            attempt,
+                        )
+                    except BrokenExecutor:
+                        pending.append(entry)
+                        submit_failed = True
+                        break
+                    deadline = (
+                        None
+                        if policy.hard_timeout is None
+                        else now + policy.hard_timeout
+                    )
+                    in_flight[fut] = (idx, point, attempt, deadline)
+                if submit_failed:
+                    handle_breakage()
+                    continue
+
+                if not in_flight:
+                    if pending:  # everything is backing off
+                        wake = min(e[3] for e in pending)
+                        time.sleep(max(0.01, min(wake - time.monotonic(), 0.5)))
+                    continue
+
+                # Wait until a completion, a hard deadline, or a backoff
+                # expiry — whichever comes first.
+                bounds = [
+                    dl for _i, _p, _a, dl in in_flight.values() if dl is not None
+                ]
+                if pending:
+                    bounds.append(min(e[3] for e in pending))
+                timeout = (
+                    max(0.0, min(bounds) - time.monotonic()) if bounds else None
+                )
+                done, _not_done = wait(
+                    set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                for fut in done:
+                    idx, point, attempt, _dl = in_flight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BaseException as exc:
+                        broken = broken or isinstance(exc, BrokenExecutor)
+                        result = crash_result(
+                            point,
+                            attempt,
+                            "worker process died while executing %s (%s: %s)"
+                            % (point.label, type(exc).__name__, exc),
+                        )
+                    finish_or_requeue(idx, point, attempt, result)
+                if broken:
+                    handle_breakage()
+                    continue
+
+                # Hard-deadline sweep: the in-worker watchdog missed.
+                now = time.monotonic()
+                expired = [
+                    (fut, meta)
+                    for fut, meta in in_flight.items()
+                    if meta[3] is not None and now >= meta[3]
+                ]
+                if expired:
+                    metrics.recovered_workers += 1
+                    for fut, (idx, point, attempt, _dl) in expired:
+                        in_flight.pop(fut)
+                        finish_or_requeue(
+                            idx,
+                            point,
+                            attempt,
+                            PointResult(
+                                point=point,
+                                error=PointError(
+                                    kind=POINT_TIMEOUT_KIND,
+                                    message=(
+                                        "point exceeded the %.1fs hard "
+                                        "watchdog (worker killed)"
+                                        % policy.hard_timeout
+                                    ),
+                                ),
+                                attempts=attempt,
+                            ),
+                        )
+                    # The wedged worker never returns: kill the pool and
+                    # requeue the innocent in-flight points unchanged.
+                    for fut, (idx, point, attempt, _dl) in in_flight.items():
+                        pending.append([idx, point, attempt, 0.0])
+                    in_flight.clear()
+                    self._kill_pool(pool, terminate=True)
+                    pool = self._make_pool(workers, root)
+        finally:
+            self._kill_pool(pool, terminate=False)
+        return warm_stats
+
+    # ------------------------------------------------------------------
+    def _finalize_metrics(
+        self, metrics: SweepMetrics, results, warm_stats, elapsed
+    ) -> None:
+        metrics.total_points = len(results)
+        metrics.errors = sum(1 for r in results if not r.ok)
+        metrics.elapsed = elapsed
+        for hit, seconds, quarantined in warm_stats:
             metrics.point_time += seconds
+            metrics.quarantined_entries += quarantined
             if hit:
                 metrics.cache_hits += 1
             else:
                 metrics.cache_misses += 1
                 metrics.traces_generated += 1
         for r in results:
+            if r.restored:
+                # Restored points were executed (and accounted) by the
+                # run that journaled them; only count them as restored.
+                metrics.restored += 1
+                continue
             metrics.point_time += r.wall_time
+            metrics.quarantined_entries += r.cache_quarantined
             if r.trace_cache_hit is True:
                 metrics.cache_hits += 1
             elif r.trace_cache_hit is False:
                 metrics.cache_misses += 1
                 metrics.traces_generated += 1
-        return metrics
+
+    def _accumulate(self, metrics: SweepMetrics) -> None:
+        """Fold one run's metrics into the lifetime telemetry counters."""
+        self.counters["retries"] += metrics.retries
+        self.counters["timeouts"] += metrics.timeouts
+        self.counters["recovered_workers"] += metrics.recovered_workers
+        self.counters["quarantined_entries"] += metrics.quarantined_entries
+        self.counters["restored_points"] += metrics.restored
+        self.counters["points_completed"] += metrics.total_points - metrics.errors
+        self.counters["points_failed"] += metrics.errors
 
     # ------------------------------------------------------------------
     def compare(self, run, setups, config=None, multi_property: bool = False):

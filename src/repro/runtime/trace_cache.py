@@ -14,6 +14,19 @@ weightedness), the reference budget, and the on-disk format versions
 whenever tracing semantics change (workload instrumentation, allocator
 layout, skip policy) — old entries then simply stop matching.
 
+Integrity
+---------
+Every entry's sidecar records a SHA-256 checksum of its ``.npz`` payload,
+verified on load.  A *corrupt* entry — unreadable archive, malformed
+sidecar, checksum mismatch — is moved to ``<root>/quarantine/`` (kept
+for post-mortems, counted in :attr:`TraceCache.quarantined`) and
+reported as a miss, so the trace regenerates instead of crashing the
+sweep.  *Stale* entries (format-version skew, layout-fingerprint
+mismatch) are simply deleted as before.  Writers take a per-entry
+advisory lock (``<root>/locks/``, ``flock``) around generate-and-store,
+so concurrent sweeps on a cold cache trace each workload once instead of
+duplicating the work.
+
 Layout reconstruction
 ---------------------
 A cached entry stores the five trace arrays (``.npz``, via
@@ -35,7 +48,13 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+
+try:  # advisory locking is POSIX-only; degrade to unlocked elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..memory.allocator import GraphLayout
 from ..trace.io import TRACE_FORMAT_VERSION, load_trace, save_trace
@@ -47,7 +66,20 @@ __all__ = ["TraceCache", "trace_key", "default_cache_root", "CACHE_FORMAT_VERSIO
 
 #: Bump when tracing semantics change incompatibly (instrumentation,
 #: allocator layout, skip policy): old cache entries stop matching.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the mandatory ``npz_sha256`` integrity checksum.
+CACHE_FORMAT_VERSION = 2
+
+
+class _CorruptEntry(RuntimeError):
+    """Internal: an entry failed integrity checks (quarantine, regenerate)."""
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 #: Environment variable overriding the cache directory.  Set it to
 #: ``off``, ``0`` or the empty string to disable on-disk caching.
@@ -105,10 +137,17 @@ class TraceCache:
         self.enabled = bool(enabled and self.root is not None)
         self.hits = 0
         self.misses = 0
+        #: Entries moved to quarantine after failing integrity checks.
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _paths(self, key: str) -> tuple[Path, Path]:
         return self.root / (key + ".npz"), self.root / (key + ".json")
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are preserved for post-mortems."""
+        return self.root / "quarantine"
 
     def _drop(self, key: str) -> None:
         for path in self._paths(key):
@@ -117,28 +156,66 @@ class TraceCache:
             except OSError:
                 pass
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside (never crash on a broken cache)."""
+        qdir = self.quarantine_dir
+        moved = False
+        for path in self._paths(key):
+            if not path.exists():
+                continue
+            try:
+                qdir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, qdir / path.name)
+                moved = True
+            except OSError:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        if moved:
+            self.quarantined += 1
+
+    @contextmanager
+    def _entry_lock(self, key: str):
+        """Advisory per-entry lock serializing generate-and-store.
+
+        Concurrent sweeps on a cold cache block here instead of tracing
+        the same workload twice; on platforms without ``fcntl`` the lock
+        degrades to a no-op (generation is then merely duplicated, and
+        atomic write-rename keeps the entry consistent regardless).
+        """
+        if not self.enabled or fcntl is None:
+            yield
+            return
+        lock_dir = self.root / "locks"
+        lock_dir.mkdir(parents=True, exist_ok=True)
+        with open(lock_dir / (key + ".lock"), "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     # ------------------------------------------------------------------
     def lookup(self, spec: TraceSpec, graph=None) -> TraceRun | None:
         """Load the cached run for ``spec``, or ``None`` on a miss.
 
-        Corrupt or stale entries (bad archive, layout fingerprint
-        mismatch, version skew) are removed and reported as misses.
+        Corrupt entries (unreadable/truncated archive, malformed sidecar,
+        checksum mismatch) are quarantined; stale ones (version skew,
+        layout-fingerprint mismatch) are deleted.  Both report as misses
+        — a broken cache degrades to regeneration, never to a crash.
         """
         if not self.enabled:
             self.misses += 1
             return None
         key = trace_key(spec)
-        npz_path, meta_path = self._paths(key)
         try:
-            meta = json.loads(meta_path.read_text())
-            if (
-                meta.get("cache_format") != CACHE_FORMAT_VERSION
-                or meta.get("trace_format") != TRACE_FORMAT_VERSION
-            ):
-                raise ValueError("format version skew")
-            trace = load_trace(npz_path)
-            run = self._rebuild(spec, meta, trace, graph)
+            run = self._load(key, spec, graph)
         except FileNotFoundError:
+            self.misses += 1
+            return None
+        except _CorruptEntry:
+            self._quarantine(key)
             self.misses += 1
             return None
         except Exception:
@@ -147,6 +224,36 @@ class TraceCache:
             return None
         self.hits += 1
         return run
+
+    def _load(self, key: str, spec: TraceSpec, graph) -> TraceRun:
+        """Uncounted entry load: raises instead of adjusting hit/miss.
+
+        ``FileNotFoundError`` means a plain miss, :class:`_CorruptEntry`
+        means quarantine-and-regenerate, anything else means stale.
+        """
+        npz_path, meta_path = self._paths(key)
+        text = meta_path.read_text()  # FileNotFoundError -> plain miss
+        try:
+            meta = json.loads(text)
+        except ValueError as exc:
+            raise _CorruptEntry("malformed sidecar") from exc
+        if (
+            meta.get("cache_format") != CACHE_FORMAT_VERSION
+            or meta.get("trace_format") != TRACE_FORMAT_VERSION
+        ):
+            raise ValueError("format version skew")
+        recorded = meta.get("npz_sha256")
+        if not isinstance(recorded, str):
+            raise _CorruptEntry("sidecar missing the npz checksum")
+        if not npz_path.is_file():
+            raise FileNotFoundError(npz_path)
+        if _sha256_file(npz_path) != recorded:
+            raise _CorruptEntry("npz checksum mismatch")
+        try:
+            trace = load_trace(npz_path)
+        except Exception as exc:
+            raise _CorruptEntry("unreadable trace archive") from exc
+        return self._rebuild(spec, meta, trace, graph)
 
     def _rebuild(self, spec: TraceSpec, meta: dict, trace, graph) -> TraceRun:
         """Reconstruct the layout and wrap the trace as a TraceRun."""
@@ -200,11 +307,19 @@ class TraceCache:
             "completed": run.completed,
             "regions": _region_records(run.layout),
         }
+
+        def write_npz(tmp: str) -> None:
+            save_trace(run.trace, tmp)
+            # Checksum the bytes that actually landed on disk; the rename
+            # below publishes exactly this file.
+            meta["npz_sha256"] = _sha256_file(Path(tmp))
+
         # Write-then-rename keeps concurrent writers (parallel sweeps on a
         # cold cache) safe: readers only ever see complete files, and the
-        # payload lands before the sidecar that advertises it.
+        # payload lands before the sidecar that advertises (and checksums)
+        # it.
         for path, writer in (
-            (npz_path, lambda tmp: save_trace(run.trace, tmp)),
+            (npz_path, write_npz),
             (meta_path, lambda tmp: Path(tmp).write_text(json.dumps(meta))),
         ):
             fd, tmp = tempfile.mkstemp(
@@ -222,12 +337,31 @@ class TraceCache:
                 raise
 
     def get_or_trace(self, spec: TraceSpec, graph=None) -> tuple[TraceRun, bool]:
-        """Return ``(run, was_cache_hit)``, tracing and storing on a miss."""
+        """Return ``(run, was_cache_hit)``, tracing and storing on a miss.
+
+        On a miss the generate-and-store runs under the entry's advisory
+        lock; a second sweep racing on the same cold entry blocks, then
+        finds the freshly stored trace on its post-lock re-check instead
+        of generating it again.
+        """
         run = self.lookup(spec, graph=graph)
         if run is not None:
             return run, True
-        run = spec.trace(graph=graph)
-        self.store(spec, run)
+        if not self.enabled:
+            return spec.trace(graph=graph), False
+        key = trace_key(spec)
+        with self._entry_lock(key):
+            # Re-check under the lock: a concurrent holder may have
+            # stored the entry while we waited.
+            try:
+                run = self._load(key, spec, graph)
+            except Exception:
+                run = None
+            if run is not None:
+                self.hits += 1
+                return run, True
+            run = spec.trace(graph=graph)
+            self.store(spec, run)
         return run, False
 
     # ------------------------------------------------------------------
@@ -246,9 +380,14 @@ class TraceCache:
         return removed
 
     def __repr__(self) -> str:
-        return "TraceCache(root=%r, enabled=%r, hits=%d, misses=%d)" % (
-            str(self.root),
-            self.enabled,
-            self.hits,
-            self.misses,
+        return (
+            "TraceCache(root=%r, enabled=%r, hits=%d, misses=%d, "
+            "quarantined=%d)"
+            % (
+                str(self.root),
+                self.enabled,
+                self.hits,
+                self.misses,
+                self.quarantined,
+            )
         )

@@ -72,6 +72,25 @@ class TestParser:
         assert args.out == "d.json" and args.metrics == ["cache"]
         assert args.phase_rate == "llc_mpki_property"
 
+    def test_sweep_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "--timeout", "30", "--retries", "5",
+                "--backoff", "0.5", "--faults", "crash@2,hang@5",
+                "--run-id", "myrun", "--ledger-root", "/tmp/runs",
+            ]
+        )
+        assert args.timeout == 30.0 and args.retries == 5
+        assert args.backoff == 0.5 and args.faults == "crash@2,hang@5"
+        assert args.run_id == "myrun" and args.ledger_root == "/tmp/runs"
+        defaults = build_parser().parse_args(["sweep"])
+        assert defaults.timeout is None and defaults.retries == 2
+        assert defaults.resume is None and not defaults.no_ledger
+
+    def test_sweep_resume_flag(self):
+        args = build_parser().parse_args(["sweep", "--resume", "run-1"])
+        assert args.resume == "run-1"
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -210,9 +229,10 @@ class TestCommands:
         assert diff["candidate"]["meta"]["setup"] == "droplet"
         assert (tmp_path / "diff.html").exists()
 
-    def test_sweep_with_telemetry(self, capsys, tmp_path):
+    def test_sweep_with_telemetry(self, capsys, tmp_path, monkeypatch):
         import json
 
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path / "runs"))
         report_path = tmp_path / "sweep.json"
         code = main(
             [
@@ -234,3 +254,79 @@ class TestCommands:
         for entry in payload["points"]:
             assert entry["seed"] == 7  # kron paper-default backfilled
             assert entry["telemetry"]["samples"]
+
+
+class TestSweepResilience:
+    """Satellite: exit codes, fault injection and ledger resume via the CLI."""
+
+    BASE = [
+        "sweep",
+        "--workloads", "PR",
+        "--datasets", "kron",
+        "--max-refs", "3000",
+        "--scale-shift", "-6",
+        "--no-trace-cache",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _ledger_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path / "runs"))
+        self.tmp_path = tmp_path
+
+    def test_partial_failure_exits_1_with_stderr_summary(self, capsys):
+        # 2 points (none + droplet); the fault re-fires every attempt.
+        code = main(
+            self.BASE
+            + ["--setups", "droplet", "--faults", "error@0", "--retries", "0",
+               "--no-ledger", "--backoff", "0.01"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "1/2 sweep points failed" in err
+        assert "FaultError" in err
+
+    def test_total_failure_exits_2(self, capsys):
+        code = main(
+            self.BASE
+            + ["--setups", "none", "--faults", "error@0", "--retries", "0",
+               "--no-ledger", "--backoff", "0.01"]
+        )
+        assert code == 2
+        assert "1/1 sweep points failed" in capsys.readouterr().err
+
+    def test_injected_fault_recovers_with_retries(self, capsys):
+        # With a ledger the fault plan gets a trip dir: one-shot fault,
+        # so the default retry budget recovers the point.
+        code = main(
+            self.BASE
+            + ["--setups", "droplet", "--faults", "error@1",
+               "--run-id", "faulty", "--backoff", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience: 1 retries" in out
+        assert "run id faulty" in out
+
+    def test_resume_restores_journaled_points(self, capsys, tmp_path):
+        import json
+
+        assert main(self.BASE + ["--setups", "droplet", "--run-id", "rerun"]) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "resumed.json"
+        code = main(
+            self.BASE
+            + ["--setups", "droplet", "--resume", "rerun",
+               "--out", str(report_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resume" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["metrics"]["restored_points"] == 2
+        assert payload["metrics"]["traces_generated"] == 0
+        assert all(p["restored"] for p in payload["points"])
+
+    def test_resume_unknown_run_id_exits_2(self, capsys):
+        code = main(self.BASE + ["--resume", "no-such-run"])
+        assert code == 2
+        assert "no ledger found" in capsys.readouterr().err

@@ -94,7 +94,7 @@ class TestSweepReportSchema:
         payload = summarize_sweep(self.make_report())
         assert payload["formats"] == format_versions()
         formats = payload["formats"]
-        assert formats["sweep"] == "repro-sweep-v1"
+        assert formats["sweep"] == "repro-sweep-v2"
         assert formats["results"] == "repro-results-v1"
         assert formats["telemetry"] == "repro-telemetry-v1"
         from repro.runtime import CACHE_FORMAT_VERSION
