@@ -1,0 +1,136 @@
+"""Replay-throughput benchmark: batch fast path vs the scalar oracle.
+
+Every registered workload is traced once (paper-baseline hierarchy,
+no-prefetch setup) and replayed through both paths.  The scalar oracle
+is timed with bare ``perf_counter`` best-of-N; the fast path runs under
+``pytest-benchmark`` so ``--benchmark-json`` artifacts carry the full
+distribution.  A final reporting test writes ``BENCH_replay.json`` —
+the machine-portable speedup summary that CI's ``bench-smoke`` job
+compares against the committed baseline
+(``benchmarks/BENCH_replay.json``) — and enforces the headline target:
+**>= 3x replay throughput on the no-prefetch baseline** (PageRank, the
+paper's canonical gather workload).
+
+Speedups are reported amortized: the replay plan is pure derived data
+cached on the trace, exactly how sweeps (many setups x one trace) and
+repeated replays use the engine.  Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_replay_speed.py -q
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.graph import kronecker
+from repro.system import Machine, SystemConfig
+from repro.workloads.registry import WORKLOADS, get_workload
+
+MAX_REFS = 60_000
+SCALAR_ROUNDS = 2
+FAST_ROUNDS = 4
+HEADLINE_WORKLOAD = "PR"
+HEADLINE_TARGET = 3.0
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def bench_graphs():
+    graph = kronecker(scale=12, edge_factor=8, seed=5, name="bench-kron")
+    weighted = kronecker(
+        scale=12, edge_factor=8, weighted=True, seed=5, name="bench-kron-w"
+    )
+    return graph, weighted
+
+
+@pytest.fixture(scope="module")
+def bench_runs(bench_graphs):
+    graph, weighted = bench_graphs
+    runs = {}
+    for name in WORKLOADS:
+        g = weighted if name == "SSSP" else graph
+        runs[name] = get_workload(name).run(g, max_refs=MAX_REFS)
+    return runs
+
+
+def _machine(run, fast_path):
+    return Machine(
+        SystemConfig.paper_baseline(),
+        layout=run.layout,
+        setup="none",
+        fast_path=fast_path,
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_replay_speed(benchmark, bench_runs, workload):
+    run = bench_runs[workload]
+    trace = run.trace
+
+    scalar_times = []
+    for _ in range(SCALAR_ROUNDS):
+        m = _machine(run, "off")
+        t0 = time.perf_counter()
+        scalar_result = m.run(trace)
+        scalar_times.append(time.perf_counter() - t0)
+    scalar_s = min(scalar_times)
+
+    def fresh():
+        return (_machine(run, "on"),), {}
+
+    fast_result = benchmark.pedantic(
+        lambda m: m.run(trace), setup=fresh, rounds=FAST_ROUNDS
+    )
+    fast_s = benchmark.stats.stats.min
+
+    # The benchmark is only meaningful if both paths agree.
+    assert fast_result.fast_path
+    assert fast_result.cycles == scalar_result.cycles
+    assert fast_result.instructions == scalar_result.instructions
+
+    speedup = scalar_s / fast_s
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["speedup"] = speedup
+    _RESULTS[workload] = {
+        "refs": len(trace),
+        "scalar_s": round(scalar_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(speedup, 3),
+        "refs_per_s_scalar": round(len(trace) / scalar_s),
+        "refs_per_s_fast": round(len(trace) / fast_s),
+    }
+    # Every workload must at least break even; the 3x target applies to
+    # the headline below, not to miss-dominated traversals.
+    assert speedup > 1.0, _RESULTS[workload]
+
+
+def test_write_report(bench_runs):
+    """Aggregate, write BENCH_replay.json, enforce the headline target."""
+    assert set(_RESULTS) == set(WORKLOADS), (
+        "benchmark cases did not all run: %s" % sorted(_RESULTS)
+    )
+    headline = _RESULTS[HEADLINE_WORKLOAD]["speedup"]
+    report = {
+        "schema": "repro-replay-bench-v1",
+        "config": {
+            "baseline": "paper_baseline",
+            "setup": "none",
+            "max_refs": MAX_REFS,
+            "graph": "kron-scale12-ef8",
+            "timing": "best-of-%d, plan amortized" % FAST_ROUNDS,
+        },
+        "workloads": _RESULTS,
+        "headline": {
+            "workload": HEADLINE_WORKLOAD,
+            "speedup": headline,
+            "target": HEADLINE_TARGET,
+        },
+    }
+    out = os.environ.get("REPRO_BENCH_REPLAY_OUT", "BENCH_replay.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    assert headline >= HEADLINE_TARGET, report["headline"]

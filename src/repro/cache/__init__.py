@@ -2,7 +2,14 @@
 
 from .cache import Cache, CacheConfig, CacheLine
 from .hierarchy import AccessOutcome, CacheHierarchy, HierarchyEvent
-from .reuse import COLD_DISTANCE, ReuseProfile, reuse_distance_profile
+from .reuse import (
+    COLD_DISTANCE,
+    ReuseProfile,
+    guaranteed_hit_mask,
+    group_positions,
+    previous_occurrences,
+    reuse_distance_profile,
+)
 from .stats import SERVICE_LEVELS, CacheStats
 
 __all__ = [
@@ -14,6 +21,9 @@ __all__ = [
     "HierarchyEvent",
     "COLD_DISTANCE",
     "ReuseProfile",
+    "guaranteed_hit_mask",
+    "group_positions",
+    "previous_occurrences",
     "reuse_distance_profile",
     "SERVICE_LEVELS",
     "CacheStats",

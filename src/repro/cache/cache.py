@@ -86,6 +86,49 @@ class Cache:
         """Presence check without LRU update (coherence-engine probe)."""
         return line in self._set_of(line)
 
+    # ------------------------------------------------------------------
+    # Batched probe API (batch-replay fast path)
+    # ------------------------------------------------------------------
+    def touch_run(self, lines, stores=None) -> None:
+        """Apply a run of *guaranteed* demand hits in one call.
+
+        ``lines`` is a sequence of resident line numbers in access order;
+        ``stores`` (parallel booleans, or ``None`` for a load-only run)
+        marks which accesses dirty their line.  Equivalent to calling
+        :meth:`lookup` per access (plus setting the dirty bit on stores)
+        but without per-access Python call overhead.  Hit *counters* are
+        accounted separately via :meth:`add_hits` so the replay engine
+        can aggregate them from the plan's prefix sums.
+
+        The caller guarantees residency — e.g. via the conservative
+        stack-distance filter of
+        :func:`repro.cache.reuse.guaranteed_hit_mask`; a non-resident
+        line raises ``KeyError`` (a planner bug, never a cache state).
+        """
+        sets = self._sets
+        num_sets = self._num_sets
+        if stores is None:
+            for line in lines:
+                sets[line % num_sets].move_to_end(line)
+            return
+        for line, store in zip(lines, stores):
+            target = sets[line % num_sets]
+            if store:
+                target[line].dirty = True
+            target.move_to_end(line)
+
+    def add_hits(self, counts: dict) -> None:
+        """Fold aggregated demand-hit counts (``{kind: count}``) in.
+
+        The batch-replay engine accounts guaranteed-hit runs here from
+        NumPy prefix sums instead of calling ``stats.record`` per access;
+        the resulting counters are bit-identical to the scalar path's.
+        """
+        hits = self.stats.hits
+        for kind, count in counts.items():
+            if count:
+                hits[kind] += count
+
     def insert(
         self,
         line: int,

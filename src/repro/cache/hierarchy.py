@@ -74,6 +74,10 @@ class CacheHierarchy:
         #: attached for attribution-enabled runs; purely observational.
         self.pollution = None
         self._pf_issuer: str | None = None
+        #: Optional back-invalidation hook: when a set (by the batch-replay
+        #: engine), L1 lines dropped for inclusion are recorded here so the
+        #: engine can poison their guaranteed-hit predictions.
+        self.l1_inval_log: set[int] | None = None
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -108,6 +112,8 @@ class CacheHierarchy:
         self._note_eviction(vline, vmeta, "L2", by_prefetch=pf)
         # Inclusion: the L1 above must drop the line too.
         l1_meta = self.l1s[core].invalidate(vline)
+        if l1_meta is not None and self.l1_inval_log is not None:
+            self.l1_inval_log.add(vline)
         dirty = vmeta.dirty or (l1_meta is not None and l1_meta.dirty)
         if dirty:
             self._merge_dirty_l3(vline)
@@ -124,8 +130,11 @@ class CacheHierarchy:
         # Inclusion: back-invalidate every private cache.
         for core in range(self.num_cores):
             m1 = self.l1s[core].invalidate(vline)
-            if m1 is not None and m1.dirty:
-                dirty = True
+            if m1 is not None:
+                if self.l1_inval_log is not None:
+                    self.l1_inval_log.add(vline)
+                if m1.dirty:
+                    dirty = True
             if self.l2s is not None:
                 m2 = self.l2s[core].invalidate(vline)
                 if m2 is not None and m2.dirty:

@@ -17,7 +17,15 @@ import numpy as np
 from ..trace.buffer import Trace
 from ..trace.record import DataType
 
-__all__ = ["ReuseProfile", "reuse_distance_profile", "Fenwick", "COLD_DISTANCE"]
+__all__ = [
+    "ReuseProfile",
+    "reuse_distance_profile",
+    "Fenwick",
+    "COLD_DISTANCE",
+    "previous_occurrences",
+    "group_positions",
+    "guaranteed_hit_mask",
+]
 
 #: Stack distance reported for first-touch (cold) accesses.
 COLD_DISTANCE = -1
@@ -109,6 +117,87 @@ class ReuseProfile:
         beyond = int((values >= prev).sum()) + self.cold.get(kind, 0)
         out["DRAM"] = beyond / total
         return out
+
+
+def previous_occurrences(values: np.ndarray) -> np.ndarray:
+    """Index of each element's previous occurrence (``-1`` for first touch).
+
+    Vectorized (one stable argsort): the batch-replay planner calls this
+    on whole traces, where a Python dict walk would cost as much as the
+    simulation it is meant to speed up.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(values, kind="stable")
+    ordered = values[order]
+    same = ordered[1:] == ordered[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def group_positions(groups: np.ndarray) -> np.ndarray:
+    """Rank of each element within its group's subsequence (0-based).
+
+    With ``groups`` = cache-set indices, ``positions[i] - positions[j]``
+    counts the accesses to that set in ``(j, i]`` — the quantity that
+    upper-bounds the set-local Mattson stack distance.
+    """
+    groups = np.asarray(groups)
+    n = len(groups)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(groups, kind="stable")
+    ordered = groups[order]
+    new_group = np.r_[True, ordered[1:] != ordered[:-1]]
+    starts = np.flatnonzero(new_group)
+    group_id = np.cumsum(new_group) - 1
+    pos_sorted = np.arange(n, dtype=np.int64) - starts[group_id]
+    positions = np.empty(n, dtype=np.int64)
+    positions[order] = pos_sorted
+    return positions
+
+
+def guaranteed_hit_mask(
+    lines: np.ndarray,
+    num_sets: int,
+    associativity: int,
+    return_prev: bool = False,
+):
+    """Conservative per-reference *guaranteed LRU hit* classification.
+
+    A demand access to ``line`` is a guaranteed set-associative LRU hit
+    when fewer than ``associativity`` accesses touched its cache set
+    since the previous access to the same line: the intervening access
+    count upper-bounds the set-local Mattson stack distance (each access
+    introduces at most one distinct line), and by the LRU stack property
+    a reuse at set-local stack distance ``< associativity`` hits.  The
+    filter is sound for any interleaving of demand hits and demand
+    fills; removals by back-invalidation (which only *shrink* sets and
+    therefore cannot cause extra evictions) are handled by the replay
+    engine poisoning the removed line until its next demand access.
+    Non-demand insertions (prefetch fills into the cache) are *not*
+    covered — the batch-replay engine only enables the fast path for
+    setups that never prefetch-fill the L1.
+
+    Returns a boolean mask; ``False`` means "unknown — take the scalar
+    path", never "guaranteed miss".  With ``return_prev=True`` also
+    returns the :func:`previous_occurrences` array (the replay planner
+    reuses it to derive next-occurrence indices without a second sort).
+    """
+    lines = np.asarray(lines)
+    prev = previous_occurrences(lines)
+    positions = group_positions(lines % num_sets)
+    known = prev >= 0
+    intervening = np.zeros(len(lines), dtype=np.int64)
+    idx = np.flatnonzero(known)
+    intervening[idx] = positions[idx] - positions[prev[idx]] - 1
+    mask = known & (intervening < associativity)
+    if return_prev:
+        return mask, prev
+    return mask
 
 
 def reuse_distance_profile(trace: Trace, line_size: int = 64) -> ReuseProfile:

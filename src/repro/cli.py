@@ -177,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="inject faults, e.g. 'crash@2,hang@5,corrupt@0' (testing/CI)",
     )
+    p_sweep.add_argument(
+        "--fast-path",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="batch-replay engine: auto uses it when sound for the setup, "
+        "on requires it, off forces the scalar reference loop "
+        "(results are bit-identical either way)",
+    )
 
     p_prof = sub.add_parser(
         "profile", help="instrument one run and write a telemetry report"
@@ -320,6 +328,7 @@ def _cmd_sweep(args) -> int:
             setup=setup,
             max_refs=args.max_refs,
             scale_shift=args.scale_shift,
+            fast_path=args.fast_path,
         )
         for workload in args.workloads
         for dataset in args.datasets

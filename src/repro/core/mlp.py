@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["WindowTiming", "WindowTelemetry", "compute_window_timing"]
+__all__ = [
+    "WindowTiming",
+    "WindowTelemetry",
+    "compute_window_timing",
+    "compute_window_timing_sparse",
+]
 
 
 @dataclass
@@ -155,6 +160,90 @@ def compute_window_timing(
             # Producers before the window, or drained in an earlier
             # phase, no longer constrain issue.
             if dep_index >= max(window_start, phase_start_index):
+                start = completion.get(dep_index, 0.0)
+            done = start + latency
+            completion[ref_index] = done
+            if done > critical:
+                critical = done
+            if latency > 0:
+                total += latency
+                by_level[level] = by_level.get(level, 0.0) + latency
+                if level == "DRAM":
+                    dram_total += latency
+        bandwidth_bound = dram_total / mshr
+        exposed += max(critical, bandwidth_bound)
+        critical_max = max(critical_max, critical)
+        bandwidth_total += bandwidth_bound
+    return WindowTiming(
+        exposed=exposed,
+        critical_path=critical_max,
+        bandwidth_bound=bandwidth_total,
+        total_miss_latency=total,
+        latency_by_level=by_level,
+    )
+
+
+def compute_window_timing_sparse(
+    sparse_loads: list[tuple[int, int, int, str, float]],
+    num_loads: int,
+    window_load_refs,
+    window_start: int,
+    mshr: int = 10,
+    load_queue: int | None = None,
+) -> WindowTiming:
+    """:func:`compute_window_timing` over a sparse subset of a window's loads.
+
+    The batch-replay engine materializes only the loads that can affect
+    timing: loads with nonzero beyond-L1 latency, and zero-latency loads
+    that a later load depends on (completion forwarding).  Every omitted
+    load is a zero-latency L1 hit that no load depends on — its
+    completion time equals its producer's (already counted toward the
+    critical path) and its latency contributes nothing — so the result
+    is bit-identical to the dense computation, including float summation
+    order.
+
+    Parameters
+    ----------
+    sparse_loads:
+        ``(ordinal, ref_index, dep_index, level, latency)`` tuples in
+        program order, where ``ordinal`` is the load's position among
+        *all* of the window's loads (phase chunking must see the full
+        load count, not the sparse one).
+    num_loads:
+        Total loads in the window.
+    window_load_refs:
+        ``ordinal -> ref_index`` for the window's loads (only phase-start
+        ordinals are read, to recover each phase's first trace index).
+    """
+    if mshr <= 0:
+        raise ValueError("mshr must be positive")
+    if load_queue is not None and load_queue <= 0:
+        raise ValueError("load_queue must be positive")
+
+    exposed = 0.0
+    critical_max = 0.0
+    bandwidth_total = 0.0
+    total = 0.0
+    by_level: dict[str, float] = {}
+    phase_size = load_queue if load_queue is not None else max(num_loads, 1)
+    pos = 0
+    num_sparse = len(sparse_loads)
+    for phase_begin in range(0, max(num_loads, 1), phase_size):
+        phase_limit = phase_begin + phase_size
+        phase_start_index = (
+            int(window_load_refs[phase_begin])
+            if phase_begin < num_loads
+            else window_start
+        )
+        visible_from = max(window_start, phase_start_index)
+        completion: dict[int, float] = {}
+        critical = 0.0
+        dram_total = 0.0
+        while pos < num_sparse and sparse_loads[pos][0] < phase_limit:
+            _, ref_index, dep_index, level, latency = sparse_loads[pos]
+            pos += 1
+            start = 0.0
+            if dep_index >= visible_from:
                 start = completion.get(dep_index, 0.0)
             done = start + latency
             completion[ref_index] = done

@@ -102,6 +102,11 @@ class SweepPoint:
     multi_property: bool = False
     llc_multiplier: int | None = None
     l2_config: tuple[int | None, int] | None = None
+    #: Batch-replay selector (``"auto" | "on" | "off"``).  Deliberately
+    #: excluded from :func:`~repro.runtime.ledger.point_key`: both replay
+    #: paths produce bit-identical results (``tests/parity``), so points
+    #: differing only here are interchangeable.
+    fast_path: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload", self.workload.upper())

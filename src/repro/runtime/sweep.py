@@ -437,6 +437,7 @@ def _execute_point(
                 setup=point.setup,
                 multi_property=point.multi_property,
                 telemetry=telemetry,
+                fast_path=getattr(point, "fast_path", "auto"),
             )
             payload = None
             if telemetry is not None:

@@ -73,6 +73,9 @@ class SimResult:
     total_miss_latency: float = 0.0
     total_exposed_latency: float = 0.0
     refs_by_type: dict[DataType, int] = field(default_factory=dict)
+    #: Whether the batch-replay fast path produced this result (results
+    #: are bit-identical either way; see ``tests/parity``).
+    fast_path: bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +153,7 @@ class Machine:
         setup: PrefetchSetup | str | None = None,
         chased_property: str | tuple[str, ...] | None = None,
         telemetry=None,
+        fast_path: str | bool = "auto",
     ):
         self.config = config or SystemConfig.scaled_baseline()
         if isinstance(setup, str):
@@ -185,6 +189,7 @@ class Machine:
         # Disabled/absent telemetry both normalize to None, so the run
         # loop guards on a plain ``is not None`` and a disabled session
         # costs exactly nothing.
+        self.fast_path = self._resolve_fast_path(fast_path)
         if telemetry is not None and not getattr(telemetry, "enabled", False):
             telemetry = None
         self._telemetry = telemetry
@@ -361,11 +366,53 @@ class Machine:
                 self.mrb.enqueue(pline, c_bit=True, core=req.core)
                 self.mrb.retire(pline)
 
+    def _resolve_fast_path(self, mode: str | bool) -> bool:
+        """Normalize a fast-path selector to a boolean for this setup.
+
+        ``"auto"`` enables the batch-replay fast path whenever it is
+        sound for the configured prefetch setup; ``"on"`` demands it
+        (raising for setups that prefetch-fill the L1, where the
+        guaranteed-hit filter is unsound); ``"off"`` forces the scalar
+        reference path.  Booleans behave like ``"on"``/``"off"``.
+        """
+        from .fastreplay import eligible_setup
+
+        if isinstance(mode, bool):
+            mode = "on" if mode else "off"
+        if mode == "off":
+            return False
+        if mode == "auto":
+            return eligible_setup(self.setup)
+        if mode == "on":
+            if not eligible_setup(self.setup):
+                raise ValueError(
+                    "fast_path='on' is unsound for setup %r "
+                    "(it prefetch-fills the L1); use 'auto' or 'off'"
+                    % self.setup.name
+                )
+            return True
+        raise ValueError(
+            "fast_path must be 'auto', 'on', 'off', or a bool (got %r)" % (mode,)
+        )
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> SimResult:
-        """Replay ``trace`` and return the measured statistics."""
+        """Replay ``trace`` and return the measured statistics.
+
+        Dispatches to the batch-replay fast path when enabled (results
+        are bit-identical either way); :meth:`_run_scalar` is the
+        reference implementation.
+        """
+        if self.fast_path:
+            from .fastreplay import run_fast
+
+            return run_fast(self, trace)
+        return self._run_scalar(trace)
+
+    def _run_scalar(self, trace: Trace) -> SimResult:
+        """Reference per-reference replay loop (the parity oracle)."""
         cfg = self.config
         hierarchy = self.hierarchy
         dram = self.dram

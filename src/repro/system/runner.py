@@ -34,6 +34,7 @@ def _simulate_resolved(
     setup: PrefetchSetup,
     chased,
     telemetry=None,
+    fast_path: str | bool = "auto",
 ) -> SimResult:
     """Build a fresh :class:`Machine` and replay ``run`` (internal core)."""
     machine = Machine(
@@ -42,6 +43,7 @@ def _simulate_resolved(
         setup=setup,
         chased_property=chased,
         telemetry=telemetry,
+        fast_path=fast_path,
     )
     return machine.run(run.trace)
 
@@ -52,6 +54,7 @@ def simulate(
     setup: PrefetchSetup | str = "none",
     multi_property: bool = False,
     telemetry=None,
+    fast_path: str | bool = "auto",
 ) -> SimResult:
     """Simulate one traced workload run.
 
@@ -64,6 +67,10 @@ def simulate(
     session to instrument the run (the caller keeps the session and
     reads its timeline/events afterwards).  ``None`` or a disabled
     session leaves the run un-instrumented, with bit-identical results.
+
+    ``fast_path`` selects the batch-replay engine: ``"auto"`` (default)
+    uses it whenever sound for ``setup``, ``"on"`` requires it, ``"off"``
+    forces the scalar reference loop.  Results are bit-identical.
     """
     if isinstance(setup, str):
         setup = make_prefetch_setup(setup)
@@ -73,6 +80,7 @@ def simulate(
         setup,
         _chased_properties(run, multi_property),
         telemetry=telemetry,
+        fast_path=fast_path,
     )
 
 

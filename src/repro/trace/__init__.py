@@ -2,6 +2,7 @@
 
 from .buffer import Trace, TraceBuffer, TraceFull
 from .io import TRACE_FORMAT_VERSION, load_trace, save_trace
+from .plan import ReplayPlan, plan_replay
 from .record import NO_DEP, DataType, MemRef
 from .stats import DependencyRoles, TraceStats, dependency_roles, trace_stats
 from .synthetic import (
@@ -20,6 +21,8 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "load_trace",
     "save_trace",
+    "ReplayPlan",
+    "plan_replay",
     "NO_DEP",
     "DataType",
     "MemRef",

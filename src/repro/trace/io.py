@@ -9,6 +9,7 @@ parallel arrays plus metadata, so it is stable and readable elsewhere.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -43,27 +44,61 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`ValueError` with a descriptive message when the file
+    is truncated, corrupted, or missing required arrays — a sweep over
+    cached traces must fail loudly, never deserialize garbage.
+    """
     path = Path(path)
-    with np.load(path) as archive:
-        version = int(archive["version"])
-        if version != TRACE_FORMAT_VERSION:
-            raise ValueError(
-                "trace %s has format version %d; this build reads %d"
-                % (path, version, TRACE_FORMAT_VERSION)
-            )
-        labels = json.loads(bytes(archive["phase_labels"]).decode())
-        phases = [
-            (int(index), label)
-            for index, label in zip(archive["phase_index"], labels)
-        ]
-        return Trace(
-            addr=archive["addr"],
-            kind=archive["kind"],
-            is_load=archive["is_load"],
-            dep=archive["dep"],
-            gap=archive["gap"],
-            name=bytes(archive["name"]).decode(),
-            core=int(archive["core"]),
-            phases=phases,
+    fields = (
+        "version",
+        "addr",
+        "kind",
+        "is_load",
+        "dep",
+        "gap",
+        "name",
+        "core",
+        "phase_index",
+        "phase_labels",
+    )
+    try:
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in fields}
+        labels = json.loads(bytes(data["phase_labels"]).decode())
+    except FileNotFoundError:
+        raise
+    except (
+        # np.load raises BadZipFile on mid-file truncation, but plain
+        # ValueError ("pickled data") when the magic bytes are gone.
+        zipfile.BadZipFile,
+        KeyError,
+        EOFError,
+        OSError,
+        ValueError,
+        json.JSONDecodeError,
+    ) as exc:
+        raise ValueError(
+            "trace archive %s is truncated or corrupt: %s" % (path, exc)
+        ) from exc
+    version = int(data["version"])
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            "trace %s has format version %d; this build reads %d"
+            % (path, version, TRACE_FORMAT_VERSION)
         )
+    phases = [
+        (int(index), label)
+        for index, label in zip(data["phase_index"], labels)
+    ]
+    return Trace(
+        addr=data["addr"],
+        kind=data["kind"],
+        is_load=data["is_load"],
+        dep=data["dep"],
+        gap=data["gap"],
+        name=bytes(data["name"]).decode(),
+        core=int(data["core"]),
+        phases=phases,
+    )

@@ -1,0 +1,70 @@
+"""A deliberately naive set-associative LRU cache oracle.
+
+The production :class:`repro.cache.cache.Cache` is optimized (OrderedDict
+LRU, batched touch API, fast-path counter folding); this oracle is the
+opposite — a dict-of-dicts transcription of the textbook definition, kept
+small enough to audit by eye.  The fuzz suite drives both with the same
+operation streams and demands identical behaviour.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LRUOracle"]
+
+
+class LRUOracle:
+    """Textbook set-associative LRU cache (insertion-ordered dicts)."""
+
+    def __init__(self, num_sets: int, associativity: int):
+        self.num_sets = num_sets
+        self.associativity = associativity
+        # line -> {"dirty": bool, "prefetched": bool}; dict order = LRU
+        # order, least recently used first.
+        self.sets = [dict() for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetch_fills = 0
+        self.dirty_evicted: list[int] = []
+
+    def access(self, line: int, store: bool = False) -> bool:
+        """Demand access; fills on miss.  Returns True on hit."""
+        s = self.sets[line % self.num_sets]
+        meta = s.pop(line, None)
+        if meta is not None:
+            self.hits += 1
+            meta["dirty"] = meta["dirty"] or store
+            s[line] = meta  # re-append == move to MRU
+            return True
+        self.misses += 1
+        self.fill(line, dirty=store)
+        return False
+
+    def fill(self, line: int, dirty: bool = False, prefetched: bool = False):
+        """Install ``line``; returns the evicted (line, meta) if any."""
+        s = self.sets[line % self.num_sets]
+        meta = s.pop(line, None)
+        if meta is not None:  # already resident: refresh LRU, merge dirty
+            meta["dirty"] = meta["dirty"] or dirty
+            s[line] = meta
+            return None
+        victim = None
+        if len(s) >= self.associativity:
+            vline = next(iter(s))  # oldest entry = LRU victim
+            vmeta = s.pop(vline)
+            self.evictions += 1
+            if vmeta["dirty"]:
+                self.dirty_evicted.append(vline)
+            victim = (vline, vmeta)
+        s[line] = {"dirty": dirty, "prefetched": prefetched}
+        if prefetched:
+            self.prefetch_fills += 1
+        return victim
+
+    def invalidate(self, line: int):
+        """Back-invalidate ``line``; returns its metadata if resident."""
+        return self.sets[line % self.num_sets].pop(line, None)
+
+    def lru_order(self, set_index: int) -> list[int]:
+        """Lines of one set, least recently used first."""
+        return list(self.sets[set_index])

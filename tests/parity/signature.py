@@ -1,0 +1,82 @@
+"""Full-machine result signatures for fast-vs-scalar differential tests.
+
+A signature captures everything a simulation can observe: timing, cycle
+stack, per-level per-type counters, DRAM statistics, and the *complete*
+cache contents of every level — including per-set LRU ordering and
+per-line flags, so even a drift that never reaches a counter fails the
+comparison.
+
+The single deliberate exclusion is the L1 ``used`` bit: it exists to
+measure prefetch usefulness, and on fast-path-eligible setups no
+prefetched line ever enters the L1, so the bit is unobservable there
+(the lean replay path skips maintaining it).  L2/L3 ``used`` bits are
+compared.
+"""
+
+from __future__ import annotations
+
+__all__ = ["machine_signature", "run_both_paths"]
+
+
+def _cache_contents(cache, include_used: bool):
+    out = []
+    for s in cache._sets:
+        members = []
+        for line, meta in s.items():  # iteration order == LRU order
+            members.append(
+                (
+                    line,
+                    meta.dirty,
+                    meta.prefetched,
+                    meta.kind,
+                    meta.used if include_used else None,
+                )
+            )
+        out.append(members)
+    return out
+
+
+def _stats_sig(stats):
+    return (
+        sorted((int(k), v) for k, v in stats.hits.items()),
+        sorted((int(k), v) for k, v in stats.misses.items()),
+        stats.prefetch_hits,
+        stats.prefetch_fills,
+        stats.evictions,
+        stats.back_invalidations,
+    )
+
+
+def machine_signature(result, machine):
+    """Everything observable about one finished simulation."""
+    h = machine.hierarchy
+    levels = [h.l1s[0]] + (list(h.l2s) if h.l2s else []) + [h.l3]
+    dram = machine.dram.stats
+    return (
+        result.cycles,
+        result.instructions,
+        result.total_miss_latency,
+        result.total_exposed_latency,
+        result.cycle_stack.base,
+        sorted(result.cycle_stack.stall.items()),
+        result.cycle_stack.instructions,
+        [_stats_sig(level.stats) for level in levels],
+        sorted(vars(dram).items()) if hasattr(dram, "__dict__") else repr(dram),
+        _cache_contents(h.l1s[0], include_used=False),
+        [_cache_contents(c, include_used=True) for c in (h.l2s or [])],
+        _cache_contents(h.l3, include_used=True),
+    )
+
+
+def run_both_paths(make_machine, trace):
+    """Run ``trace`` through fresh scalar and fast machines.
+
+    ``make_machine(fast_path)`` must build a *new* machine each call.
+    Returns ``(scalar_signature, fast_signature, fast_result)``.
+    """
+    scalar = make_machine("off")
+    sig_scalar = machine_signature(scalar.run(trace), scalar)
+    fast = make_machine("on")
+    result = fast.run(trace)
+    assert result.fast_path, "fast_path='on' did not take the fast path"
+    return sig_scalar, machine_signature(result, fast), result

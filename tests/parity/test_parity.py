@@ -1,0 +1,149 @@
+"""Differential parity: batch replay vs the scalar oracle, end to end.
+
+Every workload in the registry runs across the no-prefetch baseline, the
+conventional stream prefetcher, and the full DROPLET setup; each
+(workload, setup) pair is simulated twice — ``fast_path='off'`` (the
+scalar reference oracle) and ``fast_path='on'`` — and the two runs must
+produce *bit-identical* signatures: cycles, cycle stacks, per-level
+per-type counters, DRAM statistics, and complete cache contents
+including LRU orderings (see :mod:`tests.parity.signature`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.system import Machine, SystemConfig
+from repro.trace import DataType, TraceBuffer
+from repro.workloads.registry import WORKLOADS, get_workload
+
+from .signature import machine_signature, run_both_paths
+
+MAX_REFS = 20_000
+SETUPS = ("none", "stream", "droplet")
+
+
+@pytest.fixture(scope="module")
+def workload_runs(small_kron, small_kron_weighted):
+    """One finalized trace per registered workload (six of them)."""
+    runs = {}
+    for name in WORKLOADS:
+        graph = small_kron_weighted if name == "SSSP" else small_kron
+        runs[name] = get_workload(name).run(graph, max_refs=MAX_REFS)
+    return runs
+
+
+def test_registry_has_six_workloads():
+    assert len(WORKLOADS) == 6, sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("setup", SETUPS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_fast_path_is_bit_identical(workload_runs, workload, setup):
+    run = workload_runs[workload]
+    cfg = SystemConfig.scaled_baseline()
+
+    def make_machine(fast_path):
+        return Machine(cfg, layout=run.layout, setup=setup, fast_path=fast_path)
+
+    sig_scalar, sig_fast, result = run_both_paths(make_machine, run.trace)
+    assert sig_scalar == sig_fast
+    assert result.fast_path
+
+
+def test_auto_mode_matches_forced_modes(workload_runs):
+    """``fast_path='auto'`` picks the fast path for eligible setups and
+    produces the same results as both forced modes."""
+    run = workload_runs["PR"]
+    cfg = SystemConfig.scaled_baseline()
+    results = {}
+    for mode in ("off", "on", "auto"):
+        m = Machine(cfg, layout=run.layout, setup="none", fast_path=mode)
+        results[mode] = (machine_signature(m.run(run.trace), m), m)
+    assert results["off"][0] == results["on"][0] == results["auto"][0]
+
+
+@pytest.mark.parametrize("name", ["monoDROPLETL1", "imp"])
+def test_fast_path_refuses_l1_filling_setups(workload_runs, name):
+    """Forcing the fast path on an ineligible setup must raise, never
+    silently fall back to an unsound replay."""
+    from repro.droplet.composite import make_prefetch_setup
+    from repro.system.fastreplay import eligible_setup
+
+    assert not eligible_setup(make_prefetch_setup(name))
+    run = workload_runs["PR"]
+    with pytest.raises(ValueError):
+        Machine(
+            SystemConfig.scaled_baseline(),
+            layout=run.layout,
+            setup=name,
+            fast_path="on",
+        )
+    # 'auto' on the same setup silently takes the sound scalar path.
+    m = Machine(
+        SystemConfig.scaled_baseline(),
+        layout=run.layout,
+        setup=name,
+        fast_path="auto",
+    )
+    assert not m.fast_path
+
+
+class TestSyntheticEdgeCases:
+    """Hand-built traces that aim at the replay engine's seams."""
+
+    def _compare(self, trace, setup="none"):
+        cfg = SystemConfig.scaled_baseline()
+
+        def make_machine(fast_path):
+            return Machine(cfg, setup=setup, fast_path=fast_path)
+
+        sig_scalar, sig_fast, _ = run_both_paths(make_machine, trace)
+        assert sig_scalar == sig_fast
+
+    def test_single_reference(self):
+        tb = TraceBuffer(name="one")
+        tb.load(0, DataType.PROPERTY, gap=1)
+        self._compare(tb.finalize())
+
+    def test_all_hits_after_warmup(self):
+        tb = TraceBuffer(name="warm")
+        for rep in range(50):
+            for i in range(8):
+                tb.load(i * 64, DataType.PROPERTY, gap=1)
+        self._compare(tb.finalize())
+
+    def test_store_heavy_reuse(self):
+        rng = np.random.default_rng(7)
+        tb = TraceBuffer(name="stores")
+        for _ in range(6000):
+            addr = int(rng.integers(0, 400)) * 64
+            if rng.random() < 0.5:
+                tb.store(addr, DataType.PROPERTY, gap=1)
+            else:
+                tb.load(addr, DataType.PROPERTY, gap=1)
+        self._compare(tb.finalize())
+
+    def test_dependent_chains_span_windows(self):
+        tb = TraceBuffer(name="chains")
+        rng = np.random.default_rng(13)
+        prev = -1
+        for i in range(5000):
+            addr = int(rng.integers(0, 1 << 14)) * 64
+            dep = prev if prev >= 0 and i % 3 else -1
+            prev = tb.load(addr, DataType.PROPERTY, dep=dep, gap=3)
+        self._compare(tb.finalize())
+
+    def test_thrashing_working_set(self):
+        """Working set far beyond every level: miss-dominated replay."""
+        tb = TraceBuffer(name="thrash")
+        rng = np.random.default_rng(17)
+        for _ in range(4000):
+            tb.load(int(rng.integers(0, 1 << 20)) * 64,
+                    DataType.STRUCTURE, gap=1)
+        self._compare(tb.finalize())
+
+    def test_zero_gap_references(self):
+        tb = TraceBuffer(name="dense")
+        for i in range(2000):
+            tb.load((i % 64) * 64, DataType.INTERMEDIATE, gap=0)
+        self._compare(tb.finalize())

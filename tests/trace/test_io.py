@@ -63,3 +63,80 @@ class TestRoundTrip:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             load_trace(path)
+
+
+class TestByteIdentity:
+    """save -> load -> save must reproduce the archive byte for byte.
+
+    Byte identity is what lets the on-disk trace cache be content-hashed
+    and shared between machines; it covers every field of format v2 —
+    the five parallel arrays (including dependency edges), name, core,
+    and the phase-marker pair.
+    """
+
+    def _rich_trace(self):
+        from repro.trace import DataType, TraceBuffer
+
+        rng = np.random.default_rng(23)
+        tb = TraceBuffer(name="rich")
+        tb.mark_phase("warmup")
+        prev = -1
+        for i in range(500):
+            addr = int(rng.integers(0, 1 << 16)) * 4
+            if i == 250:
+                tb.mark_phase("iteration:0")
+            if rng.random() < 0.25:
+                tb.store(addr, DataType.PROPERTY, gap=1)
+            else:
+                dep = prev if prev >= 0 and rng.random() < 0.5 else -1
+                prev = tb.load(addr, DataType.STRUCTURE, dep=dep, gap=2)
+        return tb.finalize()
+
+    def test_save_load_save_byte_identical(self, tmp_path):
+        t = self._rich_trace()
+        assert t.phases and (t.dep >= 0).any() and (~t.is_load).any()
+        first = tmp_path / "first.npz"
+        second = tmp_path / "second.npz"
+        save_trace(t, first)
+        save_trace(load_trace(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_repeated_saves_byte_identical(self, tmp_path):
+        t = self._rich_trace()
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_trace(t, a)
+        save_trace(t, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestCorruptArchives:
+    def test_truncated_file_raises_value_error(self, tmp_path):
+        t = gather_trace(200)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        data = path.read_bytes()
+        for cut in (len(data) // 2, 10, 1):
+            trunc = tmp_path / ("trunc%d.npz" % cut)
+            trunc.write_bytes(data[:cut])
+            with pytest.raises(ValueError, match="truncated or corrupt"):
+                load_trace(trunc)
+
+    def test_garbage_bytes_raise_value_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00" * 512)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_trace(path)
+
+    def test_missing_array_raises_value_error(self, tmp_path):
+        t = gather_trace(20)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        data = dict(np.load(path))
+        del data["dep"]
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_trace(path)
+
+    def test_missing_file_keeps_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")
