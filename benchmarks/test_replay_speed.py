@@ -1,15 +1,20 @@
-"""Replay-throughput benchmark: batch fast path vs the scalar oracle.
+"""Replay-throughput benchmark: batch fast path vs the scalar oracle, v2.
 
-Every registered workload is traced once (paper-baseline hierarchy,
-no-prefetch setup) and replayed through both paths.  The scalar oracle
-is timed with bare ``perf_counter`` best-of-N; the fast path runs under
-``pytest-benchmark`` so ``--benchmark-json`` artifacts carry the full
-distribution.  A final reporting test writes ``BENCH_replay.json`` —
-the machine-portable speedup summary that CI's ``bench-smoke`` job
-compares against the committed baseline
-(``benchmarks/BENCH_replay.json``) — and enforces the headline target:
-**>= 3x replay throughput on the no-prefetch baseline** (PageRank, the
-paper's canonical gather workload).
+Every registered workload is traced once and replayed through both paths
+for each benchmarked prefetcher setup — ``none`` (the v1 baseline
+matrix) plus the two paper-central prefetch-active setups ``stream``
+and ``droplet``.  The scalar oracle is timed with bare ``perf_counter``
+best-of-N; the fast path runs under ``pytest-benchmark`` so
+``--benchmark-json`` artifacts carry the full distribution.
+
+A final reporting test writes ``BENCH_replay.json`` — the
+machine-portable speedup summary that CI's ``bench-smoke`` job compares
+against the committed baseline (``benchmarks/BENCH_replay.json``) — and
+enforces the v2 headline target: **>= 3x geomean replay throughput over
+the prefetch-active matrix** (six workloads x {stream, droplet}).
+Per-cell speedups vary with trace locality and machine noise (roughly
+2.4-5.9x on the reference box), so individual cells are gated only at
+break-even; the geomean carries the contract.
 
 Speedups are reported amortized: the replay plan is pure derived data
 cached on the trace, exactly how sweeps (many setups x one trace) and
@@ -19,6 +24,7 @@ repeated replays use the engine.  Run directly with::
 """
 
 import json
+import math
 import os
 import time
 
@@ -28,20 +34,24 @@ from repro.graph import kronecker
 from repro.system import Machine, SystemConfig
 from repro.workloads.registry import WORKLOADS, get_workload
 
-MAX_REFS = 60_000
+MAX_REFS = 200_000
+GRAPH_SCALE = 11
 SCALAR_ROUNDS = 2
-FAST_ROUNDS = 4
-HEADLINE_WORKLOAD = "PR"
-HEADLINE_TARGET = 3.0
+FAST_ROUNDS = 3
+SETUPS = ("none", "stream", "droplet")
+#: Setups whose cells form the gated prefetch matrix.
+MATRIX_SETUPS = ("stream", "droplet")
+MATRIX_TARGET = 3.0
 
-_RESULTS: dict[str, dict] = {}
+_RESULTS: dict[str, dict[str, dict]] = {}
 
 
 @pytest.fixture(scope="module")
 def bench_graphs():
-    graph = kronecker(scale=12, edge_factor=8, seed=5, name="bench-kron")
+    graph = kronecker(scale=GRAPH_SCALE, edge_factor=8, seed=5, name="bench-kron")
     weighted = kronecker(
-        scale=12, edge_factor=8, weighted=True, seed=5, name="bench-kron-w"
+        scale=GRAPH_SCALE, edge_factor=8, weighted=True, seed=5,
+        name="bench-kron-w",
     )
     return graph, weighted
 
@@ -56,30 +66,31 @@ def bench_runs(bench_graphs):
     return runs
 
 
-def _machine(run, fast_path):
+def _machine(run, setup, fast_path):
     return Machine(
         SystemConfig.paper_baseline(),
         layout=run.layout,
-        setup="none",
+        setup=setup,
         fast_path=fast_path,
     )
 
 
+@pytest.mark.parametrize("setup", SETUPS)
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
-def test_replay_speed(benchmark, bench_runs, workload):
+def test_replay_speed(benchmark, bench_runs, workload, setup):
     run = bench_runs[workload]
     trace = run.trace
 
     scalar_times = []
     for _ in range(SCALAR_ROUNDS):
-        m = _machine(run, "off")
+        m = _machine(run, setup, "off")
         t0 = time.perf_counter()
         scalar_result = m.run(trace)
         scalar_times.append(time.perf_counter() - t0)
     scalar_s = min(scalar_times)
 
     def fresh():
-        return (_machine(run, "on"),), {}
+        return (_machine(run, setup, "on"),), {}
 
     fast_result = benchmark.pedantic(
         lambda m: m.run(trace), setup=fresh, rounds=FAST_ROUNDS
@@ -94,7 +105,7 @@ def test_replay_speed(benchmark, bench_runs, workload):
     speedup = scalar_s / fast_s
     benchmark.extra_info["scalar_s"] = scalar_s
     benchmark.extra_info["speedup"] = speedup
-    _RESULTS[workload] = {
+    _RESULTS.setdefault(workload, {})[setup] = {
         "refs": len(trace),
         "scalar_s": round(scalar_s, 6),
         "fast_s": round(fast_s, 6),
@@ -102,35 +113,55 @@ def test_replay_speed(benchmark, bench_runs, workload):
         "refs_per_s_scalar": round(len(trace) / scalar_s),
         "refs_per_s_fast": round(len(trace) / fast_s),
     }
-    # Every workload must at least break even; the 3x target applies to
-    # the headline below, not to miss-dominated traversals.
-    assert speedup > 1.0, _RESULTS[workload]
+    # Every cell must at least break even; the 3x target applies to the
+    # prefetch-matrix geomean below, not to individual noisy cells.
+    assert speedup > 1.0, _RESULTS[workload][setup]
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def test_write_report(bench_runs):
-    """Aggregate, write BENCH_replay.json, enforce the headline target."""
-    assert set(_RESULTS) == set(WORKLOADS), (
-        "benchmark cases did not all run: %s" % sorted(_RESULTS)
-    )
-    headline = _RESULTS[HEADLINE_WORKLOAD]["speedup"]
+    """Aggregate, write BENCH_replay.json, enforce the matrix target."""
+    missing = [
+        (w, s)
+        for w in WORKLOADS
+        for s in SETUPS
+        if s not in _RESULTS.get(w, {})
+    ]
+    assert not missing, "benchmark cells did not all run: %s" % missing
+
+    matrix = [
+        _RESULTS[w][s]["speedup"] for w in WORKLOADS for s in MATRIX_SETUPS
+    ]
+    baseline = [_RESULTS[w]["none"]["speedup"] for w in WORKLOADS]
+    matrix_geomean = round(_geomean(matrix), 3)
     report = {
-        "schema": "repro-replay-bench-v1",
+        "schema": "repro-replay-bench-v2",
         "config": {
             "baseline": "paper_baseline",
-            "setup": "none",
+            "setups": list(SETUPS),
             "max_refs": MAX_REFS,
-            "graph": "kron-scale12-ef8",
+            "graph": "kron-scale%d-ef8" % GRAPH_SCALE,
             "timing": "best-of-%d, plan amortized" % FAST_ROUNDS,
         },
-        "workloads": _RESULTS,
+        "cells": _RESULTS,
+        "aggregates": {
+            "prefetch_matrix_geomean": matrix_geomean,
+            "prefetch_matrix_cells": len(matrix),
+            "prefetch_matrix_min": min(matrix),
+            "prefetch_matrix_max": max(matrix),
+            "baseline_geomean": round(_geomean(baseline), 3),
+        },
         "headline": {
-            "workload": HEADLINE_WORKLOAD,
-            "speedup": headline,
-            "target": HEADLINE_TARGET,
+            "matrix": "six workloads x %s" % (list(MATRIX_SETUPS),),
+            "geomean_speedup": matrix_geomean,
+            "target": MATRIX_TARGET,
         },
     }
     out = os.environ.get("REPRO_BENCH_REPLAY_OUT", "BENCH_replay.json")
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    assert headline >= HEADLINE_TARGET, report["headline"]
+    assert matrix_geomean >= MATRIX_TARGET, report["headline"]

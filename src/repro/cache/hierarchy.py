@@ -78,6 +78,11 @@ class CacheHierarchy:
         #: engine), L1 lines dropped for inclusion are recorded here so the
         #: engine can poison their guaranteed-hit predictions.
         self.l1_inval_log: set[int] | None = None
+        #: Optional degraded-tier hook (L1-filling prefetch setups): every
+        #: L1 eviction victim and every prefetch insertion is recorded so
+        #: the batch-replay engine can poison predictions the demand-only
+        #: stack-distance filter never saw.
+        self.l1_evict_log: set[int] | None = None
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -91,6 +96,12 @@ class CacheHierarchy:
 
     def _fill_l1(self, core: int, line: int, kind: DataType, dirty: bool, pf: bool) -> None:
         victim = self.l1s[core].insert(line, kind, dirty=dirty, prefetched=pf)
+        log = self.l1_evict_log
+        if log is not None:
+            if pf:
+                log.add(line)
+            if victim is not None:
+                log.add(victim[0])
         if self.pollution is not None:
             self.pollution.on_fill("L1", line)
         if victim is None:

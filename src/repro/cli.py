@@ -179,11 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--fast-path",
-        choices=["auto", "on", "off"],
+        choices=["auto", "on", "vector", "off"],
         default="auto",
-        help="batch-replay engine: auto uses it when sound for the setup, "
-        "on requires it, off forces the scalar reference loop "
-        "(results are bit-identical either way)",
+        help="batch-replay engine: auto/on pick the sound tier per setup "
+        "(fully vectorized, or per-window degraded for L1-filling "
+        "prefetchers), vector requires the fully vectorized tier, off "
+        "forces the scalar reference loop (results are bit-identical "
+        "either way)",
     )
 
     p_prof = sub.add_parser(

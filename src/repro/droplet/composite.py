@@ -35,8 +35,10 @@ PREFETCH_CONFIG_NAMES = (
 )
 
 #: All constructible configurations, including the related-work IMP
-#: comparison point the paper discusses but does not plot in Fig. 11.
-EXTENDED_CONFIG_NAMES = PREFETCH_CONFIG_NAMES + ("imp",)
+#: comparison point the paper discusses but does not plot in Fig. 11,
+#: and the FDP-throttled streamer (adaptive degree/distance) sensitivity
+#: point.
+EXTENDED_CONFIG_NAMES = PREFETCH_CONFIG_NAMES + ("imp", "adaptive")
 
 
 @dataclass
@@ -121,6 +123,10 @@ def make_prefetch_setup(
             fill_into_l1=True,
             mpp_issue_penalty=mono_refill_penalty,
         )
+    if name == "adaptive":
+        from ..prefetch.adaptive import AdaptiveStreamPrefetcher
+
+        return PrefetchSetup(name, AdaptiveStreamPrefetcher(**kwargs))
     if name == "imp":
         from ..prefetch.imp import IMPPrefetcher
 

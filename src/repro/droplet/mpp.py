@@ -21,6 +21,7 @@ prefetcher sits at the L1 (``monoDROPLETL1``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..memory.allocator import GraphLayout
 from ..memory.pagetable import PageTable
@@ -43,8 +44,7 @@ class MPPConfig:
     identifies_structure: bool = False
 
 
-@dataclass(frozen=True)
-class PropertyPrefetchRequest:
+class PropertyPrefetchRequest(NamedTuple):
     """One translated property prefetch the machine should act on.
 
     ``issue_delay`` is the MC-side latency between the structure fill
@@ -104,11 +104,22 @@ class MPP:
             return False
         return self._layout.is_structure_line(line * self.line_size, self.line_size)
 
-    def on_structure_fill(self, line: int, core: int) -> list[PropertyPrefetchRequest]:
-        """Process one structure prefetch fill; returns property requests.
+    def scan_targets(
+        self, line: int, core: int
+    ) -> tuple[dict, int] | list[PropertyPrefetchRequest]:
+        """Process one structure prefetch fill; returns chase targets.
 
-        The caller (machine/MC) is responsible for deciding the fill was a
-        structure prefetch — via the MRB C-bit, or via
+        In the steady state every scanned property page is already in the
+        MTLB: all walk latencies are zero and nothing is dropped, so the
+        per-request objects carry no information beyond the deduped line
+        set — the result is ``(plines, issue_delay)`` with one shared
+        delay (an insertion-ordered dict of line → None, first-occurrence
+        order).  Any MTLB miss, fault, or (defensive) cached structure
+        entry takes the exact per-address path instead and returns a list
+        of :class:`PropertyPrefetchRequest` with per-address delays.
+
+        The caller (machine/MC) is responsible for deciding the fill was
+        a structure prefetch — via the MRB C-bit, or via
         :meth:`classifies_as_structure` for MPP1 setups.
         """
         if not self.pag.configured:
@@ -118,13 +129,54 @@ class MPP:
         if len(vaddrs) > self.config.vab_entries:
             self.vab_overflows += 1
             vaddrs = vaddrs[: self.config.vab_entries]
+        if len(vaddrs) == 0:
+            return []
+        line_size = self.line_size
+        base_delay = self.config.pag.scan_latency + self.config.coherence_check_latency
+        mtlb = self.mtlb
+        tlb = mtlb._tlb
+        cache = tlb._cache
+        cache_get = cache.get
+        page_size = tlb.page_table.page_size
+        # Fused translate + dedup over the batch: pure reads until the
+        # whole batch is known to hit, so bailing out to the exact
+        # per-address path below leaves no state behind.
+        frames: dict[int, int] = {}
+        last: dict[int, int] = {}
+        plines: dict[int, None] = {}
+        all_hit = True
+        for idx, vaddr in enumerate(vaddrs):
+            page = vaddr // page_size
+            frame_base = frames.get(page)
+            if frame_base is None:
+                entry = cache_get(page)
+                if entry is None or entry.is_structure:
+                    all_hit = False
+                    break
+                frame_base = entry.frame * page_size
+                frames[page] = frame_base
+            last[page] = idx
+            plines[(frame_base + vaddr % page_size) // line_size] = None
+        if all_hit:
+            tlb.stats.hits += len(vaddrs)
+            # LRU refresh: one move_to_end per page in order of each
+            # page's *last* occurrence yields the same final recency
+            # order as the per-address calls (all hits, so no eviction
+            # can observe any intermediate order).
+            if len(last) == 1:
+                cache.move_to_end(next(iter(last)))
+            else:
+                move = cache.move_to_end
+                for page in sorted(last, key=last.__getitem__):
+                    move(page)
+            self.requests_generated += len(plines)
+            return plines, base_delay
+        tel = self.telemetry
         requests: list[PropertyPrefetchRequest] = []
         seen_lines: set[int] = set()
-        delay = self.config.pag.scan_latency
-        tel = self.telemetry
         for vaddr in vaddrs:
-            translated = self.mtlb.translate_property(int(vaddr))
-            if translated is None:
+            result = mtlb.translate_property(vaddr)
+            if result is None:
                 if tel is not None:
                     tel.emit(
                         None,
@@ -134,10 +186,10 @@ class MPP:
                         detail="mtlb_fault",
                     )
                 continue  # dropped on page fault
-            paddr, walk_latency = translated
+            paddr, walk_latency = result
             if tel is not None and walk_latency > 0:
                 tel.emit(None, "tlb_walk", core=core, dtype="property")
-            pline = paddr // self.line_size
+            pline = paddr // line_size
             if pline in seen_lines:
                 continue  # one request per distinct line
             seen_lines.add(pline)
@@ -145,10 +197,18 @@ class MPP:
                 PropertyPrefetchRequest(
                     line=pline,
                     core=core,
-                    issue_delay=delay
-                    + walk_latency
-                    + self.config.coherence_check_latency,
+                    issue_delay=base_delay + walk_latency,
                 )
             )
         self.requests_generated += len(requests)
         return requests
+
+    def on_structure_fill(self, line: int, core: int) -> list[PropertyPrefetchRequest]:
+        """Like :meth:`scan_targets`, materialized as request objects."""
+        targets = self.scan_targets(line, core)
+        if isinstance(targets, tuple):
+            plines, delay = targets
+            return [
+                PropertyPrefetchRequest(pline, core, delay) for pline in plines
+            ]
+        return targets

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..memory.allocator import GraphLayout
 
 __all__ = ["PAG", "PAGConfig"]
@@ -82,21 +80,30 @@ class PAG:
             raise RuntimeError("PAG not configured")
         return line_size // self.scan_granularity
 
-    def scan(self, structure_line_base: int, line_size: int = 64) -> np.ndarray:
+    def scan(self, structure_line_base: int, line_size: int = 64) -> list[int]:
         """Scan one structure line; returns property prefetch addresses.
 
         With several configured property arrays, one address per array is
-        generated for each scanned neighbor ID.
+        generated for each scanned neighbor ID.  The addresses come back
+        as a plain list: scans are short (≤16 IDs per line) and every
+        consumer walks them element-wise, so ndarray round-trips only
+        add per-call overhead on this hot path.
         """
         if not self.configured:
             raise RuntimeError("PAG not configured")
         ids = self._layout.scan_structure_line(structure_line_base, line_size)
         self.lines_scanned += 1
         if len(ids) == 0:
-            return np.empty(0, dtype=np.int64)
-        offsets = self.config.property_granularity * ids.astype(np.int64)
-        addrs = np.concatenate(
-            [base + offsets for base in self.property_bases]
-        )
+            return []
+        gran = self.config.property_granularity
+        idlist = ids.tolist()
+        bases = self.property_bases
+        if len(bases) == 1:
+            base = bases[0]
+            addrs = [base + gran * i for i in idlist]
+        else:
+            addrs = [
+                base + gran * i for base in bases for i in idlist
+            ]
         self.addresses_generated += len(addrs)
         return addrs

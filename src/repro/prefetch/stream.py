@@ -23,7 +23,7 @@ from .base import PAGE_SIZE_LINES, Prefetcher
 __all__ = ["StreamPrefetcher", "DataAwareStreamer", "StreamTracker"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamTracker:
     """Tracking state for one candidate/confirmed stream (one page)."""
 
@@ -96,33 +96,57 @@ class StreamPrefetcher(Prefetcher):
                 tracker.next_prefetch = line + direction
             else:
                 return []
-        tracker.last_line = max(tracker.last_line, line) if tracker.direction > 0 else min(tracker.last_line, line)
+        tdir = tracker.direction
+        if tdir > 0:
+            if line > tracker.last_line:
+                tracker.last_line = line
+        elif line < tracker.last_line:
+            tracker.last_line = line
         # Issue up to `degree` lines, staying within `distance` of the
         # demand and inside the page.
         out: list[int] = []
-        limit = line + tracker.direction * self.distance
-        page_end = self._page_end(tracker.page, tracker.direction)
-        for _ in range(self.degree):
-            nxt = tracker.next_prefetch
-            if tracker.direction > 0 and (nxt > limit or nxt >= page_end):
-                break
-            if tracker.direction < 0 and (nxt < limit or nxt <= page_end):
-                break
-            out.append(nxt)
-            tracker.next_prefetch = nxt + tracker.direction
+        nxt = tracker.next_prefetch
+        if tdir > 0:
+            # Highest line issueable: within `distance` of the demand and
+            # strictly inside the page.
+            hi = line + self.distance
+            page_last = (tracker.page + 1) * self.page_lines - 1
+            if page_last < hi:
+                hi = page_last
+            stop = nxt + self.degree
+            if stop > hi + 1:
+                stop = hi + 1
+            if stop > nxt:
+                out.extend(range(nxt, stop))
+                tracker.next_prefetch = stop
+        else:
+            lo = line - self.distance
+            page_first = tracker.page * self.page_lines
+            if page_first > lo:
+                lo = page_first
+            stop = nxt - self.degree
+            if stop < lo - 1:
+                stop = lo - 1
+            if stop < nxt:
+                out.extend(range(nxt, stop, -1))
+                tracker.next_prefetch = stop
         return out
 
     # ------------------------------------------------------------------
+    #: Class-level mirror of :meth:`_should_train` for the hot snoop
+    #: paths (a per-miss method call is measurable in replay loops).
+    trains_structure_only = False
+
     def _should_train(self, kind: DataType, is_structure: bool) -> bool:
-        return True
+        return not self.trains_structure_only or is_structure
 
     def observe_miss(
         self, line: int, kind: DataType, is_structure: bool, core: int
     ) -> list[int]:
         """Allocate/train the page's tracker; emit prefetches when live."""
-        if not self._should_train(kind, is_structure):
+        if self.trains_structure_only and not is_structure:
             return []
-        page = self._page_of(line)
+        page = line // self.page_lines
         tracker = self._trackers.get(page)
         if tracker is None:
             self._allocate(page, line)
@@ -137,9 +161,9 @@ class StreamPrefetcher(Prefetcher):
         # Hits to already-prefetched lines keep confirmed streams running
         # (prefetched lines hit in L2, so misses alone would starve the
         # stream); training misses are still required to confirm.
-        if not self._should_train(kind, is_structure):
+        if self.trains_structure_only and not is_structure:
             return []
-        page = self._page_of(line)
+        page = line // self.page_lines
         tracker = self._trackers.get(page)
         if tracker is None or not tracker.active:
             return []
@@ -168,6 +192,4 @@ class DataAwareStreamer(StreamPrefetcher):
     """
 
     name = "dstream"
-
-    def _should_train(self, kind: DataType, is_structure: bool) -> bool:
-        return is_structure
+    trains_structure_only = True

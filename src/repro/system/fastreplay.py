@@ -21,11 +21,20 @@ trace with the same machine *bit-identically* but much faster:
    loads plus the guaranteed-hit loads some later load depends on.
 
 Soundness of the guaranteed-hit filter relies on every L1 insertion
-being a demand access; the fast path therefore refuses setups that
-prefetch-fill the L1 (see :func:`eligible_setup`).  Back-invalidations
-(inclusion victims) *remove* L1 lines mid-run: the hierarchy logs them
-into a poison set and the engine routes poisoned lines through the
-scalar path until their next demand access re-fills them.
+being a demand access.  Back-invalidations (inclusion victims) *remove*
+L1 lines mid-run: the hierarchy logs them into a poison set and the
+engine routes poisoned lines through the scalar path until their next
+demand access re-fills them.  Setups that prefetch-fill the L1
+(monoDROPLETL1, imp — see :func:`eligible_setup`) violate the filter's
+premise directly, so they run in a **degraded tier**: the hierarchy
+additionally logs every L1 eviction victim and prefetch insertion into
+the same poison set (``l1_evict_log``), prefetched L1 lines stay
+poisoned while resident (each hit must claim timeliness scalar-side),
+and guaranteed runs replay every touch instead of the deduped suffix
+(a prefetch fill between a skipped touch and its successor would read
+the LRU order the dedup argument assumes unobserved).  Windows that
+needed scalar refs under this tier are counted in
+``machine.fastpath_windows_degraded``.
 
 The scalar path stays the reference oracle: ``tests/parity`` asserts
 bit-identical results across both paths for every workload × prefetch
@@ -77,7 +86,9 @@ class _ReplayTables:
         "load_index",
         "touch_pos",
         "touch_cum",
+        "touch_pairs",
         "store_pos",
+        "store_pairs",
         "srcum",
         "hit_cum_items",
         "set_idx",
@@ -104,6 +115,22 @@ class _ReplayTables:
         self.touch_cum = plan.touch_cum.tolist()
         self.store_pos = plan.store_rep_index.tolist()
         self.srcum = plan.store_rep_cum.tolist()
+        # (set index, line) per deduped touch / store representative:
+        # the clean-run replay loop then avoids two positional list
+        # indexings per touch.
+        set_arr = plan.lines % plan.num_sets
+        self.touch_pairs = list(
+            zip(
+                set_arr[plan.touch_index].tolist(),
+                plan.lines[plan.touch_index].tolist(),
+            )
+        )
+        self.store_pairs = list(
+            zip(
+                set_arr[plan.store_rep_index].tolist(),
+                plan.lines[plan.store_rep_index].tolist(),
+            )
+        )
         self.hit_cum_items = [
             (k, v.tolist()) for k, v in plan.hit_cum_by_kind.items()
         ]
@@ -112,11 +139,7 @@ class _ReplayTables:
 
 def _tables_for(machine, trace: Trace, l1) -> _ReplayTables:
     """Plan (or fetch the cached plan for) ``trace`` on ``l1`` geometry."""
-    geometry = (
-        machine._line_size,
-        l1.config.num_sets,
-        l1.config.associativity,
-    )
+    geometry = machine._plan_key()
     cached = getattr(trace, "_replay_tables", None)
     if cached is not None and cached[0] == geometry:
         return cached[1]
@@ -129,11 +152,12 @@ def _tables_for(machine, trace: Trace, l1) -> _ReplayTables:
 
 
 def eligible_setup(setup) -> bool:
-    """Whether the fast path is sound for ``setup``.
+    """Whether the fully vectorized tier is sound for ``setup``.
 
     Prefetch fills into the L1 insert lines the stack-distance filter
     never saw, voiding its guarantees; every other setup (including ones
-    that prefetch into L2/L3 only) is eligible.
+    that prefetch into L2/L3 only) is eligible.  Ineligible setups still
+    batch-replay, in the degraded tier (see the module docstring).
     """
     return not setup.fill_into_l1
 
@@ -142,16 +166,13 @@ def run_fast(machine, trace: Trace):
     """Replay ``trace`` on ``machine`` via the batch fast path.
 
     Returns a :class:`repro.system.machine.SimResult` bit-identical to
-    ``machine.run(trace)`` on a fresh machine, with ``fast_path=True``.
+    ``machine.run(trace)`` on a fresh machine, with ``fast_path`` set to
+    the tier used (``"vector"`` or ``"degraded"``).
     """
     from .machine import SimResult
 
     setup = machine.setup
-    if not eligible_setup(setup):
-        raise ValueError(
-            "fast path is unsound for setup %r: it prefetch-fills the L1"
-            % setup.name
-        )
+    degraded = not eligible_setup(setup)
 
     cfg = machine.config
     hierarchy = machine.hierarchy
@@ -180,9 +201,9 @@ def run_fast(machine, trace: Trace):
     forward = tables.forward
     forward_all = tables.forward_all
     load_index = tables.load_index
-    touch_pos = tables.touch_pos
     touch_cum = tables.touch_cum
-    store_pos = tables.store_pos
+    touch_pairs = tables.touch_pairs
+    store_pairs = tables.store_pairs
     srcum = tables.srcum
     hit_cum_items = tables.hit_cum_items
     set_idx = tables.set_idx
@@ -221,29 +242,37 @@ def run_fast(machine, trace: Trace):
 
     # L1 lines removed by back-invalidation: their guaranteed-hit
     # predictions are void until the next demand access re-fills them.
+    # The degraded tier additionally poisons every L1 eviction victim
+    # and prefetch insertion (``l1_evict_log``).
     poison: set[int] = set()
     hierarchy.l1_inval_log = poison
+    if degraded:
+        hierarchy.l1_evict_log = poison
+    windows_degraded = 0
 
     # ------------------------------------------------------------------
-    # Lean demand path.  With no prefetch engines, no MPP, and telemetry
-    # off, the demand cascade has no observers: no prefetched lines ever
-    # exist (so no prefetch-eviction events, no ledger claims, and the
-    # ``used`` bit on L1 lines is unreadable), and the only side effect
-    # that leaves the hierarchy is the dirty writeback.  The cascade can
-    # then run inlined over the raw set dictionaries, with counters
-    # folded into the CacheStats once at the end — mirroring
-    # ``CacheHierarchy.demand_access`` state change for state change.
+    # Lean demand path.  With telemetry, attribution and pollution
+    # tracking off, and no prefetch fills into the L1, the demand
+    # cascade has no out-of-hierarchy observer beyond DRAM writebacks
+    # and the ledger's L3 claim events — and L1 lines are never
+    # prefetched (demand refills carry pf=False), so the L1 hit path
+    # needs no ledger claim and its ``used`` bit stays unobservable.
+    # The cascade can then run inlined over the raw set dictionaries,
+    # with counters folded into the CacheStats once at the end —
+    # mirroring ``CacheHierarchy.demand_access`` state change for state
+    # change, and reusing the real side-effect event list so the drain
+    # order (previous snoop events, then this cascade's, then any MPP
+    # chase's) matches the scalar loop exactly.
     # ------------------------------------------------------------------
     lean = (
         tel is None
         and attr is None
-        and imp is None
-        and machine.mpp is None
         and hierarchy.pollution is None
-        and isinstance(prefetcher, NullPrefetcher)
+        and not setup.fill_into_l1
     )
     if lean:
         from ..cache.cache import CacheLine
+        from ..cache.hierarchy import HierarchyEvent
 
         l2_lat_f = float(cfg.l2_service_latency)
         l3_lat_f = float(cfg.l3_service_latency)
@@ -262,25 +291,24 @@ def run_fast(machine, trace: Trace):
             if hierarchy.l2s is not None
             else None
         )
+        demand_chase = machine.mpp is not None and setup.mpp_trigger == "demand"
         c_l1_hit = {0: 0, 1: 0, 2: 0}
         c_l1_miss = {0: 0, 1: 0, 2: 0}
         c_l2_hit = {0: 0, 1: 0, 2: 0}
         c_l2_miss = {0: 0, 1: 0, 2: 0}
         c_l3_hit = {0: 0, 1: 0, 2: 0}
         c_l3_miss = {0: 0, 1: 0, 2: 0}
+        c_l2_pfhit = 0
+        c_l3_pfhit = 0
         c_evict = {"L1": 0, "L2": 0, "L3": 0}
         c_backinv = {"L1": 0, "L2": 0}
-        # Dirty writebacks generated by one reference's fills; issued to
-        # DRAM after the reference's own DRAM access, mirroring the
-        # scalar loop's event-drain ordering.
-        wb_pending: list[int] = []
 
         def _merge_dirty_l3_lean(vline: int) -> None:
             m3 = l3_sets[vline % l3_num_sets].get(vline)
             if m3 is not None:
                 m3.dirty = True
             else:
-                wb_pending.append(vline)
+                events.append(HierarchyEvent("writeback", vline, "L3"))
 
         def _fill_l2_lean(line: int, kind: int, si: int) -> None:
             s2 = l2_sets[si]
@@ -300,6 +328,12 @@ def run_fast(machine, trace: Trace):
             if len(s3) >= l3_assoc:
                 vline, vmeta = s3.popitem(last=False)
                 c_evict["L3"] += 1
+                if vmeta.prefetched and not vmeta.used:
+                    # The only eviction event the drain acts on with
+                    # telemetry off: the ledger's accuracy claim.
+                    events.append(
+                        HierarchyEvent("evict_unused_pf", vline, "L3")
+                    )
                 dirty = vmeta.dirty
                 for csets in all_l1_sets:
                     m1 = csets[vline % l1_num_sets].pop(vline, None)
@@ -316,7 +350,7 @@ def run_fast(machine, trace: Trace):
                             if m2.dirty:
                                 dirty = True
                 if dirty:
-                    wb_pending.append(vline)
+                    events.append(HierarchyEvent("writeback", vline, "L3"))
             s3[line] = CacheLine(False, False, kind)
 
     fwd_ptr = 0
@@ -341,6 +375,9 @@ def run_fast(machine, trace: Trace):
             # Tracks whether any load in this window carries latency; a
             # window of pure zero-latency loads times out to all zeros.
             window_has_latency = False
+            # Degraded-tier accounting: did any reference in this window
+            # drop to the full scalar body?
+            window_took_scalar = False
 
             i = ws
             while i < limit:
@@ -348,12 +385,23 @@ def run_fast(machine, trace: Trace):
                 if jrun > i:  # guaranteed run starts here
                     if jrun > limit:
                         jrun = limit
-                    clean = not poison
-                    if not clean:
+                    if poison and not poison.isdisjoint(lines[i:jrun]):
+                        # Truncate at the first poisoned line.  The
+                        # truncated prefix cannot use the plan-time
+                        # deduped touch list (it dedups over the *full*
+                        # run, so a line's last touch may lie past the
+                        # cut), hence clean=False.
+                        clean = False
                         k = i
-                        while k < jrun and lines[k] not in poison:
+                        while lines[k] not in poison:
                             k += 1
                         jrun = k
+                    else:
+                        # Degraded tier: a prefetch fill between a
+                        # deduped touch and its successor would observe
+                        # the LRU order the dedup argument assumes
+                        # unread, so replay every touch in order.
+                        clean = not degraded
                     if jrun > i:
                         # Pending side effects from the previous scalar
                         # reference's prefetch issues drain at the *next*
@@ -380,13 +428,13 @@ def run_fast(machine, trace: Trace):
                             # LRU order — replay the deduped touch list,
                             # and one representative dirty-bit write per
                             # (line, run).
-                            for t in touch_pos[touch_cum[i] : touch_cum[jrun]]:
-                                l1_sets[set_idx[t]].move_to_end(lines[t])
+                            for si, ln in touch_pairs[touch_cum[i] : touch_cum[jrun]]:
+                                l1_sets[si].move_to_end(ln)
                             slo = srcum[i]
                             shi = srcum[jrun]
                             if shi != slo:
-                                for t in store_pos[slo:shi]:
-                                    l1_sets[set_idx[t]][lines[t]].dirty = True
+                                for si, ln in store_pairs[slo:shi]:
+                                    l1_sets[si][ln].dirty = True
                         elif scum[jrun] - scum[i]:
                             l1.touch_run(lines[i:jrun], is_store[i:jrun])
                         else:
@@ -405,9 +453,10 @@ def run_fast(machine, trace: Trace):
                     # ------------------------------------------------------
                     # Lean demand cascade: demand_access inlined over the
                     # raw set dicts (see the `lean` guard above).  The
-                    # `used` bit is *not* set on L1 hits — with no
-                    # prefetched lines it is unobservable there — but is
-                    # set on L2/L3 service hits, which stay state-visible.
+                    # `used` bit is *not* set on L1 hits — L1 lines are
+                    # never prefetched here, so it is unobservable — but
+                    # is set on L2/L3 service hits, which stay
+                    # state-visible (evict_unused_pf decisions).
                     # ------------------------------------------------------
                     line = lines[i]
                     kind = kinds[i]
@@ -426,11 +475,28 @@ def run_fast(machine, trace: Trace):
                             scalar_loads.append(
                                 (lcum[i] - window_lcum, i, deps[i], "L1", 0.0)
                             )
+                        if events:
+                            # The previous reference's prefetch-issue
+                            # side effects drain at this reference's
+                            # timestamp, as in the scalar loop.
+                            nowi = int(
+                                clock + (icum[i] - window_icum) / dispatch
+                            )
+                            for ev in events:
+                                if ev.kind == "writeback":
+                                    dram.writeback(ev.line, nowi)
+                                elif (
+                                    ev.kind == "evict_unused_pf"
+                                    and ev.level == "L3"
+                                ):
+                                    ledger.claim_eviction(ev.line)
+                            events.clear()
                         i += 1
                         continue
                     now = clock + (icum[i] - window_icum) / dispatch
                     c_l1_miss[kind] += 1
                     level = None
+                    prefetched = False
                     if l2_sets is not None:
                         s2 = l2_sets[line % l2_num_sets]
                         meta2 = s2.get(line)
@@ -438,6 +504,9 @@ def run_fast(machine, trace: Trace):
                             s2.move_to_end(line)
                             meta2.used = True
                             c_l2_hit[kind] += 1
+                            if meta2.prefetched:
+                                c_l2_pfhit += 1
+                                prefetched = True
                             level = "L2"
                             latency = l2_lat_f
                         else:
@@ -449,6 +518,9 @@ def run_fast(machine, trace: Trace):
                             s3.move_to_end(line)
                             meta3.used = True
                             c_l3_hit[kind] += 1
+                            if meta3.prefetched:
+                                c_l3_pfhit += 1
+                                prefetched = True
                             level = "L3"
                             latency = l3_lat_f
                         else:
@@ -466,8 +538,8 @@ def run_fast(machine, trace: Trace):
                             _fill_l2_lean(line, kind, line % l2_num_sets)
                     # Every miss ends by installing into the L1 (inlined
                     # from _fill_l1; ordered after the DRAM access, which
-                    # is safe — neither reads the other's state, and
-                    # wb_pending still drains afterwards in fill order).
+                    # is safe — neither reads the other's state, and the
+                    # queued events still drain afterwards in fill order).
                     if len(s1) >= l1_assoc:
                         vline, vmeta = s1.popitem(last=False)
                         c_evict["L1"] += 1
@@ -483,17 +555,59 @@ def run_fast(machine, trace: Trace):
                                 _merge_dirty_l3_lean(vline)
                     s1[line] = CacheLine(not load, False, kind)
                     poison.discard(line)
+                    if level == "DRAM" and demand_chase and kind == _STRUCTURE:
+                        machine._chase_properties(line, core, now + latency)
+                    if prefetched:
+                        residual = ledger.claim_demand(line, now)
+                        if residual > 0:
+                            latency += residual
                     if load:
                         if latency > 0.0:
                             window_has_latency = True
                         scalar_loads.append(
                             (lcum[i] - window_lcum, i, deps[i], level, latency)
                         )
-                    if wb_pending:
+                    if events:
+                        # List order is exactly the scalar loop's: any
+                        # events pending from the previous reference,
+                        # then this cascade's fills, then the chase's.
                         nowi = int(now)
-                        for vl in wb_pending:
-                            dram.writeback(vl, nowi)
-                        wb_pending.clear()
+                        for ev in events:
+                            if ev.kind == "writeback":
+                                dram.writeback(ev.line, nowi)
+                            elif (
+                                ev.kind == "evict_unused_pf"
+                                and ev.level == "L3"
+                            ):
+                                ledger.claim_eviction(ev.line)
+                        events.clear()
+                    if snoop_misses:
+                        candidates = prefetcher.observe_miss(
+                            line, kind, kind == _STRUCTURE, core
+                        )
+                        for cand in candidates:
+                            if budget <= 0:
+                                break
+                            if machine._issue_stream_prefetch(cand, core, now):
+                                budget -= 1
+                        if imp is not None:
+                            if kind == _STRUCTURE:
+                                values = machine.layout.scan_structure_line(
+                                    line * machine._line_size,
+                                    machine._line_size,
+                                )
+                                imp_candidates = imp.observe_index_values(
+                                    values
+                                )
+                                for cand in imp_candidates:
+                                    if budget <= 0:
+                                        break
+                                    if machine._issue_stream_prefetch(
+                                        cand, core, now, issuer="imp"
+                                    ):
+                                        budget -= 1
+                            else:
+                                imp.observe_miss(line, kind, False, core)
                     i += 1
                     continue
 
@@ -509,8 +623,15 @@ def run_fast(machine, trace: Trace):
                 outcome = hierarchy.demand_access(
                     core, line, kind, is_store=not load
                 )
-                poison.discard(line)
+                # Degraded tier: an L1 hit on a prefetched line leaves the
+                # line poisoned — every such hit must claim timeliness and
+                # count prefetch_hits, which only this scalar body does.
+                # The poison clears when the line is evicted and a demand
+                # miss re-fills it (pf=False).
+                if not degraded or outcome.level != "L1" or not outcome.prefetched:
+                    poison.discard(line)
                 level = outcome.level
+                window_took_scalar = True
                 if attr is not None and level != "L1":
                     attr.on_demand_access(level, line)
                 if level == "L1":
@@ -687,6 +808,8 @@ def run_fast(machine, trace: Trace):
                 stack.instructions += instr_in_window
                 total_miss_latency += total
                 total_exposed += exposed
+                if degraded and window_took_scalar:
+                    windows_degraded += 1
                 if closes:
                     budget = budget_full
                     if has_feedback:
@@ -717,6 +840,8 @@ def run_fast(machine, trace: Trace):
             stack.add_window(base, timing.exposed_by_level(), instr_in_window)
             total_miss_latency += timing.total_miss_latency
             total_exposed += timing.exposed
+            if degraded and window_took_scalar:
+                windows_degraded += 1
             if closes:
                 wintel.on_window(
                     timing, instr_in_window, base + timing.exposed
@@ -742,6 +867,8 @@ def run_fast(machine, trace: Trace):
             ws = limit
     finally:
         hierarchy.l1_inval_log = None
+        hierarchy.l1_evict_log = None
+    machine.fastpath_windows_degraded += windows_degraded
 
     if tel is not None:
         while phase_ptr < num_phase_marks:
@@ -774,7 +901,9 @@ def run_fast(machine, trace: Trace):
         if l2 is not None:
             l2.stats.evictions += c_evict["L2"]
             l2.stats.back_invalidations += c_backinv["L2"]
+            l2.stats.prefetch_hits += c_l2_pfhit
         l3.stats.evictions += c_evict["L3"]
+        l3.stats.prefetch_hits += c_l3_pfhit
 
     refs_by_type = {dt: int((trace.kind == int(dt)).sum()) for dt in DataType}
     return SimResult(
@@ -791,5 +920,5 @@ def run_fast(machine, trace: Trace):
         total_miss_latency=total_miss_latency,
         total_exposed_latency=total_exposed,
         refs_by_type=refs_by_type,
-        fast_path=True,
+        fast_path="degraded" if degraded else "vector",
     )

@@ -73,9 +73,11 @@ class SimResult:
     total_miss_latency: float = 0.0
     total_exposed_latency: float = 0.0
     refs_by_type: dict[DataType, int] = field(default_factory=dict)
-    #: Whether the batch-replay fast path produced this result (results
-    #: are bit-identical either way; see ``tests/parity``).
-    fast_path: bool = False
+    #: Which replay path produced this result: ``False`` for the scalar
+    #: reference loop, ``"vector"`` or ``"degraded"`` for the batch
+    #: fast path's tiers (results are bit-identical either way; see
+    #: ``tests/parity``).
+    fast_path: str | bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -190,6 +192,9 @@ class Machine:
         # loop guards on a plain ``is not None`` and a disabled session
         # costs exactly nothing.
         self.fast_path = self._resolve_fast_path(fast_path)
+        #: ROB windows the degraded fast-path tier had to route through
+        #: the scalar body (0 unless ``fast_path == "degraded"`` ran).
+        self.fastpath_windows_degraded = 0
         if telemetry is not None and not getattr(telemetry, "enabled", False):
             telemetry = None
         self._telemetry = telemetry
@@ -224,6 +229,10 @@ class Machine:
             self.mpp.telemetry = telemetry
         self._window_telemetry = WindowTelemetry()
         self._window_telemetry.register_telemetry(registry, "core")
+        registry.gauge(
+            "fastpath.windows_degraded",
+            lambda: self.fastpath_windows_degraded,
+        )
         if getattr(telemetry, "attribution", False):
             self._bind_attribution(telemetry, registry)
 
@@ -322,10 +331,53 @@ class Machine:
                 core=core,
                 dtype="structure",
             )
-        multi_mc = isinstance(self.dram, MultiChannelDRAM)
-        home_mc = self.dram.mc_of(structure_line) if multi_mc else 0
-        for req in self.mpp.on_structure_fill(structure_line, core):
-            if multi_mc and self.dram.mc_of(req.line) != home_mc:
+        dram = self.dram
+        hierarchy = self.hierarchy
+        ledger = self.ledger
+        mrb = self.mrb
+        is_tracked = ledger.is_tracked
+        on_chip = hierarchy.on_chip
+        penalty = self.setup.mpp_issue_penalty
+        into_l1 = self.setup.fill_into_l1
+        l3_lat = self.config.l3_service_latency
+        pf_dt = DataType.PROPERTY
+        multi_mc = isinstance(dram, MultiChannelDRAM)
+        home_mc = dram.mc_of(structure_line) if multi_mc else 0
+        targets = self.mpp.scan_targets(structure_line, core)
+        if isinstance(targets, tuple):
+            # Steady-state batch: one shared issue delay for every deduped
+            # property line, and the requesting core is the chase's core.
+            plines, delay = targets
+            issue_time = fill_ready + delay + penalty
+            itime = int(issue_time)
+            l3_time = issue_time + l3_lat
+            for pline in plines:
+                if multi_mc and dram.mc_of(pline) != home_mc:
+                    self.mpp_forwarded += 1
+                    if tel is not None:
+                        tel.emit(
+                            fill_ready,
+                            "mpp_forward",
+                            line=pline,
+                            core=core,
+                            dtype="property",
+                        )
+                if is_tracked(pline):
+                    continue
+                if on_chip(pline):
+                    hierarchy.copy_to_l2(core, pline, _PROPERTY, issuer="mpp")
+                    ledger.issue(pline, pf_dt, l3_time, "mpp")
+                else:
+                    latency = dram.access(pline, itime, is_prefetch=True)
+                    hierarchy.prefetch_fill(
+                        core, pline, _PROPERTY, into_l1=into_l1, issuer="mpp"
+                    )
+                    ledger.issue(pline, pf_dt, issue_time + latency, "mpp")
+                    mrb.enqueue(pline, c_bit=True, core=core)
+                    mrb.retire(pline)
+            return
+        for pline, rcore, issue_delay in targets:
+            if multi_mc and dram.mc_of(pline) != home_mc:
                 # Forward the request (with core ID) to the destination
                 # MC's MRB, as in [52] / paper §VI.
                 self.mpp_forwarded += 1
@@ -333,47 +385,39 @@ class Machine:
                     tel.emit(
                         fill_ready,
                         "mpp_forward",
-                        line=req.line,
-                        core=req.core,
+                        line=pline,
+                        core=rcore,
                         dtype="property",
                     )
-            issue_time = fill_ready + req.issue_delay + self.setup.mpp_issue_penalty
-            pline = req.line
-            if self.ledger.is_tracked(pline):
+            if is_tracked(pline):
                 continue
-            if self.hierarchy.on_chip(pline):
+            issue_time = fill_ready + issue_delay + penalty
+            if on_chip(pline):
                 # Already on chip: copy from the inclusive LLC into the
                 # requesting core's private L2 (paper §V-A).
-                self.hierarchy.copy_to_l2(req.core, pline, _PROPERTY, issuer="mpp")
-                self.ledger.issue(
-                    pline,
-                    DataType.PROPERTY,
-                    issue_time + self.config.l3_service_latency,
-                    "mpp",
-                )
+                hierarchy.copy_to_l2(rcore, pline, _PROPERTY, issuer="mpp")
+                ledger.issue(pline, pf_dt, issue_time + l3_lat, "mpp")
             else:
-                latency = self.dram.access(pline, int(issue_time), is_prefetch=True)
-                self.hierarchy.prefetch_fill(
-                    req.core,
-                    pline,
-                    _PROPERTY,
-                    into_l1=self.setup.fill_into_l1,
-                    issuer="mpp",
+                latency = dram.access(pline, int(issue_time), is_prefetch=True)
+                hierarchy.prefetch_fill(
+                    rcore, pline, _PROPERTY, into_l1=into_l1, issuer="mpp"
                 )
-                self.ledger.issue(
-                    pline, DataType.PROPERTY, issue_time + latency, "mpp"
-                )
-                self.mrb.enqueue(pline, c_bit=True, core=req.core)
-                self.mrb.retire(pline)
+                ledger.issue(pline, pf_dt, issue_time + latency, "mpp")
+                mrb.enqueue(pline, c_bit=True, core=rcore)
+                mrb.retire(pline)
 
-    def _resolve_fast_path(self, mode: str | bool) -> bool:
-        """Normalize a fast-path selector to a boolean for this setup.
+    def _resolve_fast_path(self, mode: str | bool) -> str | bool:
+        """Normalize a fast-path selector to a replay tier for this setup.
 
-        ``"auto"`` enables the batch-replay fast path whenever it is
-        sound for the configured prefetch setup; ``"on"`` demands it
-        (raising for setups that prefetch-fill the L1, where the
-        guaranteed-hit filter is unsound); ``"off"`` forces the scalar
-        reference path.  Booleans behave like ``"on"``/``"off"``.
+        Returns ``False`` (scalar reference path), ``"vector"`` (batch
+        replay with fully vectorized guaranteed-hit runs), or
+        ``"degraded"`` (batch replay with per-window scalar degradation,
+        used for setups that prefetch-fill the L1, where the
+        stack-distance filter alone is unsound).  ``"auto"`` and ``"on"``
+        both pick the sound tier for the configured prefetch setup;
+        ``"vector"`` demands the fully vectorized tier, raising for
+        L1-filling setups; ``"off"`` forces the scalar path.  Booleans
+        behave like ``"on"``/``"off"``.
         """
         from .fastreplay import eligible_setup
 
@@ -381,19 +425,30 @@ class Machine:
             mode = "on" if mode else "off"
         if mode == "off":
             return False
-        if mode == "auto":
-            return eligible_setup(self.setup)
-        if mode == "on":
+        if mode in ("auto", "on"):
+            return "vector" if eligible_setup(self.setup) else "degraded"
+        if mode == "vector":
             if not eligible_setup(self.setup):
                 raise ValueError(
-                    "fast_path='on' is unsound for setup %r "
-                    "(it prefetch-fills the L1); use 'auto' or 'off'"
-                    % self.setup.name
+                    "fast_path='vector' is unsound for setup %r "
+                    "(it prefetch-fills the L1); use 'auto'/'on' "
+                    "(degraded tier) or 'off'" % self.setup.name
                 )
-            return True
+            return "vector"
         raise ValueError(
-            "fast_path must be 'auto', 'on', 'off', or a bool (got %r)" % (mode,)
+            "fast_path must be 'auto', 'on', 'vector', 'off', or a bool "
+            "(got %r)" % (mode,)
         )
+
+    def _plan_key(self) -> tuple[int, int, int]:
+        """Replay-plan cache key: exactly the geometry the planner reads.
+
+        A plan (and its derived tables) cached on a trace is reusable
+        across machines and prefetch setups as long as this key matches;
+        any other L1 geometry must replan.
+        """
+        l1cfg = self.config.l1
+        return (self._line_size, l1cfg.num_sets, l1cfg.associativity)
 
     # ------------------------------------------------------------------
     # Main loop

@@ -61,6 +61,37 @@ def test_plan_cache_does_not_leak_state(small_kron):
     assert s_fast2 == s_scalar
 
 
+def test_fast_path_telemetry_payload_is_byte_identical(small_kron):
+    """The full exported telemetry payload — samples, intervals, events,
+    histograms, attribution — serializes to byte-identical JSON when the
+    same prefetch-active trace is replayed twice through the fast path.
+
+    This is the contract CI dashboards rely on: telemetry diffs between
+    runs mean the *simulated machine* changed, never replay-order noise.
+    The payload deliberately carries no wall-clock fields, so any byte
+    difference here is a real nondeterminism bug."""
+    import json
+
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import telemetry_dict
+
+    run = get_workload("PR").run(small_kron, max_refs=8000)
+    cfg = SystemConfig.scaled_baseline()
+
+    def payload():
+        tel = Telemetry(interval_cycles=25_000, attribution=True)
+        m = Machine(cfg, layout=run.layout, setup="droplet",
+                    fast_path="on", telemetry=tel)
+        result = m.run(run.trace)
+        assert result.fast_path == "vector"
+        return json.dumps(
+            telemetry_dict(tel, meta={"workload": "PR", "setup": "droplet"}),
+            sort_keys=True,
+        ).encode()
+
+    assert payload() == payload()
+
+
 def test_global_rng_is_not_consumed(small_kron):
     """Simulation must not draw from global RNG state (the seed-pinning
     fixture in conftest would mask it between tests, not within one)."""

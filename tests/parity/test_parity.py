@@ -1,13 +1,27 @@
 """Differential parity: batch replay vs the scalar oracle, end to end.
 
-Every workload in the registry runs across the no-prefetch baseline, the
-conventional stream prefetcher, and the full DROPLET setup; each
-(workload, setup) pair is simulated twice — ``fast_path='off'`` (the
-scalar reference oracle) and ``fast_path='on'`` — and the two runs must
-produce *bit-identical* signatures: cycles, cycle stacks, per-level
+Every workload in the registry runs across the full prefetcher matrix;
+each (workload, setup) pair is simulated twice — ``fast_path='off'``
+(the scalar reference oracle) and ``fast_path='on'`` — and the two runs
+must produce *bit-identical* signatures: cycles, cycle stacks, per-level
 per-type counters, DRAM statistics, and complete cache contents
 including LRU orderings (see :mod:`tests.parity.signature`).
+
+Two scopes keep PR latency bounded (the ``parity-prefetch`` CI job):
+
+* the core {none, stream, droplet} matrix always runs over all six
+  workloads;
+* the extended setups (ghb, vldp, streamMPP1, adaptive, imp,
+  monoDROPLETL1) run over a reduced workload set per PR, and over all
+  six workloads when ``REPRO_PARITY_FULL=1`` (nightly / `parity-full`
+  label).
+
+monoDROPLETL1 and imp prefetch-fill the L1, so they replay in the
+*degraded* tier (per-window scalar fallback, still bit-identical); the
+explicit ``fast_path='vector'`` mode is the only one that refuses them.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -20,6 +34,26 @@ from .signature import machine_signature, run_both_paths
 
 MAX_REFS = 20_000
 SETUPS = ("none", "stream", "droplet")
+#: The rest of the constructible matrix; the two L1-filling setups at
+#: the end replay in the degraded tier.
+EXTENDED_SETUPS = ("ghb", "vldp", "streamMPP1", "adaptive", "imp", "monoDROPLETL1")
+#: Extended-matrix workloads always exercised per PR; the rest join
+#: when REPRO_PARITY_FULL=1.
+REDUCED_WORKLOADS = ("PR", "BFS")
+FULL_MATRIX = os.environ.get("REPRO_PARITY_FULL") == "1"
+
+
+def _extended_workloads():
+    for name in sorted(WORKLOADS):
+        if FULL_MATRIX or name in REDUCED_WORKLOADS:
+            yield name
+        else:
+            yield pytest.param(
+                name,
+                marks=pytest.mark.skip(
+                    reason="extended matrix: set REPRO_PARITY_FULL=1"
+                ),
+            )
 
 
 @pytest.fixture(scope="module")
@@ -36,10 +70,7 @@ def test_registry_has_six_workloads():
     assert len(WORKLOADS) == 6, sorted(WORKLOADS)
 
 
-@pytest.mark.parametrize("setup", SETUPS)
-@pytest.mark.parametrize("workload", sorted(WORKLOADS))
-def test_fast_path_is_bit_identical(workload_runs, workload, setup):
-    run = workload_runs[workload]
+def _assert_parity(run, setup, expect_tier=None):
     cfg = SystemConfig.scaled_baseline()
 
     def make_machine(fast_path):
@@ -48,6 +79,22 @@ def test_fast_path_is_bit_identical(workload_runs, workload, setup):
     sig_scalar, sig_fast, result = run_both_paths(make_machine, run.trace)
     assert sig_scalar == sig_fast
     assert result.fast_path
+    if expect_tier is not None:
+        assert result.fast_path == expect_tier
+    return result
+
+
+@pytest.mark.parametrize("setup", SETUPS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_fast_path_is_bit_identical(workload_runs, workload, setup):
+    _assert_parity(workload_runs[workload], setup, expect_tier="vector")
+
+
+@pytest.mark.parametrize("setup", EXTENDED_SETUPS)
+@pytest.mark.parametrize("workload", _extended_workloads())
+def test_prefetch_matrix_is_bit_identical(workload_runs, workload, setup):
+    tier = "degraded" if setup in ("imp", "monoDROPLETL1") else "vector"
+    _assert_parity(workload_runs[workload], setup, expect_tier=tier)
 
 
 def test_auto_mode_matches_forced_modes(workload_runs):
@@ -56,36 +103,104 @@ def test_auto_mode_matches_forced_modes(workload_runs):
     run = workload_runs["PR"]
     cfg = SystemConfig.scaled_baseline()
     results = {}
-    for mode in ("off", "on", "auto"):
+    for mode in ("off", "on", "auto", "vector"):
         m = Machine(cfg, layout=run.layout, setup="none", fast_path=mode)
         results[mode] = (machine_signature(m.run(run.trace), m), m)
-    assert results["off"][0] == results["on"][0] == results["auto"][0]
+    assert (
+        results["off"][0]
+        == results["on"][0]
+        == results["auto"][0]
+        == results["vector"][0]
+    )
 
 
 @pytest.mark.parametrize("name", ["monoDROPLETL1", "imp"])
-def test_fast_path_refuses_l1_filling_setups(workload_runs, name):
-    """Forcing the fast path on an ineligible setup must raise, never
-    silently fall back to an unsound replay."""
+def test_l1_filling_setups_take_degraded_tier(workload_runs, name):
+    """L1-prefetch-filling setups batch-replay in the degraded tier:
+    bit-identical results, per-window scalar fallback counted, and only
+    the explicit 'vector' mode refuses them."""
     from repro.droplet.composite import make_prefetch_setup
     from repro.system.fastreplay import eligible_setup
 
     assert not eligible_setup(make_prefetch_setup(name))
     run = workload_runs["PR"]
+    cfg = SystemConfig.scaled_baseline()
+
+    # Forcing the fully vectorized tier on an unsound geometry raises.
     with pytest.raises(ValueError):
-        Machine(
-            SystemConfig.scaled_baseline(),
-            layout=run.layout,
-            setup=name,
-            fast_path="on",
+        Machine(cfg, layout=run.layout, setup=name, fast_path="vector")
+
+    # 'on' and 'auto' resolve to the degraded tier.
+    for mode in ("on", "auto"):
+        m = Machine(cfg, layout=run.layout, setup=name, fast_path=mode)
+        assert m.fast_path == "degraded", mode
+
+    def make_machine(fast_path):
+        return Machine(cfg, layout=run.layout, setup=name, fast_path=fast_path)
+
+    sig_scalar, sig_fast, result = run_both_paths(make_machine, run.trace)
+    assert sig_scalar == sig_fast
+    assert result.fast_path == "degraded"
+
+
+@pytest.mark.parametrize("name", ["monoDROPLETL1", "imp"])
+def test_degraded_windows_counter_is_exposed(workload_runs, name):
+    """The degraded tier reports its per-window scalar fallbacks via the
+    machine counter and the ``fastpath.windows_degraded`` gauge."""
+    from repro.telemetry import Telemetry
+
+    run = workload_runs[REDUCED_WORKLOADS[0]]
+    cfg = SystemConfig.scaled_baseline()
+    tel = Telemetry(interval_cycles=50_000)
+    m = Machine(cfg, layout=run.layout, setup=name, fast_path="on", telemetry=tel)
+    m.run(run.trace)
+    assert m.fastpath_windows_degraded > 0
+    gauge = tel.registry.get("fastpath.windows_degraded")
+    assert gauge is not None
+    assert gauge.value == m.fastpath_windows_degraded
+
+    # The vector tier never degrades a window.
+    m2 = Machine(cfg, layout=run.layout, setup="droplet", fast_path="on")
+    result = m2.run(run.trace)
+    assert result.fast_path == "vector"
+    assert m2.fastpath_windows_degraded == 0
+
+
+@pytest.mark.parametrize("setup", ["droplet", "monoDROPLETL1"])
+def test_pollution_taxonomy_counters_match(workload_runs, setup):
+    """With attribution telemetry on (pollution tracker attached), the
+    fast path reproduces the full prefetch taxonomy and per-region miss
+    attribution bit for bit."""
+    from repro.telemetry import Telemetry
+
+    run = workload_runs["PR"]
+    cfg = SystemConfig.scaled_baseline()
+
+    payloads = {}
+    for mode in ("off", "on"):
+        tel = Telemetry(interval_cycles=50_000, attribution=True)
+        m = Machine(cfg, layout=run.layout, setup=setup, fast_path=mode, telemetry=tel)
+        m.run(run.trace)
+        assert m.hierarchy.pollution is not None
+        payloads[mode] = (
+            machine_signature_with_pollution(m),
+            m._attribution.as_dict(),
         )
-    # 'auto' on the same setup silently takes the sound scalar path.
-    m = Machine(
-        SystemConfig.scaled_baseline(),
-        layout=run.layout,
-        setup=name,
-        fast_path="auto",
-    )
-    assert not m.fast_path
+    assert payloads["off"] == payloads["on"]
+
+
+def machine_signature_with_pollution(machine):
+    """Pollution taxonomy + per-issuer ledger counters, fully expanded."""
+    ledger = machine.ledger
+    out = {"pollution": machine.hierarchy.pollution.as_dict()}
+    for issuer, counters in sorted(ledger.counters.items()):
+        out[issuer] = {
+            "issued": dict(counters.issued),
+            "useful": dict(counters.useful),
+            "late": dict(counters.late),
+            "polluting": dict(counters.polluting),
+        }
+    return out
 
 
 class TestSyntheticEdgeCases:
@@ -105,12 +220,13 @@ class TestSyntheticEdgeCases:
         tb.load(0, DataType.PROPERTY, gap=1)
         self._compare(tb.finalize())
 
-    def test_all_hits_after_warmup(self):
+    @pytest.mark.parametrize("setup", ["none", "stream"])
+    def test_all_hits_after_warmup(self, setup):
         tb = TraceBuffer(name="warm")
         for rep in range(50):
             for i in range(8):
                 tb.load(i * 64, DataType.PROPERTY, gap=1)
-        self._compare(tb.finalize())
+        self._compare(tb.finalize(), setup=setup)
 
     def test_store_heavy_reuse(self):
         rng = np.random.default_rng(7)
@@ -133,17 +249,33 @@ class TestSyntheticEdgeCases:
             prev = tb.load(addr, DataType.PROPERTY, dep=dep, gap=3)
         self._compare(tb.finalize())
 
-    def test_thrashing_working_set(self):
-        """Working set far beyond every level: miss-dominated replay."""
+    @pytest.mark.parametrize("setup", ["none", "stream"])
+    def test_thrashing_working_set(self, setup):
+        """Working set far beyond every level: miss-dominated replay
+        (with `stream`, every miss also snoops the prefetcher)."""
         tb = TraceBuffer(name="thrash")
         rng = np.random.default_rng(17)
         for _ in range(4000):
             tb.load(int(rng.integers(0, 1 << 20)) * 64,
                     DataType.STRUCTURE, gap=1)
-        self._compare(tb.finalize())
+        self._compare(tb.finalize(), setup=setup)
 
     def test_zero_gap_references(self):
         tb = TraceBuffer(name="dense")
         for i in range(2000):
             tb.load((i % 64) * 64, DataType.INTERMEDIATE, gap=0)
         self._compare(tb.finalize())
+
+    def test_sequential_streams_trigger_prefetch_runs(self):
+        """Long ascending line streams confirm stream trackers, so
+        prefetch fills and back-invalidations land *inside* guaranteed
+        runs — the poison-set path."""
+        tb = TraceBuffer(name="streams")
+        for page in range(32):
+            base = page * 64 * 64
+            for i in range(64):
+                tb.load(base + i * 64, DataType.STRUCTURE, gap=1)
+            # Re-walk the page to fold prefetched lines into hit runs.
+            for i in range(0, 64, 2):
+                tb.load(base + i * 64, DataType.STRUCTURE, gap=1)
+        self._compare(tb.finalize(), setup="stream")
