@@ -22,6 +22,15 @@ Commands
 ``diff``
     Compare two saved profiles: phase-aligned per-metric deltas as
     JSON, a terminal table, and a side-by-side HTML report.
+``status``
+    Point-level progress of a live or finished sweep run — state,
+    retries, cache hits, replay tiers, ETA — reconstructed from its run
+    ledger and span sidecar (``--watch`` polls; ``--chrome`` exports the
+    Chrome-trace timeline).
+``trend``
+    Aggregate archived sweep reports and replay-benchmark snapshots
+    under a metrics-store directory into per-workload time-series with
+    threshold-based regression flags.
 """
 
 from __future__ import annotations
@@ -178,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults, e.g. 'crash@2,hang@5,corrupt@0' (testing/CI)",
     )
     p_sweep.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="skip the span sidecar + Chrome-trace timeline (written next "
+        "to the run ledger by default)",
+    )
+    p_sweep.add_argument(
         "--fast-path",
         choices=["auto", "on", "vector", "off"],
         default="auto",
@@ -252,6 +267,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="derived rate shown in the per-phase terminal table",
     )
 
+    p_status = sub.add_parser(
+        "status", help="point-level progress of a live or finished sweep run"
+    )
+    p_status.add_argument("run_id", metavar="RUN_ID")
+    p_status.add_argument(
+        "--ledger-root",
+        metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUN_LEDGER or "
+        "~/.cache/repro/runs)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="machine-readable status payload"
+    )
+    p_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll and re-render until the run finishes",
+    )
+    p_status.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling interval for --watch (default: 2.0)",
+    )
+    p_status.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="also export the run's Chrome trace-event JSON here "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="per-workload time-series + regression flags over a metrics store",
+    )
+    p_trend.add_argument(
+        "store",
+        nargs="?",
+        default=".",
+        metavar="DIR",
+        help="directory of archived sweep reports / BENCH_replay.json "
+        "snapshots (default: .)",
+    )
+    p_trend.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="regression flag threshold (default: 0.05 = 5%%)",
+    )
+    p_trend.add_argument(
+        "--json", action="store_true", help="machine-readable trend payload"
+    )
+    p_trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any series regressed past the threshold",
+    )
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("name", choices=sorted(_figure_runners()) + ["all"])
     p_fig.add_argument("--quick", action="store_true", help="reduced matrix")
@@ -322,6 +397,7 @@ def _cmd_sweep(args) -> int:
         SweepRunner,
         new_run_id,
     )
+    from .telemetry import dropped_events_note, spans
 
     points = [
         SweepPoint(
@@ -359,6 +435,9 @@ def _cmd_sweep(args) -> int:
         if ledger is not None:
             trip_dir = str(ledger.root / (ledger.run_id + ".faults"))
         faults = FaultPlan.from_spec(args.faults, trip_dir=trip_dir)
+    tracer = None
+    if ledger is not None and not args.no_spans:
+        tracer = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger.path))
     runner = SweepRunner(
         workers=args.workers,
         trace_cache=False if args.no_trace_cache else None,
@@ -368,6 +447,7 @@ def _cmd_sweep(args) -> int:
         retry=retry,
         faults=faults,
         ledger=ledger,
+        tracer=tracer,
     )
     report = runner.run(points)
     print(render_table(sweep_table_rows(report)))
@@ -378,15 +458,38 @@ def _cmd_sweep(args) -> int:
             "`repro sweep --resume %s`)"
             % (run_id, len(ledger), len(points), run_id)
         )
+    trace_path = None
+    if tracer is not None:
+        trace_path = spans.write_chrome_trace(
+            tracer, spans.chrome_path(ledger.path)
+        )
+        print("spans   %s" % tracer.sidecar)
+        print("trace   %s (Perfetto / chrome://tracing)" % trace_path)
     for failed in report.errors():
         print("error at %s:" % failed.point.label)
         print(failed.error.traceback.rstrip())
     if args.out:
         save_results_payload(summarize_sweep(report), args.out)
         print("report written to %s" % args.out)
+    note = dropped_events_note(
+        report.metrics.events_dropped, report.metrics.events_emitted
+    )
+    if note:
+        print(note + " across the sweep's point timelines", file=sys.stderr)
     summary = report.failure_summary()
     if summary:
         print(summary, file=sys.stderr)
+        # Name the run's on-disk timeline so operators can open it
+        # straight from a failed CI log.
+        if ledger is not None:
+            print("ledger: %s" % ledger.path, file=sys.stderr)
+            if tracer is not None:
+                print("spans:  %s" % tracer.sidecar, file=sys.stderr)
+                print("trace:  %s" % trace_path, file=sys.stderr)
+            print(
+                "inspect with `repro status %s`" % ledger.run_id,
+                file=sys.stderr,
+            )
     return report.exit_code()
 
 
@@ -417,7 +520,12 @@ def _cmd_figure(args) -> int:
 def _cmd_profile(args) -> int:
     from .graph.generators import make_dataset
     from .system.runner import simulate
-    from .telemetry import Telemetry, telemetry_dict, write_profile
+    from .telemetry import (
+        Telemetry,
+        dropped_events_note,
+        telemetry_dict,
+        write_profile,
+    )
     from .workloads.registry import get_workload
 
     workload = get_workload(args.workload)
@@ -482,26 +590,16 @@ def _cmd_profile(args) -> int:
                     "%s %d" % kv for kv in lvl.class_counts().items()
                 )
             print(line)
-    dropped = payload["events"]["dropped"]
-    if dropped:
-        print(
-            "warning: event ring buffer dropped %d of %d events; rerun "
-            "with a larger --events (e.g. --events %d) to keep them all"
-            % (dropped, payload["events"]["emitted"], _next_events_size(payload)),
-            file=sys.stderr,
-        )
+    note = dropped_events_note(
+        payload["events"]["dropped"],
+        payload["events"]["emitted"],
+        flag="--events",
+    )
+    if note:
+        print(note, file=sys.stderr)
     for kind in sorted(paths):
         print("%-7s %s" % (kind, paths[kind]))
     return 0
-
-
-def _next_events_size(payload: dict) -> int:
-    """Smallest power-of-two ring capacity that keeps every event."""
-    emitted = payload["events"]["emitted"]
-    size = 1
-    while size < emitted:
-        size *= 2
-    return size
 
 
 def _cmd_diff(args) -> int:
@@ -509,6 +607,7 @@ def _cmd_diff(args) -> int:
     from .telemetry import (
         diff_payloads,
         diff_table_rows,
+        dropped_events_note,
         load_profile,
         phase_table_rows,
         validate_diff_payload,
@@ -518,6 +617,20 @@ def _cmd_diff(args) -> int:
 
     baseline = load_profile(args.baseline)
     candidate = load_profile(args.candidate)
+    for side, payload, path in (
+        ("baseline", baseline, args.baseline),
+        ("candidate", candidate, args.candidate),
+    ):
+        events = payload.get("events") or {}
+        note = dropped_events_note(
+            events.get("dropped", 0), events.get("emitted", 0)
+        )
+        if note:
+            print(
+                "%s (%s profile %s; totals may undercount)"
+                % (note, side, path),
+                file=sys.stderr,
+            )
     diff = diff_payloads(baseline, candidate, metrics=args.metrics)
     validate_diff_payload(diff)
     print(render_table(diff_table_rows(diff)))
@@ -541,6 +654,97 @@ def _cmd_diff(args) -> int:
         html_path = write_diff_html(diff, Path(args.out).with_suffix(".html"))
         print("json    %s" % json_path)
         print("html    %s" % html_path)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from .experiments.common import render_table
+    from .runtime import load_run_status, status_table_rows
+    from .runtime.status import watch
+    from .telemetry import spans, write_chrome_trace
+
+    def render(status) -> None:
+        print(status.to_text())
+        if status.points:
+            print(render_table(status_table_rows(status)))
+        if status.counters:
+            print(
+                "counters: "
+                + ", ".join(
+                    "%s=%s" % (k, v) for k, v in sorted(status.counters.items())
+                )
+            )
+
+    status = load_run_status(args.run_id, root=args.ledger_root)
+    if not status.found:
+        print(
+            "no ledger or span sidecar found for run id %r under %s"
+            % (args.run_id, status.ledger_path.parent),
+            file=sys.stderr,
+        )
+        return 2
+    if args.watch and not args.json:
+        status = watch(
+            args.run_id,
+            root=args.ledger_root,
+            poll=args.poll,
+            render=lambda s: (render(s), print()),
+        )
+    elif args.json:
+        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+    else:
+        render(status)
+    if args.chrome:
+        out = write_chrome_trace(
+            spans.read_sidecar(status.sidecar_path), args.chrome
+        )
+        print("trace   %s (Perfetto / chrome://tracing)" % out)
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    import json
+
+    from .experiments.common import render_table
+    from .telemetry import trend_report
+    from .telemetry.trend import (
+        flag_regressions,
+        scan_store,
+        trend_series,
+        trend_table_rows,
+    )
+
+    snapshots = scan_store(args.store)
+    series = trend_series(snapshots)
+    flags = flag_regressions(series, threshold=args.threshold)
+    if args.json:
+        print(
+            json.dumps(
+                trend_report(args.store, threshold=args.threshold),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        if not snapshots:
+            print(
+                "no sweep reports or bench snapshots under %s" % args.store,
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            "%d snapshot(s): %s"
+            % (len(snapshots), ", ".join(s.label for s in snapshots))
+        )
+        print(render_table(trend_table_rows(series, flags)))
+        for flag in flags:
+            print("REGRESSION: %s" % flag.to_text(), file=sys.stderr)
+    if not snapshots and args.json:
+        return 2
+    if flags and args.strict:
+        return 1
     return 0
 
 
@@ -578,6 +782,8 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "profile": _cmd_profile,
         "diff": _cmd_diff,
+        "status": _cmd_status,
+        "trend": _cmd_trend,
     }
     try:
         return handlers[args.command](args)

@@ -15,7 +15,13 @@ The experiment layer describes *what* to simulate; this package owns
   out over a :class:`~concurrent.futures.ProcessPoolExecutor` (or runs
   them serially) with deterministic result ordering, per-point error
   capture, watchdog timeouts, bounded retry (:class:`RetryPolicy`),
-  worker-pool recovery and wall-time/cache/utilization metrics.
+  worker-pool recovery and wall-time/cache/utilization metrics.  The
+  execution seams live beside it: :mod:`repro.runtime.executor` (how
+  one point runs, worker-process plumbing) and
+  :mod:`repro.runtime.scheduler` (the supervised pool).
+* :mod:`repro.runtime.status` — :func:`load_run_status` reconstructs a
+  live or finished sweep's per-point state from its ledger + span
+  sidecar, backing ``repro status``.
 * :mod:`repro.runtime.ledger` — append-only :class:`RunLedger` journals
   that checkpoint completed points, enabling ``repro sweep --resume``.
 * :mod:`repro.runtime.faults` — deterministic :class:`FaultPlan` fault
@@ -33,6 +39,12 @@ from .ledger import (
     point_key,
 )
 from .points import PointError, PointResult, SweepPoint, TraceSpec
+from .status import (
+    PointState,
+    RunStatus,
+    load_run_status,
+    status_table_rows,
+)
 from .sweep import (
     PointTimeout,
     RetryPolicy,
@@ -72,4 +84,8 @@ __all__ = [
     "TraceCache",
     "default_cache_root",
     "trace_key",
+    "PointState",
+    "RunStatus",
+    "load_run_status",
+    "status_table_rows",
 ]

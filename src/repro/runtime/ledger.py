@@ -35,6 +35,7 @@ import secrets
 import time
 from pathlib import Path
 
+from ..telemetry import spans as _spans
 from .points import PointResult, SweepPoint
 
 __all__ = [
@@ -180,7 +181,7 @@ class RunLedger:
         if record is None:
             return None
         data = record.get("data", {})
-        return PointResult(
+        result = PointResult(
             point=point,
             summary=data.get("summary"),
             wall_time=float(data.get("wall_time", 0.0)),
@@ -188,7 +189,13 @@ class RunLedger:
             telemetry=data.get("telemetry"),
             attempts=int(data.get("attempts", 1)),
             restored=True,
+            replay_tier=data.get("replay_tier"),
+            windows_degraded=int(data.get("windows_degraded", 0)),
         )
+        trc = _spans.current()
+        if trc is not None:
+            trc.event("ledger.restore", key=point_key(point), label=point.label)
+        return result
 
     def record(self, point: SweepPoint, result: PointResult) -> None:
         """Journal one completed point (successful results only)."""
@@ -203,14 +210,24 @@ class RunLedger:
             "label": point.label,
             "data": {
                 "summary": result.summary,
+                # Wall-clock completion stamp plus the monotonic duration:
+                # `repro status` ETAs and `repro trend` need both even on
+                # historical ledgers.
+                "completed_at": time.time(),
+                "duration_s": result.wall_time,
                 "wall_time": result.wall_time,
                 "trace_cache_hit": result.trace_cache_hit,
                 "telemetry": result.telemetry,
                 "attempts": result.attempts,
+                "replay_tier": result.replay_tier,
+                "windows_degraded": result.windows_degraded,
             },
         }
         self._append(record)
         self._completed[key] = record
+        trc = _spans.current()
+        if trc is not None:
+            trc.event("ledger.append", key=key, label=point.label)
 
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:

@@ -27,28 +27,42 @@ descriptions either serially in-process or fanned out over a
   counters (retries, timeouts, pool recoveries, quarantined cache
   entries, ledger-restored points), carried on the returned
   :class:`SweepReport`.
+* **Observability** — with a :mod:`~repro.telemetry.spans` recorder
+  active (passed as ``tracer=`` or installed via
+  :func:`repro.telemetry.spans.set_current`), the sweep journals a
+  structured timeline: per-point spans, retry/timeout/respawn instants,
+  and a final ``F`` record carrying the sweep metrics verbatim — the
+  substrate behind ``repro status`` and the Chrome-trace export.
 
-On a cold cache the runner first warms the trace cache over the sweep's
-*unique* trace specs (in parallel), so the simulation phase never traces
-the same workload twice across workers.
+The execution machinery itself lives in the sibling modules this one
+re-exports from: :mod:`~repro.runtime.executor` (how one point runs,
+worker plumbing) and :mod:`~repro.runtime.scheduler` (the supervised
+pool).  On a cold cache the runner first warms the trace cache over the
+sweep's *unique* trace specs (in parallel), so the simulation phase
+never traces the same workload twice across workers.
 """
 
 from __future__ import annotations
 
-import signal
-import threading
 import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    wait,
-)
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from .points import PointError, PointResult, SweepPoint, TraceSpec
-from .trace_cache import TraceCache, trace_key
+from ..telemetry import spans as _spans
+from .executor import (  # noqa: F401 — re-exported; pre-split import paths
+    POINT_TIMEOUT_KIND,
+    WORKER_CRASH_KIND,
+    PointTimeout,
+    _execute_point,
+    _fetch_trace,
+    _watchdog,
+    _worker_execute,
+    _worker_init,
+    _worker_warm,
+    execute_point,
+    resolve_point_config,
+)
+from .points import PointError, PointResult, SweepPoint
+from .trace_cache import TraceCache
 
 __all__ = [
     "SweepRunner",
@@ -59,24 +73,9 @@ __all__ = [
     "PointTimeout",
 ]
 
-#: ``PointError.kind`` recorded when a point hits its watchdog timeout.
-POINT_TIMEOUT_KIND = "PointTimeout"
-
-#: ``PointError.kind`` recorded when a worker process dies mid-point.
-WORKER_CRASH_KIND = "WorkerCrash"
-
 
 class SweepError(RuntimeError):
     """Raised by :meth:`SweepReport.raise_errors` when any point failed."""
-
-
-class PointTimeout(Exception):
-    """Raised inside a point when it exceeds the watchdog timeout.
-
-    The class name doubles as the structured ``PointError.kind``
-    (:data:`POINT_TIMEOUT_KIND`), in both the in-process and the
-    worker-pool execution paths.
-    """
 
 
 @dataclass(frozen=True)
@@ -151,6 +150,11 @@ class SweepMetrics:
     timeouts), ``quarantined_entries`` (corrupt trace-cache entries
     quarantined and regenerated) and ``restored`` (points restored from
     a run ledger instead of executed).
+
+    ``events_emitted``/``events_dropped`` aggregate the per-point
+    telemetry ring-buffer accounting of a ``--telemetry`` sweep, so
+    reports (and the CLI's dropped-events warning) can surface ring
+    overflow without digging through every point payload.
     """
 
     workers: int = 1
@@ -167,6 +171,8 @@ class SweepMetrics:
     recovered_workers: int = 0
     quarantined_entries: int = 0
     restored: int = 0
+    events_emitted: int = 0
+    events_dropped: int = 0
 
     @property
     def utilization(self) -> float:
@@ -200,6 +206,8 @@ class SweepMetrics:
             "recovered_workers": self.recovered_workers,
             "quarantined_entries": self.quarantined_entries,
             "restored_points": self.restored,
+            "events_emitted": self.events_emitted,
+            "events_dropped": self.events_dropped,
         }
 
     def to_text(self) -> str:
@@ -318,217 +326,6 @@ class SweepReport:
 
 
 # ----------------------------------------------------------------------
-# Point execution (shared by the serial path and the worker processes)
-# ----------------------------------------------------------------------
-def resolve_point_config(point: SweepPoint, base):
-    """Apply a point's cache-geometry variant to the sweep's base config."""
-    config = base
-    if point.llc_multiplier is not None:
-        config = config.with_llc_multiplier(point.llc_multiplier)
-    if point.l2_config is not None:
-        mult, assoc = point.l2_config
-        if base.l2 is None:
-            raise ValueError("l2_config variant requires a base config with an L2")
-        size = None if mult is None else base.l2.size_bytes * mult
-        config = config.with_l2(size, assoc)
-    return config
-
-
-@contextmanager
-def _watchdog(seconds: float | None):
-    """SIGALRM-based per-point timeout (main thread, POSIX only).
-
-    Arms a one-shot interval timer that raises :class:`PointTimeout`
-    inside the running point; yields whether the watchdog is actually
-    armed.  Where unsupported (non-main thread, platforms without
-    ``setitimer``) the point runs unguarded — the parallel supervisor's
-    hard deadline still covers it.
-    """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield False
-        return
-
-    def _alarm(signum, frame):
-        raise PointTimeout("point exceeded the %.1fs watchdog" % seconds)
-
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield True
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _fetch_trace(spec: TraceSpec, cache: TraceCache, memo: dict):
-    """Cached trace lookup: in-memory memo first, then disk, then trace.
-
-    Returns ``(run, hit, generated)`` where ``hit`` covers both memo and
-    disk hits and ``generated`` flags an actual (re-)trace.
-    """
-    key = trace_key(spec)
-    run = memo.get(key)
-    if run is not None:
-        return run, True, False
-    run, hit = cache.get_or_trace(spec)
-    memo[key] = run
-    return run, hit, not hit
-
-
-def _execute_point(
-    point: SweepPoint,
-    config,
-    cache: TraceCache,
-    memo: dict,
-    return_full: bool,
-    telemetry_interval: int | None = None,
-    index: int | None = None,
-    faults=None,
-    timeout: float | None = None,
-    attempt: int = 1,
-) -> PointResult:
-    """Run one point, capturing any failure as a structured error.
-
-    ``telemetry_interval`` (simulated cycles) enables per-point
-    telemetry: the point result then carries a JSON-safe timeline
-    payload (no raw event records — those stay per-``repro profile``),
-    which survives the pickle boundary back from worker processes.
-
-    ``index``/``faults`` inject the point's scheduled faults (testing);
-    ``timeout`` arms the soft watchdog; ``attempt`` is carried onto the
-    result for retry accounting.  A :class:`PointTimeout` raised by the
-    watchdog is captured like any other failure, so both execution modes
-    report timeouts as structured ``PointError(kind="PointTimeout")``.
-    """
-    from ..reporting import summarize
-    from ..system.runner import simulate
-
-    start = time.perf_counter()
-    hit: bool | None = None
-    quarantined_before = getattr(cache, "quarantined", 0)
-
-    def _quarantined() -> int:
-        return getattr(cache, "quarantined", 0) - quarantined_before
-
-    try:
-        with _watchdog(timeout):
-            if faults is not None and index is not None:
-                faults.fire(
-                    index,
-                    cache=cache,
-                    spec=point.trace_spec,
-                    in_worker=_IN_WORKER,
-                )
-            run, hit, _generated = _fetch_trace(point.trace_spec, cache, memo)
-            telemetry = None
-            if telemetry_interval is not None:
-                from ..telemetry import Telemetry
-
-                telemetry = Telemetry(interval_cycles=telemetry_interval)
-            result = simulate(
-                run,
-                config=resolve_point_config(point, config),
-                setup=point.setup,
-                multi_property=point.multi_property,
-                telemetry=telemetry,
-                fast_path=getattr(point, "fast_path", "auto"),
-            )
-            payload = None
-            if telemetry is not None:
-                from ..telemetry import telemetry_dict
-
-                payload = telemetry_dict(
-                    telemetry,
-                    meta={"label": point.label, "trace": run.trace.name},
-                    include_events=False,
-                )
-        return PointResult(
-            point=point,
-            summary=summarize(result),
-            result=result if return_full else None,
-            wall_time=time.perf_counter() - start,
-            trace_cache_hit=hit,
-            telemetry=payload,
-            attempts=attempt,
-            cache_quarantined=_quarantined(),
-        )
-    except Exception as exc:
-        return PointResult(
-            point=point,
-            error=PointError.from_exception(exc),
-            wall_time=time.perf_counter() - start,
-            trace_cache_hit=hit,
-            attempts=attempt,
-            cache_quarantined=_quarantined(),
-        )
-
-
-# ----------------------------------------------------------------------
-# Worker-process plumbing (module-level so it pickles)
-# ----------------------------------------------------------------------
-_WORKER_CACHE: TraceCache | None = None
-_WORKER_MEMO: dict = {}
-#: Whether this module is executing inside a pool worker; selects the
-#: real-crash (``os._exit``) vs raised-exception form of crash faults.
-_IN_WORKER = False
-
-
-def _worker_init(cache_root: str | None) -> None:
-    """Process-pool initializer: bind the worker's trace cache."""
-    global _WORKER_CACHE, _WORKER_MEMO, _IN_WORKER
-    _WORKER_CACHE = TraceCache(cache_root, enabled=cache_root is not None)
-    _WORKER_MEMO = {}
-    _IN_WORKER = True
-
-
-def _worker_warm(spec: TraceSpec) -> tuple[bool, float, int]:
-    """Phase-1 task: ensure ``spec``'s trace exists on disk.
-
-    Returns ``(was_hit, seconds, quarantined)`` for the runner's metrics.
-    """
-    start = time.perf_counter()
-    quarantined_before = _WORKER_CACHE.quarantined
-    run, hit, _generated = _fetch_trace(spec, _WORKER_CACHE, _WORKER_MEMO)
-    del run
-    return (
-        hit,
-        time.perf_counter() - start,
-        _WORKER_CACHE.quarantined - quarantined_before,
-    )
-
-
-def _worker_execute(
-    point: SweepPoint,
-    config,
-    return_full: bool,
-    telemetry_interval: int | None = None,
-    index: int | None = None,
-    faults=None,
-    timeout: float | None = None,
-    attempt: int = 1,
-) -> PointResult:
-    """Phase-2 task: simulate one point inside a worker process."""
-    return _execute_point(
-        point,
-        config,
-        _WORKER_CACHE,
-        _WORKER_MEMO,
-        return_full,
-        telemetry_interval=telemetry_interval,
-        index=index,
-        faults=faults,
-        timeout=timeout,
-        attempt=attempt,
-    )
-
-
-# ----------------------------------------------------------------------
 class SweepRunner:
     """Executes sweeps of simulation points, serially or across processes.
 
@@ -561,6 +358,12 @@ class SweepRunner:
         Optional :class:`~repro.runtime.ledger.RunLedger`.  Completed
         points journal to it as they finish; points already journaled
         (a resumed run) are restored instead of re-executed.
+    tracer:
+        Optional :class:`~repro.telemetry.spans.SpanRecorder` journaling
+        this runner's spans (installed as the process-wide current
+        recorder for the duration of :meth:`run`).  ``None`` uses
+        whatever recorder is already current — tracing stays off when
+        there is none.
     """
 
     def __init__(
@@ -573,6 +376,7 @@ class SweepRunner:
         retry: RetryPolicy | None = None,
         faults=None,
         ledger=None,
+        tracer=None,
     ):
         self.workers = int(workers or 0)
         if trace_cache is False:
@@ -586,6 +390,7 @@ class SweepRunner:
         self.retry = retry or RetryPolicy()
         self.faults = faults
         self.ledger = ledger
+        self.tracer = tracer
         self._memo: dict = {}
         #: Lifetime resilience tallies (across runs) backing the
         #: telemetry gauges registered by :meth:`register_telemetry`.
@@ -630,6 +435,11 @@ class SweepRunner:
         completion is journaled as it lands — interrupting the process
         at any moment loses at most the points still in flight.
         """
+        tracer = self.tracer if self.tracer is not None else _spans.current()
+        with _spans.use(tracer):
+            return self._run(points, config, tracer)
+
+    def _run(self, points, config, tracer) -> SweepReport:
         from ..system.config import SystemConfig
 
         points = list(points)
@@ -653,10 +463,51 @@ class SweepRunner:
                     slots[idx] = restored
         todo = [(i, p) for i, p in enumerate(points) if i not in slots]
 
+        if tracer is not None:
+            tracer.meta(
+                "sweep.run",
+                run_id=getattr(self.ledger, "run_id", None),
+                total=len(points),
+                labels=[p.label for p in points],
+                workers=metrics.workers,
+                mode=metrics.mode,
+                telemetry=self.telemetry,
+            )
+            for idx in sorted(slots):
+                restored = slots[idx]
+                tracer.event(
+                    "point.final",
+                    index=idx,
+                    label=restored.point.label,
+                    ok=restored.ok,
+                    attempts=restored.attempts,
+                    cache_hit=restored.trace_cache_hit,
+                    tier=restored.replay_tier,
+                    windows_degraded=restored.windows_degraded,
+                    wall_time=restored.wall_time,
+                    restored=True,
+                )
+
         def on_final(idx: int, point: SweepPoint, result: PointResult) -> None:
             slots[idx] = result
             if self.ledger is not None:
                 self.ledger.record(point, result)
+            if tracer is not None:
+                attrs = dict(
+                    index=idx,
+                    label=point.label,
+                    ok=result.ok,
+                    attempts=result.attempts,
+                    cache_hit=result.trace_cache_hit,
+                    tier=result.replay_tier,
+                    windows_degraded=result.windows_degraded,
+                    wall_time=result.wall_time,
+                    quarantined=result.cache_quarantined,
+                    restored=False,
+                )
+                if not result.ok:
+                    attrs["error_kind"] = result.error.kind
+                tracer.event("point.final", **attrs)
 
         warm_stats: list[tuple[bool, float, int]] = []
         if self.parallel and todo:
@@ -671,21 +522,48 @@ class SweepRunner:
             metrics, results, warm_stats, time.perf_counter() - start
         )
         self._accumulate(metrics)
+        if tracer is not None:
+            tracer.meta("sweep.finish", kind="F", metrics=metrics.as_dict())
         return SweepReport(points=results, metrics=metrics)
 
     # ------------------------------------------------------------------
     def _should_retry(
-        self, result: PointResult, attempt: int, metrics: SweepMetrics
+        self,
+        result: PointResult,
+        attempt: int,
+        metrics: SweepMetrics,
+        index: int | None = None,
     ) -> bool:
-        """One retry decision shared by the serial and parallel paths."""
+        """One retry decision shared by the serial and parallel paths.
+
+        Every metric increment here has a 1:1 span-sidecar instant
+        (``point.timeout`` / ``point.retry``), so a live ``repro status``
+        can derive the resilience counters exactly from the timeline.
+        """
         if result.ok:
             return False
+        trc = _spans.current()
         if result.error.kind == POINT_TIMEOUT_KIND:
             metrics.timeouts += 1
+            if trc is not None:
+                trc.event(
+                    "point.timeout",
+                    index=index,
+                    label=result.point.label,
+                    attempt=attempt,
+                )
         if attempt < self.retry.max_attempts and self.retry.is_transient(
             result.error
         ):
             metrics.retries += 1
+            if trc is not None:
+                trc.event(
+                    "point.retry",
+                    index=index,
+                    label=result.point.label,
+                    attempt=attempt,
+                    error_kind=result.error.kind,
+                )
             return True
         return False
 
@@ -702,7 +580,7 @@ class SweepRunner:
         for idx, point in todo:
             attempt = (first_attempts or {}).get(idx, 1)
             while True:
-                result = _execute_point(
+                result = execute_point(
                     point,
                     config,
                     self.trace_cache,
@@ -714,7 +592,7 @@ class SweepRunner:
                     timeout=self.retry.timeout,
                     attempt=attempt,
                 )
-                if not self._should_retry(result, attempt, metrics):
+                if not self._should_retry(result, attempt, metrics, index=idx):
                     on_final(idx, point, result)
                     break
                 delay = self.retry.delay(attempt)
@@ -722,237 +600,13 @@ class SweepRunner:
                     time.sleep(delay)
                 attempt += 1
 
-    # ------------------------------------------------------------------
-    def _make_pool(self, workers: int, root: str | None) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(root,),
-        )
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor, terminate: bool) -> None:
-        """Tear a pool down without waiting on its (possibly hung) tasks."""
-        if terminate:
-            for proc in list(getattr(pool, "_processes", {}).values() or []):
-                try:
-                    proc.terminate()
-                except Exception:
-                    pass
-        pool.shutdown(wait=False, cancel_futures=True)
-
     def _run_parallel(
         self, todo, config, interval, metrics: SweepMetrics, on_final
     ) -> list[tuple[bool, float, int]]:
-        """Supervised pool execution: watchdogs, respawn, degradation.
+        """Fan ``todo`` out over the supervised pool scheduler."""
+        from .scheduler import PoolScheduler
 
-        The scheduler keeps at most ``workers`` points in flight.  A
-        completed future carrying a transient error requeues its point
-        with backoff; a broken pool (worker killed by signal/OOM)
-        converts every in-flight point into a structured ``WorkerCrash``
-        — retried like any transient failure — and respawns the pool,
-        halving the worker count after repeated breakage.  A point past
-        its *hard* deadline (the in-worker soft watchdog missed) is
-        failed as a timeout and the pool's processes are terminated, so
-        one wedged worker cannot hold the sweep hostage.  Once the
-        respawn budget is exhausted the remaining points finish on the
-        in-process serial path — degraded, but never lost.
-        """
-        policy = self.retry
-        workers = self.workers
-        root = str(self.trace_cache.root) if self.trace_cache.enabled else None
-
-        pool = self._make_pool(workers, root)
-        warm_stats: list[tuple[bool, float, int]] = []
-        if root is not None:
-            unique = list(dict.fromkeys(p.trace_spec for _, p in todo))
-            try:
-                warm_stats = list(pool.map(_worker_warm, unique))
-            except BrokenExecutor:
-                # Traces regenerate during execution; recover and move on.
-                metrics.recovered_workers += 1
-                self._kill_pool(pool, terminate=False)
-                pool = self._make_pool(workers, root)
-                warm_stats = []
-
-        # (index, point, attempt, not_before) — submission-ordered.
-        pending: list[list] = [[idx, p, 1, 0.0] for idx, p in todo]
-        in_flight: dict = {}  # future -> (index, point, attempt, deadline)
-        respawns = 0
-
-        def finish_or_requeue(idx, point, attempt, result):
-            if self._should_retry(result, attempt, metrics):
-                pending.append(
-                    [
-                        idx,
-                        point,
-                        attempt + 1,
-                        time.monotonic() + policy.delay(attempt),
-                    ]
-                )
-            else:
-                on_final(idx, point, result)
-
-        def crash_result(point, attempt, message):
-            return PointResult(
-                point=point,
-                error=PointError(kind=WORKER_CRASH_KIND, message=message),
-                attempts=attempt,
-            )
-
-        def handle_breakage():
-            """Respawn (or degrade) after the pool broke."""
-            nonlocal pool, workers, respawns
-            respawns += 1
-            metrics.recovered_workers += 1
-            for fut, (idx, p, att, _dl) in list(in_flight.items()):
-                finish_or_requeue(
-                    idx,
-                    p,
-                    att,
-                    crash_result(
-                        p,
-                        att,
-                        "worker pool broke while %s was in flight" % p.label,
-                    ),
-                )
-            in_flight.clear()
-            self._kill_pool(pool, terminate=False)
-            if respawns > 1:
-                workers = max(1, workers // 2)
-            if respawns <= policy.max_pool_respawns:
-                pool = self._make_pool(workers, root)
-
-        try:
-            while pending or in_flight:
-                if respawns > policy.max_pool_respawns:
-                    # Degrade to in-process execution for whatever is left,
-                    # preserving each point's attempt count.
-                    remaining = sorted(pending)
-                    pending = []
-                    self._run_serial(
-                        [(idx, p) for idx, p, _att, _nb in remaining],
-                        config,
-                        interval,
-                        metrics,
-                        on_final,
-                        first_attempts={
-                            idx: att for idx, _p, att, _nb in remaining
-                        },
-                    )
-                    break
-
-                now = time.monotonic()
-                # Fill the pool with ready (backoff-elapsed) points.
-                submit_failed = False
-                while pending and len(in_flight) < workers:
-                    entry = next((e for e in pending if e[3] <= now), None)
-                    if entry is None:
-                        break
-                    pending.remove(entry)
-                    idx, point, attempt, _nb = entry
-                    try:
-                        fut = pool.submit(
-                            _worker_execute,
-                            point,
-                            config,
-                            self.return_full,
-                            interval,
-                            idx,
-                            self.faults,
-                            policy.timeout,
-                            attempt,
-                        )
-                    except BrokenExecutor:
-                        pending.append(entry)
-                        submit_failed = True
-                        break
-                    deadline = (
-                        None
-                        if policy.hard_timeout is None
-                        else now + policy.hard_timeout
-                    )
-                    in_flight[fut] = (idx, point, attempt, deadline)
-                if submit_failed:
-                    handle_breakage()
-                    continue
-
-                if not in_flight:
-                    if pending:  # everything is backing off
-                        wake = min(e[3] for e in pending)
-                        time.sleep(max(0.01, min(wake - time.monotonic(), 0.5)))
-                    continue
-
-                # Wait until a completion, a hard deadline, or a backoff
-                # expiry — whichever comes first.
-                bounds = [
-                    dl for _i, _p, _a, dl in in_flight.values() if dl is not None
-                ]
-                if pending:
-                    bounds.append(min(e[3] for e in pending))
-                timeout = (
-                    max(0.0, min(bounds) - time.monotonic()) if bounds else None
-                )
-                done, _not_done = wait(
-                    set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
-                )
-
-                broken = False
-                for fut in done:
-                    idx, point, attempt, _dl = in_flight.pop(fut)
-                    try:
-                        result = fut.result()
-                    except BaseException as exc:
-                        broken = broken or isinstance(exc, BrokenExecutor)
-                        result = crash_result(
-                            point,
-                            attempt,
-                            "worker process died while executing %s (%s: %s)"
-                            % (point.label, type(exc).__name__, exc),
-                        )
-                    finish_or_requeue(idx, point, attempt, result)
-                if broken:
-                    handle_breakage()
-                    continue
-
-                # Hard-deadline sweep: the in-worker watchdog missed.
-                now = time.monotonic()
-                expired = [
-                    (fut, meta)
-                    for fut, meta in in_flight.items()
-                    if meta[3] is not None and now >= meta[3]
-                ]
-                if expired:
-                    metrics.recovered_workers += 1
-                    for fut, (idx, point, attempt, _dl) in expired:
-                        in_flight.pop(fut)
-                        finish_or_requeue(
-                            idx,
-                            point,
-                            attempt,
-                            PointResult(
-                                point=point,
-                                error=PointError(
-                                    kind=POINT_TIMEOUT_KIND,
-                                    message=(
-                                        "point exceeded the %.1fs hard "
-                                        "watchdog (worker killed)"
-                                        % policy.hard_timeout
-                                    ),
-                                ),
-                                attempts=attempt,
-                            ),
-                        )
-                    # The wedged worker never returns: kill the pool and
-                    # requeue the innocent in-flight points unchanged.
-                    for fut, (idx, point, attempt, _dl) in in_flight.items():
-                        pending.append([idx, point, attempt, 0.0])
-                    in_flight.clear()
-                    self._kill_pool(pool, terminate=True)
-                    pool = self._make_pool(workers, root)
-        finally:
-            self._kill_pool(pool, terminate=False)
-        return warm_stats
+        return PoolScheduler(self).run(todo, config, interval, metrics, on_final)
 
     # ------------------------------------------------------------------
     def _finalize_metrics(
@@ -970,6 +624,10 @@ class SweepRunner:
                 metrics.cache_misses += 1
                 metrics.traces_generated += 1
         for r in results:
+            if r.telemetry:
+                events = r.telemetry.get("events") or {}
+                metrics.events_emitted += int(events.get("emitted", 0))
+                metrics.events_dropped += int(events.get("dropped", 0))
             if r.restored:
                 # Restored points were executed (and accounted) by the
                 # run that journaled them; only count them as restored.
@@ -1001,6 +659,8 @@ class SweepRunner:
         simulates in its own worker (the trace ships with the task).
         Falls back to serial execution for serial runners.
         """
+        from concurrent.futures import ProcessPoolExecutor
+
         from ..system.config import SystemConfig
         from ..system.runner import simulate
 

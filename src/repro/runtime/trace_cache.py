@@ -57,6 +57,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from ..memory.allocator import GraphLayout
+from ..telemetry import spans as _spans
 from ..trace.io import TRACE_FORMAT_VERSION, load_trace, save_trace
 from ..trace.record import DataType
 from ..workloads.base import TraceRun
@@ -174,6 +175,9 @@ class TraceCache:
                     pass
         if moved:
             self.quarantined += 1
+            trc = _spans.current()
+            if trc is not None:
+                trc.event("trace_cache.quarantine", key=key)
 
     @contextmanager
     def _entry_lock(self, key: str):
@@ -344,8 +348,11 @@ class TraceCache:
         finds the freshly stored trace on its post-lock re-check instead
         of generating it again.
         """
+        trc = _spans.current()
         run = self.lookup(spec, graph=graph)
         if run is not None:
+            if trc is not None:
+                trc.event("trace_cache.hit", key=trace_key(spec))
             return run, True
         if not self.enabled:
             return spec.trace(graph=graph), False
@@ -359,9 +366,21 @@ class TraceCache:
                 run = None
             if run is not None:
                 self.hits += 1
+                if trc is not None:
+                    trc.event("trace_cache.hit", key=key, post_lock=True)
                 return run, True
-            run = spec.trace(graph=graph)
-            self.store(spec, run)
+            if trc is None:
+                run = spec.trace(graph=graph)
+                self.store(spec, run)
+            else:
+                with trc.span(
+                    "trace_cache.generate",
+                    key=key,
+                    workload=spec.workload,
+                    dataset=spec.dataset,
+                ):
+                    run = spec.trace(graph=graph)
+                    self.store(spec, run)
         return run, False
 
     # ------------------------------------------------------------------

@@ -139,10 +139,17 @@ class _ReplayTables:
 
 def _tables_for(machine, trace: Trace, l1) -> _ReplayTables:
     """Plan (or fetch the cached plan for) ``trace`` on ``l1`` geometry."""
+    from ..telemetry.spans import current as _spans_current
+
     geometry = machine._plan_key()
     cached = getattr(trace, "_replay_tables", None)
+    trc = _spans_current()
     if cached is not None and cached[0] == geometry:
+        if trc is not None:
+            trc.event("replay.plan", cache="hit", trace=trace.name)
         return cached[1]
+    if trc is not None:
+        trc.event("replay.plan", cache="miss", trace=trace.name)
     tables = _ReplayTables(plan_replay(trace, *geometry), trace)
     try:
         trace._replay_tables = (geometry, tables)
@@ -921,4 +928,5 @@ def run_fast(machine, trace: Trace):
         total_exposed_latency=total_exposed,
         refs_by_type=refs_by_type,
         fast_path="degraded" if degraded else "vector",
+        windows_degraded=windows_degraded,
     )

@@ -78,6 +78,9 @@ class SimResult:
     #: fast path's tiers (results are bit-identical either way; see
     #: ``tests/parity``).
     fast_path: str | bool = False
+    #: Windows the degraded batch-replay tier fell back to the scalar
+    #: oracle for (0 on the vector tier and the scalar path).
+    windows_degraded: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -458,8 +461,26 @@ class Machine:
 
         Dispatches to the batch-replay fast path when enabled (results
         are bit-identical either way); :meth:`_run_scalar` is the
-        reference implementation.
+        reference implementation.  With a span recorder active the
+        replay is wrapped in a ``machine.run`` span annotated with the
+        replay tier actually taken.
         """
+        from ..telemetry.spans import current as _spans_current
+
+        trc = _spans_current()
+        if trc is None:
+            return self._dispatch_run(trace)
+        with trc.span(
+            "machine.run",
+            trace=trace.name,
+            setup=self.setup.name,
+            tier=self.fast_path or "scalar",
+        ) as span:
+            result = self._dispatch_run(trace)
+            span.set(windows_degraded=result.windows_degraded)
+        return result
+
+    def _dispatch_run(self, trace: Trace) -> SimResult:
         if self.fast_path:
             from .fastreplay import run_fast
 

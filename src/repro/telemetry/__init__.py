@@ -25,6 +25,7 @@ from .events import EVENT_KINDS, EventTrace, TraceEvent
 from .export import (
     TELEMETRY_FORMAT,
     derive_rates,
+    dropped_events_note,
     html_page,
     telemetry_dict,
     validate_telemetry_payload,
@@ -36,6 +37,21 @@ from .export import (
 from .registry import Counter, Gauge, Histogram, MetricRegistry
 from .sampler import IntervalSampler, Sample, Timeline
 from .session import NULL_TELEMETRY, Telemetry
+from .spans import (
+    SpanRecorder,
+    chrome_path,
+    read_sidecar,
+    sidecar_path,
+    spans_created,
+    write_chrome_trace,
+)
+from .trend import (
+    flag_regressions,
+    scan_store,
+    trend_report,
+    trend_series,
+    trend_table_rows,
+)
 
 __all__ = [
     "EVENT_KINDS",
@@ -72,4 +88,16 @@ __all__ = [
     "Timeline",
     "NULL_TELEMETRY",
     "Telemetry",
+    "dropped_events_note",
+    "SpanRecorder",
+    "spans_created",
+    "sidecar_path",
+    "chrome_path",
+    "read_sidecar",
+    "write_chrome_trace",
+    "scan_store",
+    "trend_series",
+    "trend_report",
+    "trend_table_rows",
+    "flag_regressions",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "TELEMETRY_FORMAT",
     "telemetry_dict",
     "derive_rates",
+    "dropped_events_note",
     "validate_telemetry_payload",
     "html_page",
     "write_json",
@@ -33,6 +34,36 @@ __all__ = [
 
 #: Format marker of saved telemetry payloads.
 TELEMETRY_FORMAT = "repro-telemetry-v1"
+
+
+def dropped_events_note(
+    dropped: int, emitted: int, flag: str | None = None
+) -> str | None:
+    """The shared ring-overflow warning, or ``None`` when nothing dropped.
+
+    Every CLI surface that carries an event ring (``repro profile``,
+    ``repro sweep --telemetry``, ``repro diff``) emits this one wording,
+    so operators recognize the condition anywhere it appears.  ``flag``
+    names the capacity option of the calling command (e.g.
+    ``"--events"``); when given, the note suggests the smallest
+    power-of-two capacity that would have kept every event.
+    """
+    if not dropped:
+        return None
+    note = "warning: event ring buffer dropped %d of %d events" % (
+        dropped,
+        emitted,
+    )
+    if flag:
+        size = 1
+        while size < emitted:
+            size *= 2
+        note += "; rerun with a larger %s (e.g. %s %d) to keep them all" % (
+            flag,
+            flag,
+            size,
+        )
+    return note
 
 #: Metric families a full-machine profile must expose (acceptance bar).
 CORE_FAMILIES = ("cache", "core", "dram", "prefetch")

@@ -1,0 +1,281 @@
+"""Cross-run trend tracking over a metrics-store directory.
+
+``repro trend`` points this module at a directory of archived artifacts
+— sweep reports (``repro sweep --out``, format ``repro-sweep-v2``) and
+replay-benchmark snapshots (``BENCH_replay.json``, schema
+``repro-replay-bench-v2``) — and gets back per-workload time-series plus
+threshold-based regression flags.  Jamet et al.'s cache-hierarchy
+characterization (PAPERS.md) motivates exactly this: the artifact's
+value is in how configurations move *across* runs, not in any one
+report.
+
+Snapshots are ordered by file modification time (name as tie-break), so
+a store that simply accumulates ``sweep-<date>.json`` files needs no
+manifest.  Series are keyed ``workload/dataset/setup:metric`` for sweep
+metrics and ``bench:workload/setup:speedup`` for benchmark cells;
+regression detection compares the newest value against the median of
+the older ones, with a per-metric direction (cycles and MPKI regress
+upward, IPC and speedup regress downward).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Snapshot",
+    "TrendFlag",
+    "scan_store",
+    "trend_series",
+    "flag_regressions",
+    "trend_table_rows",
+    "trend_report",
+]
+
+#: Sweep-report format marker (see ``repro.reporting.SWEEP_FORMAT``).
+SWEEP_FORMAT = "repro-sweep-v2"
+#: Replay-benchmark schema marker (see ``benchmarks/BENCH_replay.json``).
+BENCH_SCHEMA = "repro-replay-bench-v2"
+
+#: Sweep summary metrics tracked by default, with their regression
+#: direction: ``+1`` means larger-is-worse, ``-1`` smaller-is-worse.
+SWEEP_METRICS = {"cycles": +1, "llc_mpki": +1, "ipc": -1}
+#: Benchmark metrics (speedups regress when they shrink).
+BENCH_METRICS = {"speedup": -1}
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One classified artifact in the metrics store."""
+
+    path: Path
+    kind: str  # "sweep" | "bench"
+    payload: dict
+
+    @property
+    def label(self) -> str:
+        return self.path.name
+
+
+@dataclass(frozen=True)
+class TrendFlag:
+    """One flagged regression: the newest value broke the threshold."""
+
+    series: str
+    baseline: float
+    latest: float
+    ratio: float  # latest / baseline
+    direction: int  # +1 larger-is-worse, -1 smaller-is-worse
+
+    def to_text(self) -> str:
+        arrow = "rose" if self.latest > self.baseline else "fell"
+        return "%s %s %.4g -> %.4g (%+.1f%%)" % (
+            self.series,
+            arrow,
+            self.baseline,
+            self.latest,
+            100.0 * (self.ratio - 1.0),
+        )
+
+
+# ----------------------------------------------------------------------
+def scan_store(store: str | Path) -> list[Snapshot]:
+    """Classify every ``*.json`` under ``store`` (recursively), oldest first.
+
+    Files that are neither sweep reports nor bench snapshots — profiles,
+    diffs, unrelated JSON — are skipped silently; a missing directory
+    yields ``[]``.
+    """
+    store = Path(store)
+    if not store.is_dir():
+        return []
+    snapshots: list[Snapshot] = []
+    for path in sorted(
+        store.rglob("*.json"), key=lambda p: (p.stat().st_mtime, p.name)
+    ):
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("format") == SWEEP_FORMAT:
+            snapshots.append(Snapshot(path=path, kind="sweep", payload=payload))
+        elif payload.get("schema") == BENCH_SCHEMA:
+            snapshots.append(Snapshot(path=path, kind="bench", payload=payload))
+    return snapshots
+
+
+def _sweep_values(payload: dict, metrics) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for point in payload.get("points", []):
+        summary = point.get("summary")
+        if not point.get("ok") or not isinstance(summary, dict):
+            continue
+        prefix = point.get(
+            "label",
+            "%s/%s/%s"
+            % (
+                point.get("workload", "?"),
+                point.get("dataset", "?"),
+                point.get("setup", "?"),
+            ),
+        )
+        for metric in metrics:
+            value = summary.get(metric)
+            if isinstance(value, (int, float)):
+                values["%s:%s" % (prefix, metric)] = float(value)
+    return values
+
+
+def _bench_values(payload: dict, metrics) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for workload, setups in sorted((payload.get("cells") or {}).items()):
+        if not isinstance(setups, dict):
+            continue
+        for setup, cell in sorted(setups.items()):
+            if not isinstance(cell, dict):
+                continue
+            for metric in metrics:
+                value = cell.get(metric)
+                if isinstance(value, (int, float)):
+                    values[
+                        "bench:%s/%s:%s" % (workload, setup, metric)
+                    ] = float(value)
+    return values
+
+
+def trend_series(
+    snapshots: list[Snapshot],
+    sweep_metrics=None,
+    bench_metrics=None,
+) -> dict[str, list[tuple[str, float]]]:
+    """Per-series time-series: ``name -> [(snapshot label, value), ...]``.
+
+    Order within each series follows the (time-sorted) snapshot order, so
+    the last entry is the newest observation.
+    """
+    sweep_metrics = (
+        SWEEP_METRICS if sweep_metrics is None else dict(sweep_metrics)
+    )
+    bench_metrics = (
+        BENCH_METRICS if bench_metrics is None else dict(bench_metrics)
+    )
+    series: dict[str, list[tuple[str, float]]] = {}
+    for snapshot in snapshots:
+        values = (
+            _sweep_values(snapshot.payload, sweep_metrics)
+            if snapshot.kind == "sweep"
+            else _bench_values(snapshot.payload, bench_metrics)
+        )
+        for name, value in values.items():
+            series.setdefault(name, []).append((snapshot.label, value))
+    return series
+
+
+def _direction(series_name: str) -> int:
+    metric = series_name.rsplit(":", 1)[-1]
+    if series_name.startswith("bench:"):
+        return BENCH_METRICS.get(metric, -1)
+    return SWEEP_METRICS.get(metric, +1)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def flag_regressions(
+    series: dict[str, list[tuple[str, float]]], threshold: float = 0.05
+) -> list[TrendFlag]:
+    """Series whose newest value regressed past ``threshold``.
+
+    The baseline is the *median* of the series' prior values, so one
+    historical outlier cannot mask (or fake) a regression; series with
+    fewer than two observations are never flagged.
+    """
+    flags: list[TrendFlag] = []
+    for name, points in sorted(series.items()):
+        if len(points) < 2:
+            continue
+        baseline = _median([value for _label, value in points[:-1]])
+        latest = points[-1][1]
+        if baseline <= 0:
+            continue
+        ratio = latest / baseline
+        direction = _direction(name)
+        regressed = (
+            ratio > 1.0 + threshold
+            if direction > 0
+            else ratio < 1.0 - threshold
+        )
+        if regressed:
+            flags.append(
+                TrendFlag(
+                    series=name,
+                    baseline=baseline,
+                    latest=latest,
+                    ratio=ratio,
+                    direction=direction,
+                )
+            )
+    return flags
+
+
+def trend_table_rows(
+    series: dict[str, list[tuple[str, float]]],
+    flags: list[TrendFlag] | None = None,
+) -> list[dict]:
+    """Rows for :func:`repro.experiments.common.render_table`."""
+    flagged = {flag.series for flag in (flags or [])}
+    rows: list[dict] = []
+    for name, points in sorted(series.items()):
+        first, latest = points[0][1], points[-1][1]
+        rows.append(
+            {
+                "series": name,
+                "runs": len(points),
+                "first": first,
+                "latest": latest,
+                "delta_pct": (
+                    100.0 * (latest / first - 1.0) if first else None
+                ),
+                "flag": "REGRESSION" if name in flagged else None,
+            }
+        )
+    return rows
+
+
+def trend_report(
+    store: str | Path, threshold: float = 0.05
+) -> dict:
+    """JSON-safe trend payload for ``repro trend --json``."""
+    snapshots = scan_store(store)
+    series = trend_series(snapshots)
+    flags = flag_regressions(series, threshold=threshold)
+    return {
+        "format": "repro-trend-v1",
+        "store": str(store),
+        "snapshots": [
+            {"file": s.label, "kind": s.kind} for s in snapshots
+        ],
+        "threshold": threshold,
+        "series": {
+            name: [{"snapshot": lab, "value": val} for lab, val in pts]
+            for name, pts in sorted(series.items())
+        },
+        "regressions": [
+            {
+                "series": f.series,
+                "baseline": f.baseline,
+                "latest": f.latest,
+                "ratio": f.ratio,
+            }
+            for f in flags
+        ],
+    }

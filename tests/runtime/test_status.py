@@ -1,0 +1,299 @@
+"""Run-status reconstruction and cross-run trend tracking.
+
+The store seam of the observability PR: ``load_run_status`` must rebuild
+a sweep's per-point state purely from its on-disk ledger + span sidecar,
+and a *finished* traced run's counters must match the sweep report's
+resilience counters exactly.  Trend tests exercise the metrics-store
+scanner and direction-aware regression flags on synthetic snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.runtime import (
+    FaultPlan,
+    RetryPolicy,
+    RunLedger,
+    SweepPoint,
+    SweepRunner,
+    TraceCache,
+    load_run_status,
+    status_table_rows,
+)
+from repro.telemetry import spans
+from repro.telemetry.trend import (
+    flag_regressions,
+    scan_store,
+    trend_report,
+    trend_series,
+    trend_table_rows,
+)
+
+MAX_REFS = 3000
+SCALE_SHIFT = -6
+
+
+def make_points(workloads=("PR", "BFS"), setups=("none", "droplet")):
+    return [
+        SweepPoint(
+            workload=w,
+            dataset="kron",
+            setup=s,
+            max_refs=MAX_REFS,
+            scale_shift=SCALE_SHIFT,
+        )
+        for w in workloads
+        for s in setups
+    ]
+
+
+def traced_runner(tmp_path, run_id, **kwargs):
+    """Serial runner journaling to a ledger + span sidecar under tmp_path."""
+    kwargs.setdefault("return_full", False)
+    ledger = RunLedger(run_id, root=tmp_path / "runs")
+    tracer = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger.path))
+    runner = SweepRunner(
+        trace_cache=TraceCache(tmp_path / "traces"),
+        ledger=ledger,
+        tracer=tracer,
+        **kwargs,
+    )
+    return runner, ledger, tracer
+
+
+class TestRunStatus:
+    def test_finished_run_counters_match_report_exactly(self, tmp_path):
+        runner, ledger, _ = traced_runner(
+            tmp_path,
+            "faulty",
+            # trip_dir makes the fault one-shot, so the retry recovers it.
+            faults=FaultPlan(error=(1,), trip_dir=str(tmp_path / "trips")),
+            retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        )
+        report = runner.run(make_points(workloads=("PR",)))
+        assert report.ok()
+        status = load_run_status("faulty", root=tmp_path / "runs")
+        assert status.found and status.finished
+        assert status.total == 2
+        assert status.count("done") == 2
+        metrics = report.metrics.as_dict()
+        for key in (
+            "retries",
+            "timeouts",
+            "recovered_workers",
+            "quarantined_entries",
+            "restored_points",
+            "errors",
+        ):
+            assert status.counters[key] == metrics[key], key
+        assert status.counters["retries"] == 1  # the injected fault
+        assert status.metrics == metrics  # F record carried verbatim
+
+    def test_point_states_and_annotations(self, tmp_path):
+        runner, _, _ = traced_runner(
+            tmp_path,
+            "run-a",
+            faults=FaultPlan.from_spec("error@0"),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        report = runner.run(make_points(workloads=("PR",)))
+        assert not report.ok()
+        status = load_run_status("run-a", root=tmp_path / "runs")
+        failed, good = status.points
+        assert failed.state == "failed"
+        assert failed.error_kind == "FaultError"
+        assert good.state == "done"
+        assert good.cache_hit is not None
+        assert good.tier in ("vector", "degraded", "scalar")
+        assert good.wall_time and good.wall_time > 0
+        rows = status_table_rows(status)
+        assert [r["state"] for r in rows] == ["failed", "done"]
+        assert rows[1]["cache"] in ("hit", "miss")
+
+    def test_status_as_dict_is_json_safe(self, tmp_path):
+        runner, _, _ = traced_runner(tmp_path, "run-b")
+        runner.run(make_points(workloads=("PR",), setups=("none",)))
+        status = load_run_status("run-b", root=tmp_path / "runs")
+        payload = json.loads(json.dumps(status.as_dict()))
+        assert payload["finished"] is True
+        assert payload["states"]["done"] == 1
+        assert payload["total"] == 1
+        assert payload["eta_s"] == 0.0
+
+    def test_live_run_shows_unfinished_point_as_running(self, tmp_path):
+        # Forge the sidecar a live sweep would have written: the run meta,
+        # one settled point and one eager begin without an end.
+        ledger_path = tmp_path / "runs" / "live.jsonl"
+        rec = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger_path))
+        rec.meta(
+            "sweep.run",
+            run_id="live",
+            total=2,
+            labels=["PR/kron/none", "PR/kron/droplet"],
+            workers=2,
+            mode="parallel",
+        )
+        rec.event(
+            "point.final",
+            index=0,
+            label="PR/kron/none",
+            ok=True,
+            attempts=1,
+            cache_hit=False,
+            tier="vector",
+            windows_degraded=0,
+            wall_time=1.5,
+            quarantined=0,
+            restored=False,
+        )
+        rec.start("point", index=1, label="PR/kron/droplet", attempt=2)
+        rec.event("point.retry", index=1)
+        status = load_run_status("live", root=tmp_path / "runs")
+        assert status.found and not status.finished
+        assert status.mode == "parallel" and status.workers == 2
+        done, running = status.points
+        assert done.state == "done"
+        assert running.state == "running" and running.attempts == 2
+        assert status.counters["retries"] == 1
+        assert status.eta_seconds() == pytest.approx(1.5 / 2)
+
+    def test_retried_point_without_open_span_shows_retrying(self, tmp_path):
+        ledger_path = tmp_path / "runs" / "retry.jsonl"
+        rec = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger_path))
+        rec.meta("sweep.run", total=1, labels=["PR/kron/none"], workers=1)
+        rec.event("point.retry", index=0)
+        status = load_run_status("retry", root=tmp_path / "runs")
+        (point,) = status.points
+        assert point.state == "retrying"
+        assert point.attempts == 2
+
+    def test_ledger_only_historical_run(self, tmp_path):
+        # A run journaled before span tracing existed (or --no-spans):
+        # the ledger alone yields completion, tiers and durations.
+        runner, ledger, _ = traced_runner(tmp_path, "old")
+        runner.run(make_points(workloads=("PR",)))
+        spans.sidecar_path(ledger.path).unlink()
+        status = load_run_status("old", root=tmp_path / "runs")
+        assert status.found and status.finished
+        assert status.count("done") == 2
+        assert all(p.wall_time for p in status.points)
+        assert all(p.tier for p in status.points)
+
+    def test_unknown_run_not_found(self, tmp_path):
+        status = load_run_status("ghost", root=tmp_path / "runs")
+        assert not status.found
+        assert status.total == 0
+
+
+class TestTrend:
+    @staticmethod
+    def _write(path, payload, mtime):
+        path.write_text(json.dumps(payload))
+        import os
+
+        os.utime(path, (mtime, mtime))
+
+    @staticmethod
+    def _sweep_payload(cycles, ipc=0.5):
+        return {
+            "format": "repro-sweep-v2",
+            "points": [
+                {
+                    "ok": True,
+                    "label": "PR/kron/droplet",
+                    "summary": {"cycles": cycles, "ipc": ipc},
+                }
+            ],
+        }
+
+    @staticmethod
+    def _bench_payload(speedup):
+        return {
+            "schema": "repro-replay-bench-v2",
+            "cells": {"PR": {"droplet": {"speedup": speedup}}},
+        }
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        now = time.time()
+        self._write(tmp_path / "sweep-1.json", self._sweep_payload(100.0), now - 40)
+        self._write(tmp_path / "sweep-2.json", self._sweep_payload(101.0), now - 30)
+        self._write(tmp_path / "sweep-3.json", self._sweep_payload(120.0), now - 20)
+        self._write(tmp_path / "bench-1.json", self._bench_payload(2.0), now - 15)
+        self._write(tmp_path / "bench-2.json", self._bench_payload(1.5), now - 10)
+        (tmp_path / "noise.json").write_text('{"format": "other"}')
+        (tmp_path / "broken.json").write_text("{not json")
+        return tmp_path
+
+    def test_scan_classifies_and_orders_by_mtime(self, store):
+        snapshots = scan_store(store)
+        assert [s.kind for s in snapshots] == [
+            "sweep", "sweep", "sweep", "bench", "bench",
+        ]
+        assert snapshots[0].label == "sweep-1.json"
+
+    def test_scan_missing_store_is_empty(self, tmp_path):
+        assert scan_store(tmp_path / "nope") == []
+
+    def test_series_track_each_metric(self, store):
+        series = trend_series(scan_store(store))
+        assert series["PR/kron/droplet:cycles"] == [
+            ("sweep-1.json", 100.0),
+            ("sweep-2.json", 101.0),
+            ("sweep-3.json", 120.0),
+        ]
+        assert series["bench:PR/droplet:speedup"] == [
+            ("bench-1.json", 2.0),
+            ("bench-2.json", 1.5),
+        ]
+
+    def test_flags_are_direction_aware(self, store):
+        series = trend_series(scan_store(store))
+        flags = flag_regressions(series, threshold=0.05)
+        flagged = {f.series for f in flags}
+        # cycles rose 100.5 -> 120 (larger-is-worse): flagged.
+        assert "PR/kron/droplet:cycles" in flagged
+        # speedup fell 2.0 -> 1.5 (smaller-is-worse): flagged.
+        assert "bench:PR/droplet:speedup" in flagged
+        # ipc held flat: not flagged.
+        assert "PR/kron/droplet:ipc" not in flagged
+        cycles_flag = next(
+            f for f in flags if f.series == "PR/kron/droplet:cycles"
+        )
+        assert cycles_flag.baseline == pytest.approx(100.5)  # median of priors
+        assert "rose" in cycles_flag.to_text()
+
+    def test_improvements_are_not_flagged(self, tmp_path):
+        now = time.time()
+        self._write(tmp_path / "a.json", self._sweep_payload(100.0), now - 20)
+        self._write(tmp_path / "b.json", self._sweep_payload(80.0), now - 10)
+        series = trend_series(scan_store(tmp_path))
+        assert flag_regressions(series) == []
+
+    def test_single_snapshot_never_flagged(self, tmp_path):
+        self._write(
+            tmp_path / "a.json", self._sweep_payload(100.0), time.time()
+        )
+        assert flag_regressions(trend_series(scan_store(tmp_path))) == []
+
+    def test_table_rows_and_report(self, store):
+        snapshots = scan_store(store)
+        series = trend_series(snapshots)
+        flags = flag_regressions(series)
+        rows = trend_table_rows(series, flags)
+        by_series = {r["series"]: r for r in rows}
+        assert by_series["PR/kron/droplet:cycles"]["flag"] == "REGRESSION"
+        assert by_series["PR/kron/droplet:ipc"]["flag"] is None
+        assert by_series["PR/kron/droplet:cycles"]["delta_pct"] == pytest.approx(20.0)
+        report = trend_report(store, threshold=0.05)
+        assert report["format"] == "repro-trend-v1"
+        assert len(report["snapshots"]) == 5
+        assert {r["series"] for r in report["regressions"]} == {
+            "PR/kron/droplet:cycles",
+            "bench:PR/droplet:speedup",
+        }
+        json.dumps(report)  # JSON-safe

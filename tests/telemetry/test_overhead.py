@@ -4,6 +4,8 @@ The acceptance bar for the subsystem: instrumented runs must not change
 simulated results at all (the registry is pull-based, sampling happens
 at window boundaries, events never feed back), and a disabled or absent
 session must leave the machine on the exact uninstrumented code path.
+The same bar applies to runtime span tracing: with no recorder installed
+the instrumented control paths must allocate zero span records.
 """
 
 from __future__ import annotations
@@ -11,9 +13,10 @@ from __future__ import annotations
 import pytest
 
 from repro.reporting import summarize
-from repro.runtime import TraceSpec
+from repro.runtime import SweepPoint, SweepRunner, TraceCache, TraceSpec
 from repro.system.runner import simulate
 from repro.telemetry import Telemetry, telemetry_dict, validate_telemetry_payload
+from repro.telemetry import spans
 
 MAX_REFS = 3000
 SCALE_SHIFT = -6
@@ -127,6 +130,47 @@ class TestInstrumentedRun:
     def test_window_histograms_populated(self, session):
         histograms = session.registry.histograms()
         assert histograms["core.window_exposed"]["count"] > 0
+
+
+class TestSpanZeroOverhead:
+    """Satellite: tracing disabled means *zero* span allocations."""
+
+    POINT = SweepPoint(
+        "PR", "kron", max_refs=MAX_REFS, scale_shift=SCALE_SHIFT
+    )
+
+    def test_simulate_with_tracing_off_allocates_no_spans(self, kron_run):
+        assert spans.current() is None
+        before = spans.spans_created()
+        simulate(kron_run, setup="droplet")
+        assert spans.spans_created() == before
+
+    def test_sweep_with_tracing_off_allocates_no_spans(self, tmp_path):
+        runner = SweepRunner(trace_cache=TraceCache(tmp_path / "traces"))
+        before = spans.spans_created()
+        report = runner.run([self.POINT])
+        assert report.ok()
+        assert spans.spans_created() == before
+
+    def test_traced_sweep_results_bit_identical_to_untraced(self, tmp_path):
+        untraced = SweepRunner(
+            trace_cache=TraceCache(tmp_path / "a")
+        ).run([self.POINT])
+        traced = SweepRunner(
+            trace_cache=TraceCache(tmp_path / "b"),
+            tracer=spans.SpanRecorder(),
+        ).run([self.POINT])
+        assert traced.points[0].summary == untraced.points[0].summary
+        assert traced.points[0].replay_tier == untraced.points[0].replay_tier
+
+    def test_traced_sweep_really_recorded(self, tmp_path):
+        tracer = spans.SpanRecorder()
+        SweepRunner(
+            trace_cache=TraceCache(tmp_path / "traces"), tracer=tracer
+        ).run([self.POINT])
+        names = {r.get("name") for r in tracer.records()}
+        assert {"sweep.run", "point", "point.final", "sweep.finish"} <= names
+        assert spans.current() is None  # runner restored the global
 
 
 class TestPhaseTimelines:

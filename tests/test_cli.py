@@ -91,6 +91,30 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--resume", "run-1"])
         assert args.resume == "run-1"
 
+    def test_sweep_no_spans_flag(self):
+        assert build_parser().parse_args(["sweep", "--no-spans"]).no_spans
+        assert not build_parser().parse_args(["sweep"]).no_spans
+
+    def test_status_args(self):
+        args = build_parser().parse_args(
+            ["status", "run-1", "--json", "--ledger-root", "/tmp/runs",
+             "--chrome", "out.json"]
+        )
+        assert args.run_id == "run-1" and args.json
+        assert args.ledger_root == "/tmp/runs" and args.chrome == "out.json"
+        defaults = build_parser().parse_args(["status", "run-1"])
+        assert not defaults.json and not defaults.watch
+        assert defaults.poll == 2.0 and defaults.ledger_root is None
+
+    def test_trend_args(self):
+        args = build_parser().parse_args(
+            ["trend", "store", "--threshold", "0.1", "--json", "--strict"]
+        )
+        assert args.store == "store" and args.threshold == 0.1
+        assert args.json and args.strict
+        defaults = build_parser().parse_args(["trend"])
+        assert defaults.store == "." and defaults.threshold == 0.05
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -330,3 +354,107 @@ class TestSweepResilience:
         code = main(self.BASE + ["--resume", "no-such-run"])
         assert code == 2
         assert "no ledger found" in capsys.readouterr().err
+
+    def test_failure_summary_names_span_artifacts(self, capsys):
+        code = main(
+            self.BASE
+            + ["--setups", "droplet", "--faults", "error@0", "--retries", "0",
+               "--run-id", "broken", "--backoff", "0.01"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "ledger:" in err and "spans:" in err and "trace:" in err
+        assert "repro status broken" in err
+
+
+class TestStatusAndTrend:
+    """Tentpole CLI verbs: live/post-hoc run status and cross-run trends."""
+
+    BASE = [
+        "sweep",
+        "--workloads", "PR",
+        "--datasets", "kron",
+        "--setups", "droplet",
+        "--max-refs", "3000",
+        "--scale-shift", "-6",
+        "--no-trace-cache",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _ledger_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path / "runs"))
+        self.tmp_path = tmp_path
+
+    def test_status_matches_sweep_report(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "sweep.json"
+        assert main(
+            self.BASE
+            + ["--faults", "error@0", "--run-id", "st", "--backoff", "0.01",
+               "--out", str(report_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["status", "st", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = json.loads(report_path.read_text())
+        assert payload["finished"] is True
+        # The baseline "none" setup rides along: 2 points total.
+        assert payload["states"]["done"] == 2
+        for key in ("retries", "timeouts", "recovered_workers", "errors"):
+            assert payload["counters"][key] == report["metrics"][key], key
+        assert payload["counters"]["retries"] == 1
+
+    def test_status_human_rendering_and_chrome_export(self, capsys, tmp_path):
+        import json
+
+        assert main(self.BASE + ["--run-id", "hr"]) == 0
+        capsys.readouterr()
+        trace_path = tmp_path / "export.trace.json"
+        assert main(["status", "hr", "--chrome", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run hr: 2 point(s)" in out
+        assert "[finished]" in out
+        assert "done" in out
+        trace = json.loads(trace_path.read_text())
+        assert any(e["name"] == "point" for e in trace["traceEvents"])
+
+    def test_status_unknown_run_exits_2(self, capsys):
+        assert main(["status", "ghost"]) == 2
+        assert "no ledger or span sidecar" in capsys.readouterr().err
+
+    def test_status_watch_terminates_on_finished_run(self, capsys):
+        assert main(self.BASE + ["--run-id", "wt"]) == 0
+        capsys.readouterr()
+        assert main(["status", "wt", "--watch", "--poll", "0.1"]) == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_trend_flags_regression_and_strict_exit(self, capsys, tmp_path):
+        import json
+        import os
+        import time
+
+        store = tmp_path / "store"
+        store.mkdir()
+        now = time.time()
+        for i, speedup in enumerate((2.0, 2.1, 1.2)):
+            path = store / ("bench-%d.json" % i)
+            path.write_text(json.dumps({
+                "schema": "repro-replay-bench-v2",
+                "cells": {"PR": {"droplet": {"speedup": speedup}}},
+            }))
+            os.utime(path, (now - 30 + 10 * i,) * 2)
+        assert main(["trend", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "bench:PR/droplet:speedup" in captured.out
+        assert "REGRESSION" in captured.err
+        assert main(["trend", str(store), "--strict"]) == 1
+        capsys.readouterr()
+        assert main(["trend", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-trend-v1"
+        assert payload["regressions"]
+
+    def test_trend_empty_store_exits_2(self, capsys, tmp_path):
+        assert main(["trend", str(tmp_path / "empty")]) == 2
+        assert "no sweep reports" in capsys.readouterr().err
