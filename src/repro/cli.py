@@ -243,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the shadow-tag compulsory/capacity/conflict classifier",
     )
+    p_prof.add_argument(
+        "--prom",
+        action="store_true",
+        help="also write profile.prom (Prometheus text exposition of "
+        "run totals and whole-run derived rates)",
+    )
 
     p_diff = sub.add_parser(
         "diff", help="compare two saved telemetry profiles"
@@ -325,6 +331,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit 1 when any series regressed past the threshold",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sweep-service daemon (HTTP submission + live "
+        "status/SSE/Prometheus observability)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port; 0 picks an ephemeral port (default: 8321)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="supervised worker threads executing sweep points (default: 2)",
+    )
+    p_serve.add_argument(
+        "--ledger-root",
+        metavar="DIR",
+        help="run-ledger directory the service owns (default: "
+        "$REPRO_RUN_LEDGER or ~/.cache/repro/runs)",
+    )
+    p_serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="structured JSONL access log (default: "
+        "<ledger-root>/service.access.jsonl)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight work (default: 30)",
     )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -554,6 +600,15 @@ def _cmd_profile(args) -> int:
         },
     )
     paths = write_profile(payload, args.out)
+    if args.prom:
+        from pathlib import Path
+
+        from .telemetry import telemetry_prom_samples, write_prom
+
+        paths["prom"] = write_prom(
+            telemetry_prom_samples(payload),
+            Path(args.out) / "profile.prom",
+        )
     timeline = telemetry.timeline
     print(
         "profiled %s/%s/%s: %d instructions, %d cycles (IPC %.3f)"
@@ -748,6 +803,28 @@ def _cmd_trend(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from .runtime.ledger import default_ledger_root
+    from .service import SweepService, serve_forever
+
+    root = Path(args.ledger_root) if args.ledger_root else default_ledger_root()
+    access_log = (
+        Path(args.access_log)
+        if args.access_log
+        else root / "service.access.jsonl"
+    )
+    service = SweepService(root=root, workers=args.workers)
+    return serve_forever(
+        service,
+        host=args.host,
+        port=args.port,
+        access_log=access_log,
+        drain_timeout=args.drain_timeout,
+    )
+
+
 def _cmd_tables(args) -> int:
     from .experiments.tables import (
         run_overheads,
@@ -784,6 +861,7 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "status": _cmd_status,
         "trend": _cmd_trend,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -42,8 +42,11 @@ from .points import PointError, PointResult, SweepPoint, TraceSpec
 from .status import (
     PointState,
     RunStatus,
+    RunStatusBuilder,
     load_run_status,
+    status_paths,
     status_table_rows,
+    watch,
 )
 from .sweep import (
     PointTimeout,
@@ -86,6 +89,9 @@ __all__ = [
     "trace_key",
     "PointState",
     "RunStatus",
+    "RunStatusBuilder",
     "load_run_status",
+    "status_paths",
     "status_table_rows",
+    "watch",
 ]

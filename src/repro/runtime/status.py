@@ -31,9 +31,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..telemetry import spans as _spans
+from ..telemetry.tail import JsonlTailer
 from .ledger import default_ledger_root
 
-__all__ = ["PointState", "RunStatus", "load_run_status", "status_table_rows"]
+__all__ = [
+    "PointState",
+    "RunStatus",
+    "RunStatusBuilder",
+    "load_run_status",
+    "status_paths",
+    "status_table_rows",
+    "watch",
+]
 
 #: Point states, in display order.
 POINT_STATES = ("done", "restored", "failed", "running", "retrying", "pending")
@@ -160,26 +169,203 @@ class RunStatus:
 
 
 # ----------------------------------------------------------------------
-def _ledger_records(path: Path) -> tuple[dict | None, list[dict]]:
-    """Header and point records of a ledger file (tolerant parse)."""
+class RunStatusBuilder:
+    """Folds ledger + sidecar records into :class:`RunStatus` snapshots.
+
+    The single reconstruction algorithm behind both ``repro status``
+    access patterns: :func:`load_run_status` feeds it every record at
+    once; the incremental ``--watch`` (and the sweep service's pollers)
+    feed it only the records appended since the last poll, via
+    :class:`~repro.telemetry.tail.JsonlTailer`.  Folding is
+    incremental; :meth:`snapshot` materializes the merged view, and
+    ``snapshot()`` after incremental folds is identical to a full
+    reload (asserted by ``tests/runtime/test_status.py``).
+    """
+
+    def __init__(self, run_id: str, ledger_path: Path, sidecar_path: Path):
+        self.run_id = run_id
+        self.ledger_path = Path(ledger_path)
+        self.sidecar_path = Path(sidecar_path)
+        # Span-side accumulators.
+        self._labels: list[str] = []
+        self._workers = 1
+        self._mode = "serial"
+        self._finished = False
+        self._metrics: dict | None = None
+        self._finals: dict[int, dict] = {}
+        self._begun: dict[str, dict] = {}  # span id -> B attrs (unmatched)
+        self._retried: dict[int, int] = {}
+        self._derived = {"retries": 0, "timeouts": 0, "recovered_workers": 0}
+        self._quarantined = 0
+        self._span_records = 0
+        # Ledger-side accumulators.
+        self._journaled: dict[str, dict] = {}
+        self._ledger_order: list[str] = []
+
+    # ------------------------------------------------------------------
+    def fold_span(self, record: dict) -> None:
+        """Fold one span-sidecar record into the accumulated state."""
+        kind = record.get("k")
+        if kind not in _spans.RECORD_KINDS:
+            return
+        self._span_records += 1
+        name = record.get("name")
+        attrs = record.get("attrs", {}) or {}
+        if kind == "M" and name == "sweep.run":
+            self._labels = list(attrs.get("labels") or [])
+            self._workers = int(attrs.get("workers") or 1)
+            self._mode = str(attrs.get("mode") or self._mode)
+        elif kind == "F" and name == "sweep.finish":
+            self._finished = True
+            metrics = attrs.get("metrics")
+            if isinstance(metrics, dict):
+                self._metrics = metrics
+        elif kind == "B" and name == "point":
+            self._begun[record.get("id")] = attrs
+        elif kind == "E" and name == "point":
+            self._begun.pop(record.get("id"), None)
+        elif kind == "I" and name == "point.final":
+            idx = attrs.get("index")
+            if isinstance(idx, int):
+                self._finals[idx] = attrs
+        elif kind == "I" and name == "point.retry":
+            self._derived["retries"] += 1
+            idx = attrs.get("index")
+            if isinstance(idx, int):
+                self._retried[idx] = self._retried.get(idx, 0) + 1
+        elif kind == "I" and name == "point.timeout":
+            self._derived["timeouts"] += 1
+        elif kind == "I" and name == "pool.respawn":
+            self._derived["recovered_workers"] += 1
+        elif kind == "I" and name == "trace_cache.quarantine":
+            self._quarantined += 1
+
+    def fold_ledger(self, record: dict) -> None:
+        """Fold one run-ledger record into the accumulated state."""
+        if not isinstance(record, dict) or record.get("kind") != "point":
+            return
+        label = record.get("label")
+        if isinstance(label, str):
+            if label not in self._journaled:
+                self._ledger_order.append(label)
+            self._journaled[label] = record.get("data", {}) or {}
+
+    # ------------------------------------------------------------------
+    @property
+    def folded(self) -> int:
+        """Records folded so far (either source)."""
+        return self._span_records + len(self._journaled)
+
+    def snapshot(self) -> RunStatus:
+        """Materialize the merged :class:`RunStatus` of the state so far."""
+        status = RunStatus(
+            run_id=self.run_id,
+            ledger_path=self.ledger_path,
+            sidecar_path=self.sidecar_path,
+            workers=self._workers,
+            mode=self._mode,
+            finished=self._finished,
+            metrics=self._metrics,
+            found=bool(
+                self.folded
+                or self._span_records
+                or self.ledger_path.is_file()
+            ),
+        )
+        open_points: dict[int, dict] = {}
+        for attrs in self._begun.values():
+            idx = attrs.get("index")
+            if isinstance(idx, int) and idx not in self._finals:
+                open_points[idx] = attrs
+        labels = self._labels or list(self._ledger_order)
+
+        # ------------------------------------------------------- merge
+        for idx, label in enumerate(labels):
+            point = PointState(index=idx, label=label)
+            final = self._finals.get(idx)
+            data = self._journaled.get(label)
+            if final is not None:
+                restored = bool(final.get("restored"))
+                if final.get("ok"):
+                    point.state = "restored" if restored else "done"
+                else:
+                    point.state = "failed"
+                    point.error_kind = final.get("error_kind")
+                point.attempts = int(final.get("attempts") or 0)
+                point.cache_hit = final.get("cache_hit")
+                point.tier = final.get("tier")
+                point.windows_degraded = int(final.get("windows_degraded") or 0)
+                point.wall_time = final.get("wall_time")
+            elif idx in open_points:
+                point.state = "running"
+                point.attempts = int(open_points[idx].get("attempt") or 1)
+            elif idx in self._retried:
+                point.state = "retrying"
+                point.attempts = self._retried[idx] + 1
+            elif data is not None:
+                point.state = "done"
+                point.attempts = int(data.get("attempts") or 1)
+                point.cache_hit = data.get("trace_cache_hit")
+                point.tier = data.get("replay_tier")
+                point.windows_degraded = int(data.get("windows_degraded") or 0)
+                point.wall_time = data.get("duration_s", data.get("wall_time"))
+            if point.wall_time is None and data is not None:
+                point.wall_time = data.get("duration_s", data.get("wall_time"))
+            status.points.append(point)
+
+        # --------------------------------------------------- counters
+        if status.metrics is not None:
+            # Finished under tracing: report the sweep's own metrics
+            # verbatim so these counters match the sweep report exactly.
+            status.counters = {
+                key: status.metrics.get(key, 0)
+                for key in (
+                    "retries",
+                    "timeouts",
+                    "recovered_workers",
+                    "quarantined_entries",
+                    "restored_points",
+                    "errors",
+                )
+            }
+        else:
+            derived = dict(self._derived)
+            derived["restored_points"] = status.count("restored")
+            derived["errors"] = status.count("failed")
+            derived["quarantined_entries"] = self._quarantined
+            status.counters = derived
+        status.counters["cache_hits"] = sum(
+            1 for p in status.points if p.cache_hit is True
+        )
+        # A ledger-only run has no finish record; call it finished when
+        # every enumerated point is settled and nothing is in flight.
+        if not self._span_records and status.points:
+            status.finished = all(p.state == "done" for p in status.points)
+        return status
+
+
+def _ledger_records(path: Path) -> list[dict]:
+    """All records of a ledger file (tolerant parse)."""
     import json
 
-    header = None
-    points: list[dict] = []
+    records: list[dict] = []
     if not path.is_file():
-        return None, []
+        return []
     for line in path.read_text().splitlines():
         try:
             record = json.loads(line)
         except ValueError:
             continue  # torn trailing line
-        if not isinstance(record, dict):
-            continue
-        if record.get("kind") == "header" and header is None:
-            header = record
-        elif record.get("kind") == "point":
-            points.append(record)
-    return header, points
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def status_paths(run_id: str, root: str | Path | None = None) -> tuple[Path, Path]:
+    """``(ledger, sidecar)`` artifact paths of one run id under ``root``."""
+    root = Path(root) if root is not None else default_ledger_root()
+    ledger_path = root / (run_id + ".jsonl")
+    return ledger_path, _spans.sidecar_path(ledger_path)
 
 
 def load_run_status(run_id: str, root: str | Path | None = None) -> RunStatus:
@@ -190,141 +376,13 @@ def load_run_status(run_id: str, root: str | Path | None = None) -> RunStatus:
     sweeps (tail the sidecar), finished ones, and historical ledger-only
     runs; a run with no artifacts at all yields ``found=False``.
     """
-    root = Path(root) if root is not None else default_ledger_root()
-    ledger_path = root / (run_id + ".jsonl")
-    sidecar = _spans.sidecar_path(ledger_path)
-
-    _header, ledger_points = _ledger_records(ledger_path)
-    records = _spans.read_sidecar(sidecar)
-
-    status = RunStatus(
-        run_id=run_id,
-        ledger_path=ledger_path,
-        sidecar_path=sidecar,
-        found=bool(ledger_points or records or ledger_path.is_file()),
-    )
-
-    # ------------------------------------------------------------- spans
-    labels: list[str] = []
-    finals: dict[int, dict] = {}
-    open_points: dict[int, dict] = {}  # index -> B attrs of unmatched spans
-    retried: dict[int, int] = {}
-    derived = {"retries": 0, "timeouts": 0, "recovered_workers": 0}
-    begun: dict[str, dict] = {}
-    for record in records:
-        kind = record.get("k")
-        name = record.get("name")
-        attrs = record.get("attrs", {}) or {}
-        if kind == "M" and name == "sweep.run":
-            labels = list(attrs.get("labels") or [])
-            status.workers = int(attrs.get("workers") or 1)
-            status.mode = str(attrs.get("mode") or status.mode)
-        elif kind == "F" and name == "sweep.finish":
-            status.finished = True
-            metrics = attrs.get("metrics")
-            if isinstance(metrics, dict):
-                status.metrics = metrics
-        elif kind == "B" and name == "point":
-            begun[record.get("id")] = attrs
-        elif kind == "E" and name == "point":
-            begun.pop(record.get("id"), None)
-        elif kind == "I" and name == "point.final":
-            idx = attrs.get("index")
-            if isinstance(idx, int):
-                finals[idx] = attrs
-        elif kind == "I" and name == "point.retry":
-            derived["retries"] += 1
-            idx = attrs.get("index")
-            if isinstance(idx, int):
-                retried[idx] = retried.get(idx, 0) + 1
-        elif kind == "I" and name == "point.timeout":
-            derived["timeouts"] += 1
-        elif kind == "I" and name == "pool.respawn":
-            derived["recovered_workers"] += 1
-    for attrs in begun.values():
-        idx = attrs.get("index")
-        if isinstance(idx, int) and idx not in finals:
-            open_points[idx] = attrs
-
-    # ------------------------------------------------------------ ledger
-    # Journaled completions keyed by label: the fallback source when the
-    # run predates span tracing (or traced with --no-spans).
-    journaled: dict[str, dict] = {}
-    for record in ledger_points:
-        label = record.get("label")
-        if isinstance(label, str):
-            journaled[label] = record.get("data", {}) or {}
-    if not labels:
-        labels = [
-            r.get("label", "?") for r in ledger_points
-        ]  # ledger order: best available enumeration
-
-    # ------------------------------------------------------------- merge
-    for idx, label in enumerate(labels):
-        point = PointState(index=idx, label=label)
-        final = finals.get(idx)
-        data = journaled.get(label)
-        if final is not None:
-            restored = bool(final.get("restored"))
-            if final.get("ok"):
-                point.state = "restored" if restored else "done"
-            else:
-                point.state = "failed"
-                point.error_kind = final.get("error_kind")
-            point.attempts = int(final.get("attempts") or 0)
-            point.cache_hit = final.get("cache_hit")
-            point.tier = final.get("tier")
-            point.windows_degraded = int(final.get("windows_degraded") or 0)
-            point.wall_time = final.get("wall_time")
-        elif idx in open_points:
-            point.state = "running"
-            point.attempts = int(open_points[idx].get("attempt") or 1)
-        elif idx in retried:
-            point.state = "retrying"
-            point.attempts = retried[idx] + 1
-        elif data is not None:
-            point.state = "done"
-            point.attempts = int(data.get("attempts") or 1)
-            point.cache_hit = data.get("trace_cache_hit")
-            point.tier = data.get("replay_tier")
-            point.windows_degraded = int(data.get("windows_degraded") or 0)
-            point.wall_time = data.get("duration_s", data.get("wall_time"))
-        if point.wall_time is None and data is not None:
-            point.wall_time = data.get("duration_s", data.get("wall_time"))
-        status.points.append(point)
-
-    # ----------------------------------------------------------- counters
-    if status.metrics is not None:
-        # Finished under tracing: report the sweep's own metrics verbatim
-        # so these counters match the sweep report exactly.
-        status.counters = {
-            key: status.metrics.get(key, 0)
-            for key in (
-                "retries",
-                "timeouts",
-                "recovered_workers",
-                "quarantined_entries",
-                "restored_points",
-                "errors",
-            )
-        }
-    else:
-        derived["restored_points"] = status.count("restored")
-        derived["errors"] = status.count("failed")
-        derived["quarantined_entries"] = sum(
-            1
-            for r in records
-            if r.get("k") == "I" and r.get("name") == "trace_cache.quarantine"
-        )
-        status.counters = derived
-    status.counters["cache_hits"] = sum(
-        1 for p in status.points if p.cache_hit is True
-    )
-    # A ledger-only run has no finish record; call it finished when every
-    # enumerated point is settled and nothing is in flight.
-    if not records and status.points:
-        status.finished = all(p.state == "done" for p in status.points)
-    return status
+    ledger_path, sidecar = status_paths(run_id, root)
+    builder = RunStatusBuilder(run_id, ledger_path, sidecar)
+    for record in _ledger_records(ledger_path):
+        builder.fold_ledger(record)
+    for record in _spans.read_sidecar(sidecar):
+        builder.fold_span(record)
+    return builder.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -359,14 +417,29 @@ def watch(
     render=None,
     max_polls: int | None = None,
 ) -> RunStatus:
-    """Poll :func:`load_run_status` until the run finishes.
+    """Incrementally tail the run's artifacts until it finishes.
+
+    Unlike a :func:`load_run_status` loop, each poll reads only the
+    bytes appended to the ledger and span sidecar since the previous
+    poll (:class:`~repro.telemetry.tail.JsonlTailer`) and folds them
+    into the same :class:`RunStatusBuilder` — a watch over an hours-long
+    sweep costs O(new records) per refresh, not O(history), and the
+    rendered status is identical to a full reload at every step.
 
     ``render`` is called with each fresh :class:`RunStatus`; ``max_polls``
     bounds the loop for tests.  Returns the last status observed.
     """
+    ledger_path, sidecar = status_paths(run_id, root)
+    builder = RunStatusBuilder(run_id, ledger_path, sidecar)
+    ledger_tail = JsonlTailer(ledger_path)
+    sidecar_tail = JsonlTailer(sidecar)
     polls = 0
     while True:
-        status = load_run_status(run_id, root=root)
+        for record in ledger_tail.poll():
+            builder.fold_ledger(record)
+        for record in sidecar_tail.poll():
+            builder.fold_span(record)
+        status = builder.snapshot()
         if render is not None:
             render(status)
         polls += 1

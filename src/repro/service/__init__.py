@@ -1,0 +1,21 @@
+"""Sweep-service daemon: HTTP submission + live observability surface.
+
+``repro serve`` wraps this package: :class:`SweepService` (the engine —
+content-addressed job queue, dedupe, supervised worker threads, per-run
+ledger/sidecar artifacts) behind :class:`ServiceHTTPServer` (stdlib
+HTTP: status, SSE span streaming, Prometheus ``/metrics``, ``/healthz``,
+JSONL access logs).  See ``docs/observability.md`` ("Running the
+service") for the curl walkthrough.
+"""
+
+from .engine import Job, RunHandle, SweepService, parse_spec
+from .http import ServiceHTTPServer, serve_forever
+
+__all__ = [
+    "Job",
+    "RunHandle",
+    "SweepService",
+    "parse_spec",
+    "ServiceHTTPServer",
+    "serve_forever",
+]

@@ -1,0 +1,655 @@
+"""Sweep-service engine: job queue, dedupe, worker pool, run handles.
+
+The long-running half of ``repro serve`` (ROADMAP item 1's job queue +
+dedupe).  A :class:`SweepService` owns one ledger root and a pool of
+supervised worker *threads*; each ``POST /sweeps`` submission becomes a
+:class:`RunHandle` journaling the exact artifacts a CLI sweep would —
+a :class:`~repro.runtime.ledger.RunLedger` plus a span sidecar with the
+same ``sweep.run`` / ``point`` / ``point.final`` / ``sweep.finish``
+vocabulary — so the observability surface is *artifact-backed*:
+``GET /sweeps/<id>`` is :func:`~repro.runtime.status.load_run_status`
+verbatim, SSE is a :class:`~repro.telemetry.tail.JsonlTailer` over the
+sidecar, and killing the daemon loses nothing a restarted ``repro
+status`` can't still see.
+
+Dedupe is content-addressed: work is enqueued per
+:func:`~repro.runtime.ledger.point_key`, so
+
+* a point already **completed** by any earlier submission answers
+  instantly from the service's result cache (journaled into the new
+  run's ledger/sidecar as ``restored=True`` — no worker touched, no
+  ``point`` span in the new run's timeline);
+* a point currently **in flight** for another run is *subscribed to*,
+  not re-executed — both runs get their own ``point`` begin/finish
+  spans and ``point.final`` records when the one execution settles.
+
+Workers run points via the same
+:func:`~repro.runtime.executor.execute_point` seam the sweep runner
+uses, with no span recorder installed: the simulator emits zero spans
+(the overhead invariant), and the service journals the lifecycle spans
+itself, once per subscribed run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from pathlib import Path
+
+from ..runtime.executor import POINT_TIMEOUT_KIND, execute_point
+from ..runtime.ledger import RunLedger, default_ledger_root, new_run_id, point_key
+from ..runtime.points import PointResult, SweepPoint
+from ..runtime.sweep import RetryPolicy, SweepMetrics
+from ..runtime.trace_cache import TraceCache
+from ..telemetry import spans as _spans
+from ..telemetry.registry import MetricRegistry
+
+__all__ = ["Job", "RunHandle", "SweepService", "parse_spec"]
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE = "queued", "running", "done"
+
+#: Sidecar (under the ledger root) journaling service-level spans:
+#: ``service.start`` instants and the ``service.shutdown`` drain span.
+SERVICE_SIDECAR = "service.spans.jsonl"
+
+
+def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
+    """Validate one ``POST /sweeps`` body into points + options.
+
+    The spec mirrors ``repro sweep``'s flags field-for-field (the CLI's
+    ``--workloads`` list is the spec's ``workloads`` key, and so on),
+    with the same defaults, so a sweep can move between the CLI and the
+    service by serializing its arguments.  Raises :class:`ValueError`
+    with an operator-readable message on any unknown field or value —
+    the HTTP layer maps that to a 400.
+    """
+    from ..droplet.composite import PREFETCH_CONFIG_NAMES
+    from ..graph.generators import PAPER_DATASET_NAMES
+    from ..workloads.registry import PAPER_WORKLOAD_ORDER
+
+    if not isinstance(spec, dict):
+        raise ValueError("sweep spec must be a JSON object")
+    known = {
+        "workloads", "datasets", "setups", "max_refs", "scale_shift",
+        "fast_path", "timeout", "retries", "backoff", "run_id",
+    }
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise ValueError(
+            "unknown spec field(s): %s (known: %s)"
+            % (", ".join(unknown), ", ".join(sorted(known)))
+        )
+
+    def _names(field: str, default: list, allowed) -> list:
+        values = spec.get(field, default)
+        if isinstance(values, str):
+            values = [values]
+        if not isinstance(values, list) or not values:
+            raise ValueError("%r must be a non-empty list" % field)
+        values = [str(v).upper() if field == "workloads" else str(v) for v in values]
+        bad = sorted(set(values) - set(allowed))
+        if bad:
+            raise ValueError(
+                "unknown %s: %s (choices: %s)"
+                % (field, ", ".join(bad), ", ".join(allowed))
+            )
+        return values
+
+    workloads = _names("workloads", list(PAPER_WORKLOAD_ORDER), PAPER_WORKLOAD_ORDER)
+    datasets = _names("datasets", list(PAPER_DATASET_NAMES), PAPER_DATASET_NAMES)
+    setups = _names(
+        "setups",
+        ["none", "stream", "streamMPP1", "droplet"],
+        PREFETCH_CONFIG_NAMES,
+    )
+    fast_path = str(spec.get("fast_path", "auto"))
+    if fast_path not in ("auto", "on", "vector", "off"):
+        raise ValueError("fast_path must be auto|on|vector|off")
+    try:
+        max_refs = int(spec.get("max_refs", 150_000))
+        scale_shift = int(spec.get("scale_shift", 0))
+        retries = int(spec.get("retries", 2))
+        backoff = float(spec.get("backoff", 0.25))
+        timeout = spec.get("timeout")
+        timeout = None if timeout is None else float(timeout)
+    except (TypeError, ValueError):
+        raise ValueError(
+            "max_refs/scale_shift/retries must be integers; "
+            "timeout/backoff must be numbers"
+        ) from None
+    if max_refs <= 0:
+        raise ValueError("max_refs must be positive")
+    run_id = spec.get("run_id")
+    if run_id is not None and (
+        not isinstance(run_id, str) or not run_id or any(c in run_id for c in "/\\")
+    ):
+        raise ValueError("run_id must be a non-empty path-safe string")
+
+    points = [
+        SweepPoint(
+            workload=workload,
+            dataset=dataset,
+            setup=setup,
+            max_refs=max_refs,
+            scale_shift=scale_shift,
+            fast_path=fast_path,
+        )
+        for workload in workloads
+        for dataset in datasets
+        for setup in dict.fromkeys(["none", *setups])
+    ]
+    options = {
+        "run_id": run_id,
+        "retry": RetryPolicy(
+            max_attempts=max(1, retries + 1), timeout=timeout, backoff=backoff
+        ),
+        "timeout": timeout,
+    }
+    return points, options
+
+
+class Job:
+    """One unit of queued work: a unique point key plus its subscribers.
+
+    Subscribers are ``{"handle": RunHandle, "index": int, "span": Span}``
+    entries — every run waiting on this execution; each gets its own
+    ``point`` begin span when the job starts (or when it subscribes to
+    an already-running job) and settles when the one result lands.
+    """
+
+    __slots__ = ("key", "point", "retry", "timeout", "state", "result",
+                 "subscribers", "attempt")
+
+    def __init__(self, key: str, point: SweepPoint, retry: RetryPolicy,
+                 timeout: float | None):
+        self.key = key
+        self.point = point
+        self.retry = retry
+        self.timeout = timeout
+        self.state = QUEUED
+        self.result: PointResult | None = None
+        self.subscribers: list[dict] = []
+        self.attempt = 1
+
+
+class RunHandle:
+    """One submission's artifacts: ledger, span sidecar, settle tracking.
+
+    Journals exactly what a CLI sweep with a ledger journals — the
+    ``sweep.run`` meta record on submit (``mode="service"``), one
+    ``point.final`` instant per settled point, and the ``sweep.finish``
+    record carrying a :class:`~repro.runtime.sweep.SweepMetrics` dict —
+    so ``repro status`` (and the HTTP status endpoint, which *is*
+    ``repro status``) reconstructs the run with no service-specific
+    code path.
+    """
+
+    def __init__(self, run_id: str, root: Path, points: list[SweepPoint],
+                 workers: int):
+        self.run_id = run_id
+        self.points = points
+        self.workers = workers
+        self.ledger = RunLedger(run_id, root=root)
+        self.ledger.open()
+        self.tracer = _spans.SpanRecorder(
+            sidecar=_spans.sidecar_path(self.ledger.path)
+        )
+        self.settled: dict[int, PointResult] = {}
+        self.finished = False
+        self.started = time.perf_counter()
+        self.tallies = {
+            "retries": 0,
+            "timeouts": 0,
+            "restored": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "quarantined": 0,
+            "point_time": 0.0,
+        }
+        self.tracer.meta(
+            "sweep.run",
+            run_id=run_id,
+            total=len(points),
+            labels=[p.label for p in points],
+            workers=workers,
+            mode="service",
+            telemetry=False,
+        )
+
+    # ------------------------------------------------------------------
+    def settle(self, index: int, point: SweepPoint, result: PointResult,
+               restored: bool) -> None:
+        """Record one settled point: ledger first, then the timeline."""
+        if result.ok:
+            self.ledger.record(point, result)
+        attrs = dict(
+            index=index,
+            label=point.label,
+            ok=result.ok,
+            attempts=result.attempts,
+            cache_hit=result.trace_cache_hit,
+            tier=result.replay_tier,
+            windows_degraded=result.windows_degraded,
+            wall_time=result.wall_time,
+            restored=restored,
+        )
+        if not result.ok:
+            attrs["error_kind"] = result.error.kind
+            self.tallies["errors"] += 1
+        if restored:
+            self.tallies["restored"] += 1
+        else:
+            self.tallies["point_time"] += result.wall_time
+            if result.trace_cache_hit is True:
+                self.tallies["cache_hits"] += 1
+            elif result.trace_cache_hit is False:
+                self.tallies["cache_misses"] += 1
+            self.tallies["quarantined"] += result.cache_quarantined
+        self.tracer.event("point.final", **attrs)
+        self.settled[index] = result
+        if len(self.settled) == len(self.points):
+            self._finish()
+
+    def _finish(self) -> None:
+        metrics = SweepMetrics(
+            workers=self.workers,
+            mode="service",
+            total_points=len(self.points),
+            errors=self.tallies["errors"],
+            elapsed=time.perf_counter() - self.started,
+            point_time=self.tallies["point_time"],
+            cache_hits=self.tallies["cache_hits"],
+            cache_misses=self.tallies["cache_misses"],
+            retries=self.tallies["retries"],
+            timeouts=self.tallies["timeouts"],
+            quarantined_entries=self.tallies["quarantined"],
+            restored=self.tallies["restored"],
+        )
+        self.tracer.meta("sweep.finish", kind="F", metrics=metrics.as_dict())
+        self.finished = True
+
+
+class SweepService:
+    """The daemon's core: submissions in, deduped executions out.
+
+    All mutable state is guarded by one condition variable; workers are
+    daemon threads pulling :class:`Job` objects off a FIFO deque.  The
+    pool is supervised — :meth:`healthy` reports whether every worker
+    thread is still alive — and :meth:`drain` performs the graceful
+    shutdown: stop accepting, let the queue empty, join the workers, and
+    journal a ``service.shutdown`` span into the service sidecar.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        workers: int = 2,
+        trace_cache: TraceCache | None = None,
+    ):
+        self.root = Path(root) if root is not None else default_ledger_root()
+        self.workers = max(1, int(workers))
+        self.cache = trace_cache if trace_cache is not None else TraceCache()
+        self._memo: dict = {}
+        self._config = None
+        self._cv = threading.Condition()
+        self._queue: deque[Job] = deque()
+        self._jobs: dict[str, Job] = {}  # in-flight, by point key
+        self._results: dict[str, PointResult] = {}  # ok results, by key
+        self._runs: dict[str, RunHandle] = {}
+        self._busy: list[bool] = [False] * self.workers
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self.started_at = time.time()
+        self.counters = {
+            "submissions": 0,
+            "points_submitted": 0,
+            "points_executed": 0,
+            "points_completed": 0,
+            "points_failed": 0,
+            "dedup_hits": 0,
+            "cached_answers": 0,
+            "inflight_joins": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "recovered_workers": 0,
+            "quarantined_entries": 0,
+            "restored_points": 0,
+            "trace_cache_hits": 0,
+            "trace_cache_misses": 0,
+            "windows_degraded": 0,
+        }
+        self.tracer = _spans.SpanRecorder(sidecar=self.root / SERVICE_SIDECAR)
+        # The same pull-based gauge surface a CLI sweep exposes
+        # (``sweep.*`` via SweepRunner.register_telemetry) plus the
+        # replay-engine soundness gauge, fed from the service counters.
+        self.registry = MetricRegistry()
+        for name in (
+            "retries", "timeouts", "recovered_workers",
+            "quarantined_entries", "restored_points",
+            "points_completed", "points_failed",
+        ):
+            self.registry.gauge(
+                "sweep.%s" % name,
+                (lambda key: lambda: self.counters[key])(name),
+            )
+        self.registry.gauge(
+            "fastpath.windows_degraded",
+            lambda: self.counters["windows_degraded"],
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SweepService":
+        """Spawn the worker pool (idempotent)."""
+        with self._cv:
+            if self._threads:
+                return self
+            for slot in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker, args=(slot,),
+                    name="sweep-worker-%d" % slot, daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        self.tracer.event(
+            "service.start", workers=self.workers, root=str(self.root)
+        )
+        return self
+
+    def healthy(self) -> bool:
+        """Whether the whole pool is alive (and the service accepting)."""
+        with self._cv:
+            return (
+                not self._stopping
+                and bool(self._threads)
+                and all(t.is_alive() for t in self._threads)
+            )
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict) -> str:
+        """Accept one sweep spec; returns its run id immediately.
+
+        Every point is keyed by :func:`point_key`: known-complete keys
+        settle instantly (``restored=True``), in-flight keys subscribe
+        to the running job, and only genuinely new work is enqueued.
+        """
+        points, options = parse_spec(spec)
+        run_id = options["run_id"] or new_run_id()
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("service is draining; not accepting sweeps")
+            if run_id in self._runs and not self._runs[run_id].finished:
+                raise ValueError("run id %r is already active" % run_id)
+            handle = RunHandle(run_id, self.root, points, workers=self.workers)
+            self._runs[run_id] = handle
+            self.counters["submissions"] += 1
+            self.counters["points_submitted"] += len(points)
+            for index, point in enumerate(points):
+                self._place(handle, index, point, options)
+            self._cv.notify_all()
+        return run_id
+
+    def _place(self, handle: RunHandle, index: int, point: SweepPoint,
+               options: dict) -> None:
+        """Route one point: instant answer, subscription, or fresh job."""
+        key = point_key(point)
+        restored = handle.ledger.restore(point)
+        if restored is not None:
+            # Resubmission under an explicit prior run id: the run's own
+            # ledger already has it (classic --resume semantics).
+            self.counters["dedup_hits"] += 1
+            self.counters["restored_points"] += 1
+            handle.settle(index, point, restored, restored=True)
+            return
+        cached = self._results.get(key)
+        if cached is not None:
+            self.counters["dedup_hits"] += 1
+            self.counters["cached_answers"] += 1
+            self.counters["restored_points"] += 1
+            handle.settle(
+                index, point,
+                replace(cached, point=point, restored=True),
+                restored=True,
+            )
+            return
+        job = self._jobs.get(key)
+        if job is not None and job.state != DONE:
+            self.counters["dedup_hits"] += 1
+            self.counters["inflight_joins"] += 1
+            entry = {"handle": handle, "index": index, "span": None}
+            if job.state == RUNNING:
+                entry["span"] = handle.tracer.start(
+                    "point", index=index, label=point.label,
+                    attempt=job.attempt,
+                )
+            job.subscribers.append(entry)
+            return
+        job = Job(key, point, retry=options["retry"], timeout=options["timeout"])
+        job.subscribers.append({"handle": handle, "index": index, "span": None})
+        self._jobs[key] = job
+        self._queue.append(job)
+
+    # ------------------------------------------------------------------
+    def _worker(self, slot: int) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait(timeout=0.5)
+                if not self._queue:
+                    return  # draining and nothing left
+                job = self._queue.popleft()
+                job.state = RUNNING
+                self._busy[slot] = True
+                for entry in job.subscribers:
+                    entry["span"] = entry["handle"].tracer.start(
+                        "point", index=entry["index"],
+                        label=job.point.label, attempt=job.attempt,
+                    )
+            try:
+                result = self._execute(job)
+            except BaseException as exc:  # defensive: workers never die silently
+                from ..runtime.points import PointError
+
+                result = PointResult(
+                    point=job.point, error=PointError.from_exception(exc)
+                )
+            with self._cv:
+                self._settle_job(job, result)
+                self._busy[slot] = False
+                self._cv.notify_all()
+
+    def _execute(self, job: Job) -> PointResult:
+        """Run one job with the service-side retry loop."""
+        if self._config is None:
+            from ..system.config import SystemConfig
+
+            self._config = SystemConfig.scaled_baseline()
+        attempt = 1
+        while True:
+            job.attempt = attempt
+            result = execute_point(
+                job.point, self._config, self.cache, self._memo,
+                return_full=False, timeout=job.timeout, attempt=attempt,
+            )
+            if result.ok:
+                return result
+            with self._cv:
+                if result.error.kind == POINT_TIMEOUT_KIND:
+                    self.counters["timeouts"] += 1
+                    for entry in job.subscribers:
+                        entry["handle"].tallies["timeouts"] += 1
+                        entry["handle"].tracer.event(
+                            "point.timeout", index=entry["index"],
+                            label=job.point.label, attempt=attempt,
+                        )
+                retrying = (
+                    attempt < job.retry.max_attempts
+                    and job.retry.is_transient(result.error)
+                )
+                if retrying:
+                    self.counters["retries"] += 1
+                    for entry in job.subscribers:
+                        entry["handle"].tallies["retries"] += 1
+                        entry["handle"].tracer.event(
+                            "point.retry", index=entry["index"],
+                            label=job.point.label, attempt=attempt,
+                            error_kind=result.error.kind,
+                        )
+            if not retrying:
+                return result
+            time.sleep(job.retry.delay(attempt))
+            attempt += 1
+
+    def _settle_job(self, job: Job, result: PointResult) -> None:
+        """Deliver one finished execution to every subscribed run."""
+        job.state = DONE
+        job.result = result
+        self._jobs.pop(job.key, None)
+        self.counters["points_executed"] += 1
+        if result.ok:
+            self.counters["points_completed"] += 1
+            self._results[job.key] = result
+        else:
+            self.counters["points_failed"] += 1
+        if result.trace_cache_hit is True:
+            self.counters["trace_cache_hits"] += 1
+        elif result.trace_cache_hit is False:
+            self.counters["trace_cache_misses"] += 1
+        self.counters["quarantined_entries"] += result.cache_quarantined
+        self.counters["windows_degraded"] += result.windows_degraded
+        for entry in job.subscribers:
+            span = entry.get("span")
+            handle = entry["handle"]
+            if span is not None:
+                span.set(
+                    status="ok" if result.ok else "error",
+                    cache_hit=result.trace_cache_hit,
+                    tier=result.replay_tier,
+                    windows_degraded=result.windows_degraded,
+                )
+                if not result.ok:
+                    span.set(error_kind=result.error.kind)
+                handle.tracer.finish(span)
+            handle.settle(entry["index"], job.point, result, restored=False)
+
+    # ------------------------------------------------------------------
+    def run_ids(self) -> list[str]:
+        with self._cv:
+            return sorted(self._runs)
+
+    def run_finished(self, run_id: str) -> bool | None:
+        """Finished-flag of an in-service run; ``None`` if unknown here."""
+        with self._cv:
+            handle = self._runs.get(run_id)
+            return None if handle is None else handle.finished
+
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    def busy_workers(self) -> list[bool]:
+        with self._cv:
+            return list(self._busy)
+
+    def metric_samples(self) -> dict:
+        """The ``/metrics`` sample set, ready for ``render_prom``.
+
+        Service throughput/dedupe counters, live queue/pool gauges (one
+        ``service_worker_busy`` series per worker), and the pull-based
+        ``sweep.*`` / ``fastpath.*`` gauge registry a CLI sweep would
+        expose.
+        """
+        counter_help = {
+            "submissions": "Sweep submissions accepted.",
+            "points_submitted": "Points across all submissions.",
+            "points_executed": "Point executions performed by the pool.",
+            "points_completed": "Point executions that succeeded.",
+            "points_failed": "Point executions that failed terminally.",
+            "dedup_hits": "Points answered without a fresh execution "
+                          "(cached result, ledger restore, or in-flight join).",
+            "cached_answers": "Points answered instantly from the result cache.",
+            "inflight_joins": "Points subscribed to an already-running job.",
+            "retries": "Point retry attempts scheduled.",
+            "timeouts": "Point watchdog timeouts observed.",
+            "restored_points": "Points journaled as restored.",
+            "trace_cache_hits": "Trace-cache hits across executions.",
+            "trace_cache_misses": "Trace-cache misses across executions.",
+        }
+        with self._cv:
+            samples: dict = {}
+            for name, help_text in counter_help.items():
+                samples["service.%s" % name] = {
+                    "value": self.counters[name],
+                    "type": "counter",
+                    "help": help_text,
+                }
+            samples["service.queue_depth"] = {
+                "value": len(self._queue),
+                "type": "gauge",
+                "help": "Jobs waiting for a worker.",
+            }
+            samples["service.inflight"] = {
+                "value": sum(1 for j in self._jobs.values() if j.state == RUNNING),
+                "type": "gauge",
+                "help": "Jobs currently executing.",
+            }
+            samples["service.runs_active"] = {
+                "value": sum(1 for h in self._runs.values() if not h.finished),
+                "type": "gauge",
+                "help": "Submitted runs not yet finished.",
+            }
+            samples["service.workers"] = {
+                "value": self.workers,
+                "type": "gauge",
+                "help": "Configured worker pool size.",
+            }
+            samples["service.uptime_seconds"] = {
+                "value": time.time() - self.started_at,
+                "type": "gauge",
+                "help": "Seconds since the service started.",
+            }
+            for slot, busy in enumerate(self._busy):
+                samples["service.worker_busy[%d]" % slot] = {
+                    "name": "service.worker_busy",
+                    "value": 1 if busy else 0,
+                    "type": "gauge",
+                    "help": "Per-worker busy state (1 = executing a job).",
+                    "labels": {"worker": slot},
+                }
+        for name, value in self.registry.snapshot().items():
+            samples[name] = {
+                "value": value,
+                "type": "gauge",
+                "help": "Pull-based runtime gauge %s." % name,
+            }
+        return samples
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: finish queued work, then stop the pool.
+
+        Journals the drain as a ``service.shutdown`` span in the service
+        sidecar (queue depth at entry, jobs drained, whether the join
+        completed).  Returns ``True`` when every worker exited in time.
+        """
+        with self._cv:
+            depth = len(self._queue)
+            executed_before = self.counters["points_executed"]
+            span = self.tracer.start(
+                "service.shutdown", reason="drain", queue_depth=depth
+            )
+            self._stopping = True
+            self._cv.notify_all()
+            threads = list(self._threads)
+        deadline = time.perf_counter() + timeout
+        clean = True
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.perf_counter()))
+            clean = clean and not thread.is_alive()
+        with self._cv:
+            drained = self.counters["points_executed"] - executed_before
+        self.tracer.finish(span, drained=drained, clean=clean)
+        return clean

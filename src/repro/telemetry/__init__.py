@@ -27,12 +27,16 @@ from .export import (
     derive_rates,
     dropped_events_note,
     html_page,
+    parse_prom_text,
+    render_prom,
     telemetry_dict,
+    telemetry_prom_samples,
     validate_telemetry_payload,
     write_csv,
     write_html,
     write_json,
     write_profile,
+    write_prom,
 )
 from .registry import Counter, Gauge, Histogram, MetricRegistry
 from .sampler import IntervalSampler, Sample, Timeline
@@ -41,10 +45,12 @@ from .spans import (
     SpanRecorder,
     chrome_path,
     read_sidecar,
+    sidecar_generations,
     sidecar_path,
     spans_created,
     write_chrome_trace,
 )
+from .tail import JsonlTailer
 from .trend import (
     flag_regressions,
     scan_store,
@@ -77,6 +83,10 @@ __all__ = [
     "write_html",
     "write_json",
     "write_profile",
+    "render_prom",
+    "write_prom",
+    "parse_prom_text",
+    "telemetry_prom_samples",
     "write_diff_html",
     "write_diff_json",
     "Counter",
@@ -94,7 +104,9 @@ __all__ = [
     "sidecar_path",
     "chrome_path",
     "read_sidecar",
+    "sidecar_generations",
     "write_chrome_trace",
+    "JsonlTailer",
     "scan_store",
     "trend_series",
     "trend_report",

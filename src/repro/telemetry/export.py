@@ -30,6 +30,10 @@ __all__ = [
     "write_csv",
     "write_html",
     "write_profile",
+    "render_prom",
+    "write_prom",
+    "parse_prom_text",
+    "telemetry_prom_samples",
 ]
 
 #: Format marker of saved telemetry payloads.
@@ -223,6 +227,187 @@ def validate_telemetry_payload(payload: dict, require_phases: bool = False) -> N
             classes = block.get("classes")
             if classes is not None and sum(classes.values()) != total:
                 fail("attribution %s class counts do not sum to the total" % level)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+import re as _re
+
+_PROM_NAME_RE = _re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_SAMPLE_RE = _re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf|NaN))$"
+)
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    """A dotted metric name as a valid Prometheus metric name."""
+    flat = _PROM_NAME_RE.sub("_", name.strip())
+    if prefix and not flat.startswith(prefix + "_"):
+        flat = "%s_%s" % (prefix, flat)
+    return flat.strip("_")
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return "%d" % value
+    return repr(float(value))
+
+
+def _prom_labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    quoted = ",".join(
+        '%s="%s"'
+        % (
+            _PROM_NAME_RE.sub("_", str(key)),
+            str(val).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for key, val in sorted(labels.items())
+    )
+    return "{%s}" % quoted
+
+
+def render_prom(samples: dict, prefix: str = "repro") -> str:
+    """Render metrics as Prometheus text exposition (format 0.0.4).
+
+    ``samples`` maps a (dotted or flat) metric name to either a plain
+    numeric value — rendered as an untyped-help gauge — or a dict with
+    ``value`` plus optional ``type`` (``"counter"``/``"gauge"``),
+    ``help``, ``labels``, and ``name`` (overriding the family name so
+    several dict keys — e.g. one per worker — can land in one labeled
+    family).  Counters get the conventional ``_total`` suffix; every
+    family is preceded by its ``# HELP``/``# TYPE`` lines exactly once;
+    families are emitted sorted so output is stable.
+
+    Shared by the sweep service's ``GET /metrics`` endpoint and
+    ``repro profile --prom`` — one renderer, one wire format.
+    """
+    families: dict[str, dict] = {}
+    for name, spec in samples.items():
+        if not isinstance(spec, dict):
+            spec = {"value": spec}
+        kind = spec.get("type", "gauge")
+        if kind not in ("counter", "gauge"):
+            raise ValueError("unsupported Prometheus type %r" % kind)
+        flat = _prom_name(spec.get("name", name), prefix)
+        if kind == "counter" and not flat.endswith("_total"):
+            flat += "_total"
+        family = families.setdefault(
+            flat,
+            {
+                "type": kind,
+                "help": spec.get("help") or "%s (%s)" % (name, kind),
+                "rows": [],
+            },
+        )
+        if family["type"] != kind:
+            raise ValueError("metric family %r registered twice with "
+                             "conflicting types" % flat)
+        family["rows"].append(
+            (_prom_labels(spec.get("labels")), spec.get("value", 0))
+        )
+    lines: list[str] = []
+    for flat in sorted(families):
+        family = families[flat]
+        help_text = str(family["help"]).replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append("# HELP %s %s" % (flat, help_text))
+        lines.append("# TYPE %s %s" % (flat, family["type"]))
+        for labels, value in sorted(family["rows"]):
+            lines.append("%s%s %s" % (flat, labels, _prom_value(value)))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prom(samples: dict, path: str | Path, prefix: str = "repro") -> Path:
+    """Write :func:`render_prom` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prom(samples, prefix=prefix))
+    return path
+
+
+def parse_prom_text(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition back into ``{sample: value}``.
+
+    The strict consumer-side check shared by the tests and the CI
+    ``service-smoke`` job: every non-comment line must be a well-formed
+    sample, every sample's family must have been declared by ``# TYPE``
+    (and ``# HELP``) lines, and declared types must be ``counter`` or
+    ``gauge``.  Keys keep their label block verbatim
+    (``repro_worker_busy{worker="0"}``).  Raises :class:`ValueError` on
+    any malformed line — the point is to fail loudly on drift.
+    """
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    values: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError("line %d: malformed comment %r" % (lineno, raw))
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(
+                        "line %d: bad TYPE %r" % (lineno, parts[3])
+                    )
+                typed[parts[2]] = parts[3]
+            else:
+                helped.add(parts[2])
+            continue
+        match = _PROM_SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError("line %d: malformed sample %r" % (lineno, raw))
+        name = match.group("name")
+        if name not in typed:
+            raise ValueError("line %d: sample %r lacks a # TYPE" % (lineno, name))
+        if name not in helped:
+            raise ValueError("line %d: sample %r lacks a # HELP" % (lineno, name))
+        key = name + (match.group("labels") or "")
+        values[key] = float(match.group("value"))
+    return values
+
+
+def telemetry_prom_samples(payload: dict) -> dict:
+    """Prometheus samples of one telemetry payload (``--prom`` output).
+
+    Raw metric totals from the final snapshot export as counters
+    (cumulative over the run); whole-run derived rates export as
+    ``rate.<name>`` gauges; the payload's workload/dataset/setup meta
+    becomes labels on every sample so multiple profiles can be scraped
+    into one series space.
+    """
+    if not payload.get("samples"):
+        return {}
+    final = payload["samples"][-1]
+    labels = {
+        key: payload.get("meta", {}).get(key)
+        for key in ("workload", "dataset", "setup")
+        if payload.get("meta", {}).get(key) is not None
+    }
+    samples: dict = {}
+    for name, value in sorted(final.get("values", {}).items()):
+        samples[name] = {
+            "value": value,
+            "type": "counter",
+            "help": "Total %s over the profiled run." % name,
+            "labels": labels,
+        }
+    whole_run = {"values": final.get("values", {}), "cycles": final.get("cycle", 0.0)}
+    for name, value in sorted(derive_rates(whole_run).items()):
+        samples["rate." + name] = {
+            "value": value,
+            "type": "gauge",
+            "help": "Whole-run derived rate %s." % name,
+            "labels": labels,
+        }
+    return samples
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,7 @@ __all__ = [
     "use",
     "spans_created",
     "read_sidecar",
+    "sidecar_generations",
     "chrome_trace_events",
     "write_chrome_trace",
     "sidecar_path",
@@ -64,6 +65,23 @@ SPANS_FORMAT = "repro-spans-v1"
 
 #: Record kinds a sidecar line may carry.
 RECORD_KINDS = ("B", "E", "I", "M", "F")
+
+#: Environment variable bounding sidecar size (bytes); 0/unset disables
+#: rotation.  Very long sweeps otherwise grow ``spans.jsonl`` without
+#: bound; with a bound set, the sidecar rotates to ``spans.jsonl.1``
+#: (one generation kept — on-disk footprint stays under 2× the bound).
+ROTATE_ENV_VAR = "REPRO_SPAN_ROTATE_BYTES"
+
+
+def _env_rotate_bytes() -> int | None:
+    value = os.environ.get(ROTATE_ENV_VAR)
+    if not value:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        return None
+    return parsed if parsed > 0 else None
 
 # ----------------------------------------------------------------------
 # Zero-overhead accounting: every Span/record construction bumps this
@@ -154,20 +172,41 @@ class SpanRecorder:
         several worker processes of one sweep share the file.
     capacity:
         In-memory ring bound; the oldest records fall off a full ring
-        (``dropped`` counts them).  The sidecar keeps everything.
+        (``dropped`` counts them).  The sidecar keeps everything —
+        unless ``max_bytes`` bounds it.
+    max_bytes:
+        Size bound on the sidecar file.  When an append would find the
+        file at or past the bound, the sidecar is first rotated to
+        ``<sidecar>.1`` (replacing any previous generation), so very
+        long sweeps keep at most ~2× ``max_bytes`` on disk.  Readers —
+        :func:`read_sidecar`, the incremental
+        :class:`~repro.telemetry.tail.JsonlTailer`, ``repro status``
+        and the Chrome export — traverse both generations
+        transparently.  ``None`` reads :data:`ROTATE_ENV_VAR`
+        (``$REPRO_SPAN_ROTATE_BYTES``); 0 disables rotation.
     """
 
     enabled = True
 
-    def __init__(self, sidecar: str | Path | None = None, capacity: int = 65536):
+    def __init__(
+        self,
+        sidecar: str | Path | None = None,
+        capacity: int = 65536,
+        max_bytes: int | None = None,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sidecar = Path(sidecar) if sidecar is not None else None
         self.capacity = capacity
+        if max_bytes is None:
+            max_bytes = _env_rotate_bytes()
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
         self._ring: deque[dict] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._seq = 0
         self.emitted = 0
+        #: Sidecar rotations this recorder performed.
+        self.rotations = 0
         self.pid = os.getpid()
 
     # ------------------------------------------------------------------
@@ -190,6 +229,38 @@ class SpanRecorder:
             self._seq += 1
             return "%d-%d" % (self.pid, self._seq)
 
+    def _maybe_rotate(self) -> None:
+        """Rotate the sidecar to ``<sidecar>.1`` when past ``max_bytes``.
+
+        Safe across the worker *processes* sharing one sidecar: the
+        size check and rename happen under an exclusive ``flock`` on a
+        lock file, so concurrent appenders rotate exactly once.  The
+        per-append ``open(..., "a")`` below means nobody holds a stale
+        handle on the renamed file.
+        """
+        try:
+            if self.sidecar.stat().st_size < self.max_bytes:
+                return
+        except OSError:
+            return  # nothing written yet
+        lock_path = str(self.sidecar) + ".lock"
+        handle = open(lock_path, "a")
+        try:
+            try:
+                import fcntl
+
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except ImportError:  # non-POSIX: best-effort rotation
+                pass
+            try:
+                if self.sidecar.stat().st_size >= self.max_bytes:
+                    os.replace(self.sidecar, str(self.sidecar) + ".1")
+                    self.rotations += 1
+            except OSError:
+                pass  # lost the race benignly (other process rotated)
+        finally:
+            handle.close()
+
     def _record(self, record: dict) -> None:
         global _created
         _created += 1
@@ -203,6 +274,8 @@ class SpanRecorder:
             self.emitted += 1
             if line is not None:
                 self.sidecar.parent.mkdir(parents=True, exist_ok=True)
+                if self.max_bytes is not None:
+                    self._maybe_rotate()
                 with open(self.sidecar, "a", encoding="utf-8") as handle:
                     handle.write(line + "\n")
                     handle.flush()
@@ -278,23 +351,34 @@ class SpanRecorder:
 
 
 # ----------------------------------------------------------------------
+def sidecar_generations(path: str | Path) -> list[Path]:
+    """The on-disk generations of a sidecar, oldest first.
+
+    A size-rotated sidecar keeps one prior generation at ``<path>.1``;
+    readers traverse it before the live file so rotation is invisible
+    to ``repro status``, the Chrome export and the tailer.
+    """
+    path = Path(path)
+    generations = [Path(str(path) + ".1"), path]
+    return [p for p in generations if p.is_file()]
+
+
 def read_sidecar(path: str | Path) -> list[dict]:
     """Parse a span sidecar, tolerating a torn trailing line.
 
-    Returns records in file order; a missing file yields ``[]`` (a sweep
-    may die before its first span lands).
+    Returns records in file order — across rotated generations, oldest
+    first; a missing file yields ``[]`` (a sweep may die before its
+    first span lands).
     """
-    path = Path(path)
-    if not path.is_file():
-        return []
     records: list[dict] = []
-    for line in path.read_text().splitlines():
-        try:
-            record = json.loads(line)
-        except ValueError:
-            continue  # torn tail from a hard kill
-        if isinstance(record, dict) and record.get("k") in RECORD_KINDS:
-            records.append(record)
+    for generation in sidecar_generations(path):
+        for line in generation.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a hard kill
+            if isinstance(record, dict) and record.get("k") in RECORD_KINDS:
+                records.append(record)
     return records
 
 

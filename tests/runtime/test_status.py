@@ -18,12 +18,16 @@ from repro.runtime import (
     FaultPlan,
     RetryPolicy,
     RunLedger,
+    RunStatusBuilder,
     SweepPoint,
     SweepRunner,
     TraceCache,
     load_run_status,
+    status_paths,
     status_table_rows,
+    watch,
 )
+from repro.telemetry.tail import JsonlTailer
 from repro.telemetry import spans
 from repro.telemetry.trend import (
     flag_regressions,
@@ -187,6 +191,90 @@ class TestRunStatus:
         status = load_run_status("ghost", root=tmp_path / "runs")
         assert not status.found
         assert status.total == 0
+
+
+class TestWatchIncremental:
+    def test_incremental_folds_match_full_reload_at_every_step(self, tmp_path):
+        """Replaying real artifacts record-by-record, the incremental
+        builder's snapshot equals a full reload after every chunk —
+        the parity `--watch` (and the service pollers) rely on."""
+        runner, ledger, tracer = traced_runner(
+            tmp_path,
+            "parity",
+            faults=FaultPlan(error=(1,), trip_dir=str(tmp_path / "trips")),
+            retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        )
+        runner.run(make_points(workloads=("PR",)))
+        ledger_lines = ledger.path.read_text().splitlines(keepends=True)
+        sidecar_lines = tracer.sidecar.read_text().splitlines(keepends=True)
+
+        shadow = tmp_path / "shadow"
+        shadow.mkdir()
+        shadow_ledger, shadow_sidecar = status_paths("parity", shadow)
+        builder = RunStatusBuilder("parity", shadow_ledger, shadow_sidecar)
+        ledger_tail = JsonlTailer(shadow_ledger)
+        sidecar_tail = JsonlTailer(shadow_sidecar)
+
+        def drip(path, lines):
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write("".join(lines))
+
+        # Interleave ledger and sidecar appends a few lines at a time.
+        steps = []
+        for i in range(0, len(ledger_lines), 2):
+            steps.append((shadow_ledger, ledger_lines[i : i + 2]))
+        for i in range(0, len(sidecar_lines), 3):
+            steps.append((shadow_sidecar, sidecar_lines[i : i + 3]))
+        for path, lines in steps:
+            drip(path, lines)
+            for record in ledger_tail.poll():
+                builder.fold_ledger(record)
+            for record in sidecar_tail.poll():
+                builder.fold_span(record)
+            incremental = builder.snapshot().as_dict()
+            full = load_run_status("parity", root=shadow).as_dict()
+            # ETA depends on point completion only; dicts match exactly.
+            assert incremental == full
+        assert builder.snapshot().finished
+
+    def test_watch_tails_a_live_run_to_completion(self, tmp_path):
+        import threading
+
+        runner, _, _ = traced_runner(tmp_path, "livewatch")
+        worker = threading.Thread(
+            target=runner.run,
+            args=(make_points(workloads=("PR",), setups=("none",)),),
+        )
+        worker.start()
+        try:
+            seen = []
+            status = watch(
+                "livewatch",
+                root=tmp_path / "runs",
+                poll=0.05,
+                render=seen.append,
+                max_polls=600,
+            )
+        finally:
+            worker.join()
+        assert status.finished
+        assert status.count("done") == 1
+        assert len(seen) >= 1 and seen[-1].finished
+        # The final incremental status equals a full reload.
+        assert status.as_dict() == load_run_status(
+            "livewatch", root=tmp_path / "runs"
+        ).as_dict()
+
+    def test_watch_max_polls_bounds_an_unfinished_run(self, tmp_path):
+        ledger_path = tmp_path / "runs" / "stuck.jsonl"
+        rec = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger_path))
+        rec.meta("sweep.run", total=1, labels=["PR/kron/none"], workers=1)
+        rec.start("point", index=0, label="PR/kron/none", attempt=1)
+        status = watch(
+            "stuck", root=tmp_path / "runs", poll=0.01, max_polls=2
+        )
+        assert not status.finished
+        assert status.points[0].state == "running"
 
 
 class TestTrend:

@@ -10,12 +10,16 @@ from repro.telemetry import (
     TELEMETRY_FORMAT,
     Telemetry,
     derive_rates,
+    parse_prom_text,
+    render_prom,
     telemetry_dict,
+    telemetry_prom_samples,
     validate_telemetry_payload,
     write_csv,
     write_html,
     write_json,
     write_profile,
+    write_prom,
 )
 
 
@@ -213,3 +217,112 @@ class TestWriters:
         slim = telemetry_dict(tel, include_events=False)
         paths = write_profile(slim, tmp_path / "slim")
         assert set(paths) == {"json", "csv", "html"}
+
+
+class TestPrometheus:
+    def test_render_groups_families_with_help_and_type(self):
+        text = render_prom(
+            {
+                "sweep.retries": {"value": 3, "type": "counter"},
+                "queue.depth": 7,
+                "service.worker_busy[0]": {
+                    "name": "service.worker_busy",
+                    "value": 1,
+                    "type": "gauge",
+                    "labels": {"worker": 0},
+                },
+                "service.worker_busy[1]": {
+                    "name": "service.worker_busy",
+                    "value": 0,
+                    "type": "gauge",
+                    "labels": {"worker": 1},
+                },
+            }
+        )
+        lines = text.splitlines()
+        # Dots sanitize to underscores; counters get the _total suffix.
+        assert "repro_sweep_retries_total 3" in lines
+        assert "repro_queue_depth 7" in lines
+        # One HELP/TYPE pair per family, even with multiple series.
+        assert lines.count("# TYPE repro_service_worker_busy gauge") == 1
+        assert 'repro_service_worker_busy{worker="0"} 1' in lines
+        assert 'repro_service_worker_busy{worker="1"} 0' in lines
+        # Every family is declared before its samples.
+        for i, line in enumerate(lines):
+            if not line.startswith("#"):
+                family = line.split("{")[0].split(" ")[0]
+                assert "# TYPE %s" % family in "\n".join(lines[:i])
+
+    def test_render_is_deterministic_and_sorted(self):
+        samples = {"b.two": 2, "a.one": 1, "c.three": 3}
+        first = render_prom(samples)
+        second = render_prom(dict(reversed(list(samples.items()))))
+        assert first == second
+        names = [l.split()[0] for l in first.splitlines() if not l.startswith("#")]
+        assert names == sorted(names)
+
+    def test_render_rejects_bad_type_and_conflicts(self):
+        with pytest.raises(ValueError):
+            render_prom({"x": {"value": 1, "type": "histogram"}})
+        with pytest.raises(ValueError):
+            render_prom(
+                {
+                    "a": {"name": "same_total", "value": 1, "type": "gauge"},
+                    "b": {"name": "same", "value": 1, "type": "counter"},
+                }
+            )
+
+    def test_parse_round_trips_and_is_strict(self):
+        text = render_prom(
+            {
+                "hits": {"value": 5, "type": "counter"},
+                "depth": {"value": 2.5, "type": "gauge"},
+                "busy": {"value": 1, "type": "gauge", "labels": {"worker": 0}},
+            }
+        )
+        parsed = parse_prom_text(text)
+        assert parsed["repro_hits_total"] == 5.0
+        assert parsed["repro_depth"] == 2.5
+        assert parsed['repro_busy{worker="0"}'] == 1.0
+        with pytest.raises(ValueError):
+            parse_prom_text("repro_orphan 1\n")  # sample without # TYPE
+        with pytest.raises(ValueError):
+            parse_prom_text("# TYPE bad thing\nbad 1\n")
+        with pytest.raises(ValueError):
+            parse_prom_text(text + "not a sample line\n")
+
+    def test_write_prom(self, tmp_path):
+        path = write_prom({"a": 1}, tmp_path / "out" / "metrics.prom")
+        assert path.is_file()
+        assert parse_prom_text(path.read_text()) == {"repro_a": 1.0}
+
+    def test_telemetry_prom_samples(self, tmp_path):
+        tel = instrumented_session()
+        drive(tel)
+        payload = telemetry_dict(
+            tel, meta={"workload": "PR", "dataset": "kron", "setup": "droplet"}
+        )
+        samples = telemetry_prom_samples(payload)
+        # Raw totals export as labelled counters...
+        instr = samples["core.instructions"]
+        assert instr["type"] == "counter"
+        assert instr["labels"] == {
+            "workload": "PR", "dataset": "kron", "setup": "droplet"
+        }
+        assert instr["value"] == payload["samples"][-1]["values"][
+            "core.instructions"
+        ]
+        # ...and whole-run derived rates as gauges.
+        assert samples["rate.ipc"]["type"] == "gauge"
+        text = render_prom(samples)
+        parsed = parse_prom_text(text)
+        assert (
+            parsed[
+                'repro_core_instructions_total'
+                '{dataset="kron",setup="droplet",workload="PR"}'
+            ]
+            == instr["value"]
+        )
+
+    def test_telemetry_prom_samples_empty_payload(self):
+        assert telemetry_prom_samples({"samples": []}) == {}

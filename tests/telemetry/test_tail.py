@@ -1,0 +1,92 @@
+"""Incremental JSONL tailer: offsets, torn tails, rotation chasing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.tail import ROTATED_SUFFIX, JsonlTailer
+
+
+def append(path, *records, newline=True):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        for i, record in enumerate(records):
+            fh.write(json.dumps(record))
+            if newline or i < len(records) - 1:
+                fh.write("\n")
+
+
+class TestJsonlTailer:
+    def test_missing_file_polls_empty(self, tmp_path):
+        tailer = JsonlTailer(tmp_path / "absent.jsonl")
+        assert tailer.poll() == []
+        assert tailer.offset == 0
+
+    def test_incremental_reads_only_new_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(path, {"n": 1}, {"n": 2})
+        tailer = JsonlTailer(path)
+        assert [r["n"] for r in tailer.poll()] == [1, 2]
+        assert tailer.poll() == []  # nothing new
+        append(path, {"n": 3})
+        assert [r["n"] for r in tailer.poll()] == [3]
+        assert tailer.records_seen == 3
+
+    def test_torn_tail_left_for_next_poll(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(path, {"n": 1})
+        with open(path, "a") as fh:
+            fh.write('{"n": 2')  # mid-write record, no newline
+        tailer = JsonlTailer(path)
+        assert [r["n"] for r in tailer.poll()] == [1]
+        before = tailer.offset
+        with open(path, "a") as fh:
+            fh.write(', "done": true}\n')
+        assert [r["n"] for r in tailer.poll()] == [2]
+        assert tailer.offset > before
+
+    def test_unparseable_complete_line_skipped_but_consumed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\ngarbage line\n{"n": 2}\n')
+        tailer = JsonlTailer(path)
+        assert [r["n"] for r in tailer.poll()] == [1, 2]
+        assert tailer.poll() == []
+
+    def test_seek_resumes_from_byte_offset(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(path, {"n": 1}, {"n": 2})
+        first = JsonlTailer(path)
+        first.poll()
+        cursor = first.offset
+        append(path, {"n": 3})
+        resumed = JsonlTailer(path)
+        resumed.seek(cursor)
+        assert [r["n"] for r in resumed.poll()] == [3]
+
+    def test_preexisting_rotated_history_read_first(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(tmp_path / ("log.jsonl" + ROTATED_SUFFIX), {"n": 1}, {"n": 2})
+        append(path, {"n": 3})
+        tailer = JsonlTailer(path)
+        assert [r["n"] for r in tailer.poll()] == [1, 2, 3]
+
+    def test_skip_rotated_starts_at_live_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(tmp_path / ("log.jsonl" + ROTATED_SUFFIX), {"n": 1})
+        append(path, {"n": 2})
+        tailer = JsonlTailer(path, skip_rotated=True)
+        assert [r["n"] for r in tailer.poll()] == [2]
+
+    def test_rotation_mid_stream_loses_nothing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append(path, {"n": 1}, {"n": 2})
+        tailer = JsonlTailer(path)
+        assert len(tailer.poll()) == 2
+        # More records land, then the file rotates before the next poll,
+        # and the fresh live file starts collecting.
+        append(path, {"n": 3})
+        path.rename(tmp_path / ("log.jsonl" + ROTATED_SUFFIX))
+        append(path, {"n": 4})
+        assert [r["n"] for r in tailer.poll()] == [3, 4]
+        append(path, {"n": 5})
+        assert [r["n"] for r in tailer.poll()] == [5]

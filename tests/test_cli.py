@@ -115,6 +115,28 @@ class TestParser:
         defaults = build_parser().parse_args(["trend"])
         assert defaults.store == "." and defaults.threshold == 0.05
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000", "--workers", "4",
+             "--ledger-root", "/tmp/runs", "--access-log", "/tmp/a.jsonl",
+             "--drain-timeout", "5"]
+        )
+        assert args.host == "0.0.0.0" and args.port == 9000
+        assert args.workers == 4 and args.ledger_root == "/tmp/runs"
+        assert args.access_log == "/tmp/a.jsonl" and args.drain_timeout == 5.0
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.host == "127.0.0.1" and defaults.port == 8321
+        assert defaults.workers == 2 and defaults.ledger_root is None
+
+    def test_profile_prom_flag(self):
+        args = build_parser().parse_args(
+            ["profile", "--workload", "pr", "--dataset", "kron", "--prom"]
+        )
+        assert args.prom
+        assert not build_parser().parse_args(
+            ["profile", "--workload", "pr", "--dataset", "kron"]
+        ).prom
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -177,6 +199,31 @@ class TestCommands:
         assert "attribution:" in out
         assert "attribution" in payload
         assert "attribution" in payload["families"]
+
+    def test_profile_prom_output(self, capsys, tmp_path):
+        from repro.telemetry import parse_prom_text
+
+        out_dir = tmp_path / "prof"
+        code = main(
+            [
+                "profile",
+                "--workload", "pr",
+                "--dataset", "kron",
+                "--scale-shift", "-6",
+                "--max-refs", "3000",
+                "--no-attribution",
+                "--no-classify",
+                "--prom",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "prom" in capsys.readouterr().out
+        text = (out_dir / "profile.prom").read_text()
+        parsed = parse_prom_text(text)  # strict: valid exposition format
+        labels = '{dataset="kron",setup="droplet",workload="PR"}'
+        assert parsed["repro_core_instructions_total" + labels] > 0
+        assert ("repro_rate_ipc" + labels) in parsed
 
     def test_profile_no_attribution(self, capsys, tmp_path):
         import json
@@ -458,3 +505,70 @@ class TestStatusAndTrend:
     def test_trend_empty_store_exits_2(self, capsys, tmp_path):
         assert main(["trend", str(tmp_path / "empty")]) == 2
         assert "no sweep reports" in capsys.readouterr().err
+
+    def test_trend_empty_store_strict_json_does_not_crash(self, capsys, tmp_path):
+        import json
+
+        # --strict on an empty store is "nothing to check", not a
+        # regression: the empty-store exit (2) wins, without a traceback.
+        assert main(["trend", str(tmp_path / "void"), "--strict"]) == 2
+        capsys.readouterr()
+        assert main(["trend", str(tmp_path / "void"), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["snapshots"] == [] and payload["regressions"] == []
+
+    def test_trend_single_snapshot_strict_exits_0(self, capsys, tmp_path):
+        import json
+
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "only.json").write_text(json.dumps({
+            "schema": "repro-replay-bench-v2",
+            "cells": {"PR": {"droplet": {"speedup": 2.0}}},
+        }))
+        # One snapshot has no baseline to regress against: no flags,
+        # strict mode stays green.
+        assert main(["trend", str(store), "--strict"]) == 0
+        out = capsys.readouterr()
+        assert "1 snapshot(s)" in out.out
+        assert "REGRESSION" not in out.err
+
+    def test_trend_mixed_schema_versions_skipped_without_flags(
+        self, capsys, tmp_path
+    ):
+        import json
+        import os
+        import time
+
+        store = tmp_path / "store"
+        store.mkdir()
+        now = time.time()
+        # Two parsable same-schema snapshots with flat numbers...
+        for i in range(2):
+            path = store / ("bench-%d.json" % i)
+            path.write_text(json.dumps({
+                "schema": "repro-replay-bench-v2",
+                "cells": {"PR": {"droplet": {"speedup": 2.0}}},
+            }))
+            os.utime(path, (now - 20 + 10 * i,) * 2)
+        # ...plus unknown/older schema versions and junk, all of which
+        # must be skipped silently rather than crash or skew the series.
+        (store / "old-bench.json").write_text(json.dumps({
+            "schema": "repro-replay-bench-v1",
+            "cells": {"PR": {"droplet": {"speedup": 0.1}}},
+        }))
+        (store / "old-sweep.json").write_text(json.dumps({
+            "format": "repro-sweep-v1",
+            "points": [],
+        }))
+        (store / "not-even.json").write_text("{{{")
+        (store / "list.json").write_text("[1, 2, 3]")
+        assert main(["trend", str(store), "--strict"]) == 0
+        captured = capsys.readouterr()
+        assert "2 snapshot(s)" in captured.out
+        assert "REGRESSION" not in captured.err
+        capsys.readouterr()
+        assert main(["trend", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["snapshots"]) == 2
+        assert payload["regressions"] == []
