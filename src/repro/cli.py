@@ -344,8 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--port",
         type=int,
-        default=8321,
-        help="bind port; 0 picks an ephemeral port (default: 8321)",
+        default=None,
+        help="bind port; 0 picks an ephemeral port (default: 8321, or "
+        "ephemeral when --join is used)",
     )
     p_serve.add_argument(
         "--workers",
@@ -371,6 +372,105 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="SECONDS",
         help="graceful-shutdown budget for in-flight work (default: 30)",
+    )
+    p_serve.add_argument(
+        "--join",
+        metavar="DIR",
+        help="join an existing service's ledger root as an additional "
+        "worker process (shared storage): picks up unleased/stale-leased "
+        "points and adopts peer submissions; implies --ledger-root DIR "
+        "and an ephemeral port unless --port is given",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission-control bound on the job queue; overflow answers "
+        "429 + Retry-After (default: 256)",
+    )
+    p_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat staleness after which a point lease may be taken "
+        "over by another worker process (default: 30)",
+    )
+    p_serve.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject service-scope faults, e.g. "
+        "'disk_full@0,kill_after_accept@1,torn_tail@2,lease_steal@0' "
+        "(chaos testing; one-shot markers persist under "
+        "<ledger-root>/faults)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running `repro serve` daemon "
+        "(idempotent, retries through backpressure)",
+    )
+    p_submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="service base URL (default: http://127.0.0.1:8321)",
+    )
+    p_submit.add_argument("--workloads", nargs="+", metavar="W")
+    p_submit.add_argument("--datasets", nargs="+", metavar="D")
+    p_submit.add_argument("--setups", nargs="+", metavar="S")
+    p_submit.add_argument("--max-refs", type=int, metavar="N")
+    p_submit.add_argument("--scale-shift", type=int, metavar="K")
+    p_submit.add_argument(
+        "--fast-path", choices=["auto", "on", "vector", "off"]
+    )
+    p_submit.add_argument("--timeout", type=float, metavar="SECONDS")
+    p_submit.add_argument("--retries", type=int, metavar="N")
+    p_submit.add_argument("--backoff", type=float, metavar="SECONDS")
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="sweep wall-clock deadline; unfinished points fail as "
+        "deadline_exceeded",
+    )
+    p_submit.add_argument(
+        "--run-id",
+        metavar="ID",
+        help="explicit run id (default: content-addressed from the spec, "
+        "making resubmission idempotent)",
+    )
+    p_submit.add_argument(
+        "--submit-retries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="attempts through 429/503/connection errors before giving "
+        "up (default: 8)",
+    )
+    p_submit.add_argument(
+        "--submit-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the capped exponential backoff between submission "
+        "attempts (default: 0.5)",
+    )
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the run's status until it finishes and print the "
+        "final headline",
+    )
+    p_submit.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="status poll interval with --wait (default: 1)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -806,23 +906,112 @@ def _cmd_trend(args) -> int:
 def _cmd_serve(args) -> int:
     from pathlib import Path
 
+    from .runtime.faults import ServiceFaultPlan
     from .runtime.ledger import default_ledger_root
     from .service import SweepService, serve_forever
 
-    root = Path(args.ledger_root) if args.ledger_root else default_ledger_root()
+    if args.join and args.ledger_root and args.join != args.ledger_root:
+        print(
+            "error: --join and --ledger-root name different directories",
+            file=sys.stderr,
+        )
+        return 2
+    root_arg = args.join or args.ledger_root
+    root = Path(root_arg) if root_arg else default_ledger_root()
+    port = args.port if args.port is not None else (0 if args.join else 8321)
     access_log = (
         Path(args.access_log)
         if args.access_log
         else root / "service.access.jsonl"
     )
-    service = SweepService(root=root, workers=args.workers)
+    faults = None
+    if args.faults:
+        try:
+            faults = ServiceFaultPlan.from_spec(
+                args.faults, trip_dir=str(root / "faults")
+            )
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    service = SweepService(
+        root=root,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        lease_ttl=args.lease_ttl,
+        faults=faults,
+    )
     return serve_forever(
         service,
         host=args.host,
-        port=args.port,
+        port=port,
         access_log=access_log,
         drain_timeout=args.drain_timeout,
     )
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .service import SubmitError, submit_sweep, wait_for_run
+
+    spec: dict = {}
+    for field, value in (
+        ("workloads", args.workloads),
+        ("datasets", args.datasets),
+        ("setups", args.setups),
+        ("max_refs", args.max_refs),
+        ("scale_shift", args.scale_shift),
+        ("fast_path", args.fast_path),
+        ("timeout", args.timeout),
+        ("retries", args.retries),
+        ("backoff", args.backoff),
+        ("deadline", args.deadline),
+        ("run_id", args.run_id),
+    ):
+        if value is not None:
+            spec[field] = value
+    try:
+        accepted = submit_sweep(
+            args.url,
+            spec,
+            max_attempts=args.submit_retries,
+            backoff=args.submit_backoff,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    except SubmitError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    run_id = accepted.get("run_id", "")
+    if not args.wait:
+        if args.json:
+            print(_json.dumps(accepted, indent=2, sort_keys=True))
+        else:
+            print("accepted run %s (attempt %s)"
+                  % (run_id, accepted.get("attempts", 1)))
+            print("  status: %s/sweeps/%s" % (args.url.rstrip("/"), run_id))
+        return 0
+    try:
+        final = wait_for_run(args.url, run_id, poll=args.poll)
+    except SubmitError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(final, indent=2, sort_keys=True))
+    else:
+        states = final.get("states", {})
+        print(
+            "run %s finished: %s"
+            % (
+                run_id,
+                ", ".join(
+                    "%d %s" % (count, state)
+                    for state, count in sorted(states.items())
+                    if count
+                )
+                or "no points",
+            )
+        )
+    return 1 if final.get("states", {}).get("failed") else 0
 
 
 def _cmd_tables(args) -> int:
@@ -862,6 +1051,7 @@ def main(argv: list[str] | None = None) -> int:
         "status": _cmd_status,
         "trend": _cmd_trend,
         "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     try:
         return handlers[args.command](args)

@@ -44,13 +44,46 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["FaultError", "WorkerCrash", "FaultPlan", "FAULT_KINDS"]
+__all__ = [
+    "FaultError",
+    "WorkerCrash",
+    "FaultPlan",
+    "ServiceFaultPlan",
+    "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
+]
 
 #: Recognized fault kinds, in the order ``fire`` applies them.
 FAULT_KINDS = ("corrupt", "error", "crash", "hang")
 
+#: Service-scope fault kinds (see :class:`ServiceFaultPlan`).
+SERVICE_FAULT_KINDS = ("disk_full", "torn_tail", "kill_after_accept", "lease_steal")
+
 #: Exit status used by injected worker crashes (distinctive in logs).
 CRASH_EXIT_CODE = 66
+
+
+def _trip_once(trip_dir: str | None, marker: str) -> bool:
+    """Arm a one-shot fault: ``True`` exactly once per marker name.
+
+    With no ``trip_dir`` every call fires (tests exercising the
+    re-firing path); with one, the first caller to atomically create
+    ``<trip_dir>/<marker>.tripped`` fires and everyone after passes
+    through — across processes, retries and daemon restarts.
+    """
+    if trip_dir is None:
+        return True
+    trip = Path(trip_dir)
+    trip.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(
+            trip / (marker + ".tripped"),
+            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+        )
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
 
 
 class FaultError(RuntimeError):
@@ -145,19 +178,7 @@ class FaultPlan:
         """
         if not self._selected(kind, index):
             return False
-        if self.trip_dir is None:
-            return True
-        trip = Path(self.trip_dir)
-        trip.mkdir(parents=True, exist_ok=True)
-        try:
-            fd = os.open(
-                trip / ("%s-%d.tripped" % (kind, index)),
-                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
-            )
-        except FileExistsError:
-            return False
-        os.close(fd)
-        return True
+        return _trip_once(self.trip_dir, "%s-%d" % (kind, index))
 
     def fired(self, kind: str, index: int) -> bool:
         """Whether a one-shot fault already fired (testing/CI helper)."""
@@ -200,3 +221,91 @@ class FaultPlan:
         except OSError:
             return
         npz_path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic faults for the *service* layer (``repro serve``).
+
+    Where :class:`FaultPlan` breaks point execution inside a worker,
+    this plan breaks the machinery around it — the submission journal,
+    the lease protocol, the daemon process itself — so the chaos
+    harness can prove the crash-recovery invariants (no lost runs, no
+    double execution beyond lease takeover).  Indices are *per-kind
+    ordinals*: ``disk_full@0`` fires on the first journal append,
+    ``lease_steal@1`` on the second acquired lease, and so on.
+
+    Fault kinds
+    -----------
+    ``disk_full``
+        The nth submission-journal append raises ``OSError(ENOSPC)``
+        before writing anything — the submission must be rejected (the
+        client sees a retryable 503), never half-accepted.
+    ``torn_tail``
+        The nth journal append writes only a prefix of its record (no
+        newline, no fsync) and then ``os._exit``\\ s the daemon —
+        a power loss mid-write.  Replay must skip the torn tail.
+    ``kill_after_accept``
+        ``os._exit`` immediately after the nth submission is journaled
+        (fsync'd) but before its points are enqueued or the HTTP 202
+        is sent — the canonical accept/enqueue crash window.
+    ``lease_steal``
+        The nth acquired lease is overwritten with a foreign owner and
+        a bumped epoch before its next heartbeat — simulating another
+        host's stale-lease takeover while the local worker still runs.
+
+    One-shot semantics follow :class:`FaultPlan`: with ``trip_dir``
+    set, each (kind, ordinal) fires exactly once across restarts —
+    essential for ``kill_after_accept``, where the resubmitted
+    request after the daemon restart must succeed.
+    """
+
+    disk_full: tuple[int, ...] = ()
+    torn_tail: tuple[int, ...] = ()
+    kill_after_accept: tuple[int, ...] = ()
+    lease_steal: tuple[int, ...] = ()
+    trip_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for kind in SERVICE_FAULT_KINDS:
+            object.__setattr__(self, kind, tuple(sorted(getattr(self, kind))))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "ServiceFaultPlan":
+        """Parse ``"disk_full@0,kill_after_accept@1"`` into a plan."""
+        sets: dict[str, list[int]] = {kind: [] for kind in SERVICE_FAULT_KINDS}
+        for term in filter(None, (t.strip() for t in spec.split(","))):
+            kind, sep, ordinal = term.partition("@")
+            if not sep or kind not in sets:
+                raise ValueError(
+                    "bad service fault term %r (expected <kind>@<ordinal> "
+                    "with kind in %s)" % (term, "/".join(SERVICE_FAULT_KINDS))
+                )
+            sets[kind].append(int(ordinal))
+        return cls(**{k: tuple(v) for k, v in sets.items()}, **kwargs)
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec`."""
+        return ",".join(
+            "%s@%d" % (kind, ordinal)
+            for kind in SERVICE_FAULT_KINDS
+            for ordinal in getattr(self, kind)
+        )
+
+    # ------------------------------------------------------------------
+    def arm(self, kind: str, ordinal: int) -> bool:
+        """Whether the (kind, ordinal) fault should fire *now* (one-shot)."""
+        if ordinal not in getattr(self, kind):
+            return False
+        return _trip_once(self.trip_dir, "%s-%d" % (kind, ordinal))
+
+    def fired(self, kind: str, ordinal: int) -> bool:
+        """Whether a one-shot fault already fired (testing/CI helper)."""
+        if self.trip_dir is None:
+            return False
+        return (
+            Path(self.trip_dir) / ("%s-%d.tripped" % (kind, ordinal))
+        ).exists()
+
+

@@ -229,6 +229,30 @@ class RunLedger:
         if trc is not None:
             trc.event("ledger.append", key=key, label=point.label)
 
+    def refresh(self) -> list[str]:
+        """Merge records appended to the file by other processes.
+
+        Multi-host sweep-service processes share one ledger file per
+        run over shared storage: the executing process appends, the
+        observers ``refresh()`` and adopt.  Re-reads the file (tolerant
+        of a torn tail, like :meth:`open`) and folds in any ``point``
+        records this instance has not seen; returns their keys.
+        """
+        if not self.exists():
+            return []
+        fresh: list[str] = []
+        for line in self.path.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line from a hard kill
+            if record.get("kind") != "point" or "key" not in record:
+                continue
+            if record["key"] not in self._completed:
+                self._completed[record["key"]] = record
+                fresh.append(record["key"])
+        return fresh
+
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)

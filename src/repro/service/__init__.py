@@ -2,20 +2,35 @@
 
 ``repro serve`` wraps this package: :class:`SweepService` (the engine —
 content-addressed job queue, dedupe, supervised worker threads, per-run
-ledger/sidecar artifacts) behind :class:`ServiceHTTPServer` (stdlib
-HTTP: status, SSE span streaming, Prometheus ``/metrics``, ``/healthz``,
-JSONL access logs).  See ``docs/observability.md`` ("Running the
-service") for the curl walkthrough.
+ledger/sidecar artifacts, durable submission journal, point leases,
+bounded admission) behind :class:`ServiceHTTPServer` (stdlib HTTP:
+status, SSE span streaming, Prometheus ``/metrics``, ``/healthz``,
+JSONL access logs); ``repro submit`` wraps :func:`submit_sweep` (the
+idempotent, backpressure-aware client).  See ``docs/observability.md``
+("Running the service") and ``docs/resilience.md`` ("Crash recovery and
+multi-host operation").
 """
 
-from .engine import Job, RunHandle, SweepService, parse_spec
+from .client import SubmitError, content_run_id, submit_sweep, wait_for_run
+from .engine import Job, QueueFull, RunHandle, SweepService, parse_spec
 from .http import ServiceHTTPServer, serve_forever
+from .journal import SubmissionJournal, spec_digest
+from .lease import Lease, LeaseManager
 
 __all__ = [
     "Job",
+    "QueueFull",
     "RunHandle",
     "SweepService",
     "parse_spec",
     "ServiceHTTPServer",
     "serve_forever",
+    "SubmissionJournal",
+    "spec_digest",
+    "Lease",
+    "LeaseManager",
+    "SubmitError",
+    "content_run_id",
+    "submit_sweep",
+    "wait_for_run",
 ]

@@ -1,0 +1,190 @@
+"""Submission client: idempotent, backpressure-aware ``POST /sweeps``.
+
+The library half of ``repro submit``.  Three properties make retrying
+unconditionally safe, which is the whole point of the client:
+
+* **Content-addressed run keys** — a spec without an explicit
+  ``run_id`` gets one derived from the spec's own digest
+  (:func:`content_run_id`), so resubmitting the same sweep — after a
+  lost response, a 429, a daemon restart — always addresses the same
+  run, and the service's idempotent accept returns the existing run
+  instead of duplicating work.
+* **Capped exponential backoff with jitter** — retryable failures
+  (HTTP 429/503, connection errors, timeouts) back off as
+  ``backoff * 2^attempt`` clamped to ``max_backoff``, plus up to one
+  ``backoff`` of random jitter so a thundering herd of clients
+  desynchronizes.
+* **``Retry-After`` is honored** — when the service says how long to
+  wait (queue-full admission control, journal disk-full), that wins
+  over the computed backoff.
+
+Stdlib-only (``urllib``), mirroring the serve side's no-new-deps rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+
+__all__ = [
+    "SubmitError",
+    "content_run_id",
+    "submit_sweep",
+    "fetch_status",
+    "wait_for_run",
+    "DEFAULT_URL",
+]
+
+#: Default service URL (``repro serve``'s default bind).
+DEFAULT_URL = "http://127.0.0.1:8321"
+
+#: HTTP statuses worth retrying: backpressure and transient saturation.
+RETRYABLE_STATUSES = (429, 503)
+
+
+class SubmitError(RuntimeError):
+    """A submission that failed for good (non-retryable, or retries spent)."""
+
+    def __init__(self, message: str, status: int | None = None,
+                 body: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+def content_run_id(spec: dict) -> str:
+    """Deterministic run id for a spec: ``sub-`` + spec digest prefix.
+
+    Mirrors the service's spec digest (``run_id`` excluded), so every
+    client submitting the same sweep derives the same run id and the
+    service deduplicates them into one run.
+    """
+    stripped = {k: v for k, v in spec.items() if k != "run_id"}
+    blob = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return "sub-" + hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def _retry_after_of(headers, fallback: float) -> float:
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None:
+        return fallback
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return fallback
+
+
+def _request(url: str, data: bytes | None = None,
+             timeout: float = 10.0) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        payload = response.read().decode() or "{}"
+    parsed = json.loads(payload)
+    return parsed if isinstance(parsed, dict) else {}
+
+
+def submit_sweep(
+    url: str,
+    spec: dict,
+    max_attempts: int = 8,
+    backoff: float = 0.5,
+    max_backoff: float = 30.0,
+    timeout: float = 10.0,
+    sleep=time.sleep,
+    rng=random.random,
+    log=None,
+) -> dict:
+    """Submit ``spec``, retrying through backpressure until accepted.
+
+    Returns the service's accept payload (``run_id``, ``status_url``,
+    ``events_url``) — plus ``attempts``, the number of tries it took.
+    Raises :class:`SubmitError` on non-retryable rejections (400/413,
+    spec collisions) or when ``max_attempts`` retryable failures pile
+    up.  ``sleep``/``rng`` are injectable for tests.
+    """
+    spec = dict(spec)
+    if not spec.get("run_id"):
+        spec["run_id"] = content_run_id(spec)
+    body = json.dumps(spec, sort_keys=True).encode()
+    endpoint = url.rstrip("/") + "/sweeps"
+    last_error = "no attempts made"
+    for attempt in range(1, max(1, max_attempts) + 1):
+        try:
+            payload = _request(endpoint, data=body, timeout=timeout)
+            payload["attempts"] = attempt
+            return payload
+        except urllib.error.HTTPError as exc:
+            detail = {}
+            try:
+                detail = json.loads(exc.read().decode() or "{}")
+            except (ValueError, OSError):
+                pass
+            message = detail.get("error") or str(exc)
+            if exc.code not in RETRYABLE_STATUSES:
+                raise SubmitError(
+                    "submission rejected (%d): %s" % (exc.code, message),
+                    status=exc.code, body=detail,
+                ) from None
+            last_error = "%d: %s" % (exc.code, message)
+            delay = _retry_after_of(
+                exc.headers, min(max_backoff, backoff * (2 ** (attempt - 1)))
+            )
+        except (urllib.error.URLError, ConnectionError, TimeoutError,
+                OSError) as exc:
+            # Connection refused / reset / timed out: the daemon may be
+            # restarting mid-recovery — exactly when the idempotent
+            # resubmission contract matters most.
+            last_error = str(exc)
+            delay = min(max_backoff, backoff * (2 ** (attempt - 1)))
+        if attempt >= max_attempts:
+            break
+        delay += rng() * backoff  # jitter desynchronizes retry herds
+        if log is not None:
+            log(
+                "submit attempt %d/%d failed (%s); retrying in %.1fs"
+                % (attempt, max_attempts, last_error, delay)
+            )
+        sleep(delay)
+    raise SubmitError(
+        "submission not accepted after %d attempt(s); last error: %s"
+        % (max_attempts, last_error)
+    )
+
+
+def fetch_status(url: str, run_id: str, timeout: float = 10.0) -> dict:
+    """``GET /sweeps/<run_id>`` — the ``repro status --json`` payload."""
+    return _request(
+        "%s/sweeps/%s" % (url.rstrip("/"), run_id), timeout=timeout
+    )
+
+
+def wait_for_run(
+    url: str,
+    run_id: str,
+    poll: float = 1.0,
+    timeout: float | None = None,
+    sleep=time.sleep,
+    render=None,
+) -> dict:
+    """Poll a run's status until it finishes (or ``timeout`` elapses)."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        status = fetch_status(url, run_id)
+        if render is not None:
+            render(status)
+        if status.get("finished"):
+            return status
+        if deadline is not None and time.monotonic() >= deadline:
+            raise SubmitError(
+                "run %s did not finish within %.0fs" % (run_id, timeout)
+            )
+        sleep(max(0.1, poll))

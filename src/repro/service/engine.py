@@ -1,4 +1,4 @@
-"""Sweep-service engine: job queue, dedupe, worker pool, run handles.
+"""Sweep-service engine: durable queue, leases, dedupe, worker pool.
 
 The long-running half of ``repro serve`` (ROADMAP item 1's job queue +
 dedupe).  A :class:`SweepService` owns one ledger root and a pool of
@@ -12,26 +12,45 @@ verbatim, SSE is a :class:`~repro.telemetry.tail.JsonlTailer` over the
 sidecar, and killing the daemon loses nothing a restarted ``repro
 status`` can't still see.
 
+Crash safety and multi-host execution
+-------------------------------------
+Three mechanisms make the service survive anything short of losing the
+disk:
+
+* **Durable accept journal** — every submission is fsync'd to the
+  :class:`~repro.service.journal.SubmissionJournal` *before* the run
+  handle exists; :meth:`SweepService.start` replays the journal and
+  reconciles each pending run against its ledger (settled points are
+  adopted silently from the existing sidecar, unfinished points
+  re-enqueue), so ``kill -9`` + restart resumes every accepted run
+  with zero client action and a final status indistinguishable from an
+  uninterrupted run.
+* **Point leases** — workers claim each point key through the
+  :class:`~repro.service.lease.LeaseManager` before executing, so any
+  number of ``repro serve`` processes sharing the ledger root (same or
+  different hosts on shared storage) partition the work; stale leases
+  (holder died) are taken over with a bumped epoch, and a holder whose
+  lease was stolen detects it on heartbeat and abandons the point
+  instead of double-writing.  Cooperating processes discover each
+  other's submissions by tailing the shared journal and adopt each
+  other's completions through :meth:`RunLedger.refresh`.
+* **Admission control** — the job queue is bounded; overflow raises
+  :class:`QueueFull` (HTTP 429 + ``Retry-After``), and per-sweep
+  ``deadline`` specs fail still-unsettled points as
+  ``deadline_exceeded`` instead of occupying the queue forever.
+
 Dedupe is content-addressed: work is enqueued per
-:func:`~repro.runtime.ledger.point_key`, so
-
-* a point already **completed** by any earlier submission answers
-  instantly from the service's result cache (journaled into the new
-  run's ledger/sidecar as ``restored=True`` — no worker touched, no
-  ``point`` span in the new run's timeline);
-* a point currently **in flight** for another run is *subscribed to*,
-  not re-executed — both runs get their own ``point`` begin/finish
-  spans and ``point.final`` records when the one execution settles.
-
-Workers run points via the same
-:func:`~repro.runtime.executor.execute_point` seam the sweep runner
-uses, with no span recorder installed: the simulator emits zero spans
-(the overhead invariant), and the service journals the lifecycle spans
-itself, once per subscribed run.
+:func:`~repro.runtime.ledger.point_key`, so a point already completed
+by any earlier submission answers instantly from the result cache
+(journaled as ``restored=True``), and a point in flight for another run
+is subscribed to, not re-executed.  Resubmitting a spec under its
+existing run id is idempotent: the same run id is returned as long as
+the spec digest matches.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -39,14 +58,31 @@ from dataclasses import replace
 from pathlib import Path
 
 from ..runtime.executor import POINT_TIMEOUT_KIND, execute_point
-from ..runtime.ledger import RunLedger, default_ledger_root, new_run_id, point_key
-from ..runtime.points import PointResult, SweepPoint
+from ..runtime.faults import ServiceFaultPlan
+from ..runtime.ledger import (
+    LedgerError,
+    RunLedger,
+    default_ledger_root,
+    new_run_id,
+    point_key,
+)
+from ..runtime.points import PointError, PointResult, SweepPoint
 from ..runtime.sweep import RetryPolicy, SweepMetrics
 from ..runtime.trace_cache import TraceCache
 from ..telemetry import spans as _spans
 from ..telemetry.registry import MetricRegistry
+from ..telemetry.tail import JsonlTailer
+from .journal import SubmissionJournal, spec_digest
+from .lease import DEFAULT_TTL, LeaseManager
 
-__all__ = ["Job", "RunHandle", "SweepService", "parse_spec"]
+__all__ = [
+    "Job",
+    "QueueFull",
+    "RunHandle",
+    "SweepService",
+    "parse_spec",
+    "DEADLINE_KIND",
+]
 
 #: Job lifecycle states.
 QUEUED, RUNNING, DONE = "queued", "running", "done"
@@ -54,6 +90,28 @@ QUEUED, RUNNING, DONE = "queued", "running", "done"
 #: Sidecar (under the ledger root) journaling service-level spans:
 #: ``service.start`` instants and the ``service.shutdown`` drain span.
 SERVICE_SIDECAR = "service.spans.jsonl"
+
+#: Error kind recorded for points failed by a sweep deadline.
+DEADLINE_KIND = "deadline_exceeded"
+
+#: Default bound on the job queue (``max_queue``).
+DEFAULT_MAX_QUEUE = 256
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: the job queue is at its bound.
+
+    Carries the queue depth and a coarse ``retry_after`` estimate (queue
+    depth x mean execution time / workers, clamped to [1, 60] seconds)
+    that the HTTP layer forwards as a 429 ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, retry_after: int):
+        super().__init__(
+            "job queue full (%d queued); retry in ~%ds" % (depth, retry_after)
+        )
+        self.depth = depth
+        self.retry_after = retry_after
 
 
 def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
@@ -74,7 +132,7 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
         raise ValueError("sweep spec must be a JSON object")
     known = {
         "workloads", "datasets", "setups", "max_refs", "scale_shift",
-        "fast_path", "timeout", "retries", "backoff", "run_id",
+        "fast_path", "timeout", "retries", "backoff", "run_id", "deadline",
     }
     unknown = sorted(set(spec) - known)
     if unknown:
@@ -115,13 +173,17 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
         backoff = float(spec.get("backoff", 0.25))
         timeout = spec.get("timeout")
         timeout = None if timeout is None else float(timeout)
+        deadline = spec.get("deadline")
+        deadline = None if deadline is None else float(deadline)
     except (TypeError, ValueError):
         raise ValueError(
             "max_refs/scale_shift/retries must be integers; "
-            "timeout/backoff must be numbers"
+            "timeout/backoff/deadline must be numbers"
         ) from None
     if max_refs <= 0:
         raise ValueError("max_refs must be positive")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be a positive number of seconds")
     run_id = spec.get("run_id")
     if run_id is not None and (
         not isinstance(run_id, str) or not run_id or any(c in run_id for c in "/\\")
@@ -147,6 +209,7 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
             max_attempts=max(1, retries + 1), timeout=timeout, backoff=backoff
         ),
         "timeout": timeout,
+        "deadline": deadline,
     }
     return points, options
 
@@ -158,10 +221,14 @@ class Job:
     entries — every run waiting on this execution; each gets its own
     ``point`` begin span when the job starts (or when it subscribes to
     an already-running job) and settles when the one result lands.
+
+    ``not_before`` defers a job whose lease is held by another process
+    (monotonic clock); ``stolen`` flags a running job whose lease was
+    taken over mid-execution — its result is discarded, never written.
     """
 
     __slots__ = ("key", "point", "retry", "timeout", "state", "result",
-                 "subscribers", "attempt")
+                 "subscribers", "attempt", "not_before", "lease", "stolen")
 
     def __init__(self, key: str, point: SweepPoint, retry: RetryPolicy,
                  timeout: float | None):
@@ -173,6 +240,9 @@ class Job:
         self.result: PointResult | None = None
         self.subscribers: list[dict] = []
         self.attempt = 1
+        self.not_before = 0.0
+        self.lease = None
+        self.stolen = False
 
 
 class RunHandle:
@@ -185,13 +255,37 @@ class RunHandle:
     so ``repro status`` (and the HTTP status endpoint, which *is*
     ``repro status``) reconstructs the run with no service-specific
     code path.
+
+    With ``resume=True`` (journal replay after a crash, or adopting a
+    peer's submission) the handle first rebuilds its in-memory state
+    from the artifacts already on disk: points with an existing
+    ``point.final`` are settled silently — no new ledger or sidecar
+    writes, tallies recovered from the recorded attributes — so a
+    recovered run's artifacts stay *identical* to an uninterrupted
+    run's.  Shared-once records (``sweep.run`` meta, ``sweep.finish``)
+    are election-guarded through :meth:`LeaseManager.once`, so exactly
+    one process across all crashes and peers writes each.
     """
 
-    def __init__(self, run_id: str, root: Path, points: list[SweepPoint],
-                 workers: int):
+    def __init__(
+        self,
+        run_id: str,
+        root: Path,
+        points: list[SweepPoint],
+        workers: int,
+        leases: LeaseManager | None = None,
+        spec_digest: str | None = None,
+        deadline_at: float | None = None,
+        resume: bool = False,
+        on_finish=None,
+    ):
         self.run_id = run_id
         self.points = points
         self.workers = workers
+        self.leases = leases
+        self.spec_digest = spec_digest
+        self.deadline_at = deadline_at
+        self.on_finish = on_finish
         self.ledger = RunLedger(run_id, root=root)
         self.ledger.open()
         self.tracer = _spans.SpanRecorder(
@@ -210,20 +304,102 @@ class RunHandle:
             "quarantined": 0,
             "point_time": 0.0,
         }
-        self.tracer.meta(
-            "sweep.run",
-            run_id=run_id,
-            total=len(points),
-            labels=[p.label for p in points],
-            workers=workers,
-            mode="service",
-            telemetry=False,
-        )
+        if resume:
+            self._rebuild()
+        if self._once("meta"):
+            self.tracer.meta(
+                "sweep.run",
+                run_id=run_id,
+                total=len(points),
+                labels=[p.label for p in points],
+                workers=workers,
+                mode="service",
+                telemetry=False,
+            )
+        if resume and not self.finished and len(self.settled) == len(points):
+            self._finish()
+
+    # ------------------------------------------------------------------
+    def _once(self, what: str) -> bool:
+        """Single-writer election for a shared record of this run."""
+        if self.leases is None:
+            return True
+        return self.leases.once("%s-%s" % (what, self.run_id))
+
+    def _tally(self, ok: bool, restored: bool, cache_hit,
+               wall_time: float, quarantined: int) -> None:
+        if not ok:
+            self.tallies["errors"] += 1
+        if restored:
+            self.tallies["restored"] += 1
+        else:
+            self.tallies["point_time"] += wall_time or 0.0
+            if cache_hit is True:
+                self.tallies["cache_hits"] += 1
+            elif cache_hit is False:
+                self.tallies["cache_misses"] += 1
+            self.tallies["quarantined"] += quarantined
+
+    def _rebuild(self) -> None:
+        """Adopt this run's pre-existing artifacts (crash recovery).
+
+        Scans the sidecar: every recorded ``point.final`` settles its
+        index silently (tallies recovered from the final's attributes),
+        retry/timeout instants restore those tallies, and an existing
+        ``sweep.finish`` marks the run finished.  A point whose ledger
+        record landed but whose ``point.final`` never did (killed
+        between the two appends) gets the missing final reconstructed
+        from the ledger — the one write a recovered run may add that
+        the dying process was already committed to.
+        """
+        for record in _spans.read_sidecar(self.tracer.sidecar):
+            kind, name = record.get("k"), record.get("name")
+            attrs = record.get("attrs") or {}
+            if kind == "I" and name == "point.retry":
+                self.tallies["retries"] += 1
+            elif kind == "I" and name == "point.timeout":
+                self.tallies["timeouts"] += 1
+            elif kind == "I" and name == "point.final":
+                index = attrs.get("index")
+                if not isinstance(index, int) or index in self.settled:
+                    continue
+                if not 0 <= index < len(self.points):
+                    continue
+                point = self.points[index]
+                result = self.ledger.restore(point)
+                if result is None:
+                    error = PointError(
+                        kind=str(attrs.get("error_kind") or "unknown"),
+                        message="recorded as failed before recovery",
+                    )
+                    result = PointResult(point=point, error=error)
+                self._tally(
+                    ok=bool(attrs.get("ok")),
+                    restored=bool(attrs.get("restored")),
+                    cache_hit=attrs.get("cache_hit"),
+                    wall_time=float(attrs.get("wall_time") or 0.0),
+                    quarantined=int(attrs.get("quarantined") or 0),
+                )
+                self.settled[index] = result
+            elif kind == "F" and name == "sweep.finish":
+                self.finished = True
+        # Ledger ahead of the sidecar: record landed, final didn't.
+        for index, point in enumerate(self.points):
+            if index in self.settled:
+                continue
+            result = self.ledger.restore(point)
+            if result is not None:
+                self.settle(
+                    index, point, replace(result, restored=False),
+                    restored=False,
+                )
 
     # ------------------------------------------------------------------
     def settle(self, index: int, point: SweepPoint, result: PointResult,
                restored: bool) -> None:
         """Record one settled point: ledger first, then the timeline."""
+        if index in self.settled:
+            return  # already adopted/settled (recovery or deadline race)
         if result.ok:
             self.ledger.record(point, result)
         attrs = dict(
@@ -236,52 +412,74 @@ class RunHandle:
             windows_degraded=result.windows_degraded,
             wall_time=result.wall_time,
             restored=restored,
+            quarantined=result.cache_quarantined,
         )
         if not result.ok:
             attrs["error_kind"] = result.error.kind
-            self.tallies["errors"] += 1
-        if restored:
-            self.tallies["restored"] += 1
-        else:
-            self.tallies["point_time"] += result.wall_time
-            if result.trace_cache_hit is True:
-                self.tallies["cache_hits"] += 1
-            elif result.trace_cache_hit is False:
-                self.tallies["cache_misses"] += 1
-            self.tallies["quarantined"] += result.cache_quarantined
+        self._tally(
+            ok=result.ok, restored=restored,
+            cache_hit=None if restored else result.trace_cache_hit,
+            wall_time=result.wall_time,
+            quarantined=result.cache_quarantined,
+        )
         self.tracer.event("point.final", **attrs)
         self.settled[index] = result
         if len(self.settled) == len(self.points):
             self._finish()
 
-    def _finish(self) -> None:
-        metrics = SweepMetrics(
-            workers=self.workers,
-            mode="service",
-            total_points=len(self.points),
-            errors=self.tallies["errors"],
-            elapsed=time.perf_counter() - self.started,
-            point_time=self.tallies["point_time"],
-            cache_hits=self.tallies["cache_hits"],
-            cache_misses=self.tallies["cache_misses"],
-            retries=self.tallies["retries"],
-            timeouts=self.tallies["timeouts"],
-            quarantined_entries=self.tallies["quarantined"],
-            restored=self.tallies["restored"],
+    def adopt(self, index: int, point: SweepPoint,
+              result: PointResult) -> None:
+        """Mark a point settled by a cooperating process — no new writes.
+
+        The executing process already journaled this run's ledger record
+        and ``point.final``; adopting only updates in-memory tallies and
+        completion tracking so this process's view converges.
+        """
+        if index in self.settled:
+            return
+        self._tally(
+            ok=result.ok, restored=False,
+            cache_hit=result.trace_cache_hit,
+            wall_time=result.wall_time, quarantined=0,
         )
-        self.tracer.meta("sweep.finish", kind="F", metrics=metrics.as_dict())
+        self.settled[index] = result
+        if len(self.settled) == len(self.points):
+            self._finish()
+
+    def _finish(self) -> None:
         self.finished = True
+        if self._once("finish"):
+            metrics = SweepMetrics(
+                workers=self.workers,
+                mode="service",
+                total_points=len(self.points),
+                errors=self.tallies["errors"],
+                elapsed=time.perf_counter() - self.started,
+                point_time=self.tallies["point_time"],
+                cache_hits=self.tallies["cache_hits"],
+                cache_misses=self.tallies["cache_misses"],
+                retries=self.tallies["retries"],
+                timeouts=self.tallies["timeouts"],
+                quarantined_entries=self.tallies["quarantined"],
+                restored=self.tallies["restored"],
+            )
+            self.tracer.meta("sweep.finish", kind="F", metrics=metrics.as_dict())
+        if self.on_finish is not None:
+            self.on_finish(self)
 
 
 class SweepService:
     """The daemon's core: submissions in, deduped executions out.
 
     All mutable state is guarded by one condition variable; workers are
-    daemon threads pulling :class:`Job` objects off a FIFO deque.  The
-    pool is supervised — :meth:`healthy` reports whether every worker
-    thread is still alive — and :meth:`drain` performs the graceful
-    shutdown: stop accepting, let the queue empty, join the workers, and
-    journal a ``service.shutdown`` span into the service sidecar.
+    daemon threads pulling :class:`Job` objects off a FIFO deque, each
+    execution gated by a point lease.  A housekeeping thread heartbeats
+    held leases, tails the shared submission journal for peer
+    submissions, and enforces sweep deadlines.  The pool is supervised —
+    :meth:`healthy` reports whether every thread is still alive — and
+    :meth:`drain` performs the graceful shutdown: stop accepting, let
+    the queue empty, join the threads, and journal a
+    ``service.shutdown`` span into the service sidecar.
     """
 
     def __init__(
@@ -289,10 +487,18 @@ class SweepService:
         root: str | Path | None = None,
         workers: int = 2,
         trace_cache: TraceCache | None = None,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        lease_ttl: float = DEFAULT_TTL,
+        faults: ServiceFaultPlan | None = None,
     ):
         self.root = Path(root) if root is not None else default_ledger_root()
         self.workers = max(1, int(workers))
         self.cache = trace_cache if trace_cache is not None else TraceCache()
+        self.max_queue = max(1, int(max_queue))
+        self.faults = faults
+        self.journal = SubmissionJournal(self.root, faults=faults)
+        self.leases = LeaseManager(self.root, ttl=lease_ttl)
+        self._journal_tail = JsonlTailer(self.journal.path)
         self._memo: dict = {}
         self._config = None
         self._cv = threading.Condition()
@@ -303,6 +509,8 @@ class SweepService:
         self._busy: list[bool] = [False] * self.workers
         self._threads: list[threading.Thread] = []
         self._stopping = False
+        self._lease_seq = 0  # acquisition ordinal (lease_steal faults)
+        self._exec_time = 0.0
         self.started_at = time.time()
         self.counters = {
             "submissions": 0,
@@ -313,6 +521,7 @@ class SweepService:
             "dedup_hits": 0,
             "cached_answers": 0,
             "inflight_joins": 0,
+            "idempotent_hits": 0,
             "retries": 0,
             "timeouts": 0,
             "recovered_workers": 0,
@@ -321,6 +530,13 @@ class SweepService:
             "trace_cache_hits": 0,
             "trace_cache_misses": 0,
             "windows_degraded": 0,
+            "rejected_429": 0,
+            "journal_replays": 0,
+            "journal_adoptions": 0,
+            "lease_takeovers": 0,
+            "leases_lost": 0,
+            "remote_settled": 0,
+            "deadline_exceeded": 0,
         }
         self.tracer = _spans.SpanRecorder(sidecar=self.root / SERVICE_SIDECAR)
         # The same pull-based gauge surface a CLI sweep exposes
@@ -343,10 +559,11 @@ class SweepService:
 
     # ------------------------------------------------------------------
     def start(self) -> "SweepService":
-        """Spawn the worker pool (idempotent)."""
+        """Replay the journal, then spawn the pool (idempotent)."""
         with self._cv:
             if self._threads:
                 return self
+            replayed = self._recover_locked()
             for slot in range(self.workers):
                 thread = threading.Thread(
                     target=self._worker, args=(slot,),
@@ -354,8 +571,14 @@ class SweepService:
                 )
                 self._threads.append(thread)
                 thread.start()
+            keeper = threading.Thread(
+                target=self._housekeeper, name="sweep-housekeeper", daemon=True,
+            )
+            self._threads.append(keeper)
+            keeper.start()
         self.tracer.event(
-            "service.start", workers=self.workers, root=str(self.root)
+            "service.start", workers=self.workers, root=str(self.root),
+            replayed=replayed,
         )
         return self
 
@@ -369,25 +592,129 @@ class SweepService:
             )
 
     # ------------------------------------------------------------------
-    def submit(self, spec: dict) -> str:
-        """Accept one sweep spec; returns its run id immediately.
+    def _recover_locked(self) -> int:
+        """Replay the submission journal: re-open every pending run.
 
-        Every point is keyed by :func:`point_key`: known-complete keys
-        settle instantly (``restored=True``), in-flight keys subscribe
-        to the running job, and only genuinely new work is enqueued.
+        Settled points are adopted from the existing artifacts; the
+        remainder re-enqueues.  Returns the number of runs replayed.
         """
-        points, options = parse_spec(spec)
-        run_id = options["run_id"] or new_run_id()
-        with self._cv:
-            if self._stopping:
-                raise RuntimeError("service is draining; not accepting sweeps")
-            if run_id in self._runs and not self._runs[run_id].finished:
-                raise ValueError("run id %r is already active" % run_id)
-            handle = RunHandle(run_id, self.root, points, workers=self.workers)
-            self._runs[run_id] = handle
+        entries, _done = self.journal.replay()
+        replayed = 0
+        for entry in entries:
+            if entry.done or entry.run_id in self._runs:
+                continue
+            try:
+                points, options = parse_spec(entry.spec)
+            except ValueError as exc:
+                self.tracer.event(
+                    "service.replay_error", run_id=entry.run_id,
+                    error=str(exc),
+                )
+                continue
+            handle = self._open_run_locked(
+                entry.run_id, entry.spec, points, options,
+                submitted_at=entry.submitted_at or None, resume=True,
+            )
+            replayed += 1
+            self.counters["journal_replays"] += 1
             self.counters["submissions"] += 1
             self.counters["points_submitted"] += len(points)
             for index, point in enumerate(points):
+                if index in handle.settled:
+                    # Seed the shared result cache with recovered points
+                    # so later submissions dedupe against them.
+                    recovered = handle.settled[index]
+                    if recovered.ok:
+                        self._results.setdefault(point_key(point), recovered)
+                    continue
+                self._place(handle, index, point, options)
+        if replayed:
+            self._cv.notify_all()
+        # The tailer must not re-deliver what replay just consumed.
+        self._journal_tail.poll()
+        return replayed
+
+    def _open_run_locked(
+        self,
+        run_id: str,
+        spec: dict,
+        points: list[SweepPoint],
+        options: dict,
+        submitted_at: float | None = None,
+        resume: bool = False,
+    ) -> RunHandle:
+        deadline = options.get("deadline")
+        deadline_at = None
+        if deadline is not None:
+            deadline_at = (submitted_at or time.time()) + deadline
+        handle = RunHandle(
+            run_id, self.root, points, workers=self.workers,
+            leases=self.leases, spec_digest=spec_digest(spec),
+            deadline_at=deadline_at, resume=resume,
+            on_finish=self._run_completed,
+        )
+        self._runs[run_id] = handle
+        return handle
+
+    def _run_completed(self, handle: RunHandle) -> None:
+        """Journal a run's completion exactly once across processes."""
+        if self.leases.once("jdone-%s" % handle.run_id):
+            try:
+                self.journal.done(handle.run_id)
+            except OSError:
+                pass  # journaling completion is an optimization only
+
+    def _retry_after_locked(self) -> int:
+        executed = self.counters["points_executed"]
+        mean = (self._exec_time / executed) if executed else 1.0
+        estimate = len(self._queue) * mean / self.workers
+        return max(1, min(60, int(estimate) + 1))
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict) -> str:
+        """Accept one sweep spec; returns its run id after it is durable.
+
+        Admission order is the crash-safety contract: parse (400s cost
+        nothing), admission check (:class:`QueueFull` → 429), idempotency
+        check (same run id + same spec digest returns the existing run),
+        then the fsync'd journal append — only after the submission is
+        durable does the run handle exist.  A daemon killed between
+        accept and enqueue replays the run from the journal on restart.
+        """
+        points, options = parse_spec(spec)
+        run_id = options["run_id"] or new_run_id()
+        digest = spec_digest(spec)
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("service is draining; not accepting sweeps")
+            existing = self._runs.get(run_id)
+            if existing is not None:
+                if existing.spec_digest == digest:
+                    self.counters["idempotent_hits"] += 1
+                    return run_id
+                raise ValueError(
+                    "run id %r is already active with a different spec"
+                    % run_id
+                )
+            if len(self._queue) >= self.max_queue:
+                self.counters["rejected_429"] += 1
+                raise QueueFull(
+                    depth=len(self._queue),
+                    retry_after=self._retry_after_locked(),
+                )
+            journal_spec = dict(spec)
+            journal_spec["run_id"] = run_id
+            self.journal.submit(run_id, journal_spec)
+            if self.faults is not None and self.faults.arm(
+                "kill_after_accept", self.journal.submits - 1
+            ):
+                os._exit(1)  # accepted-but-not-enqueued crash window
+            handle = self._open_run_locked(run_id, journal_spec, points, options)
+            self.counters["submissions"] += 1
+            self.counters["points_submitted"] += len(points)
+            for index, point in enumerate(points):
+                if index in handle.settled:
+                    continue
                 self._place(handle, index, point, options)
             self._cv.notify_all()
         return run_id
@@ -433,34 +760,183 @@ class SweepService:
         self._queue.append(job)
 
     # ------------------------------------------------------------------
+    def _next_ready_locked(self) -> Job | None:
+        """Pop the first queued job whose deferral has elapsed."""
+        now = time.monotonic()
+        for position, job in enumerate(self._queue):
+            if job.not_before <= now:
+                del self._queue[position]
+                return job
+        return None
+
+    def _defer_locked(self, job: Job, delay: float | None = None) -> None:
+        """Requeue a job whose lease is (still) held elsewhere."""
+        job.state = QUEUED
+        job.lease = None
+        job.stolen = False
+        if delay is None:
+            delay = min(1.0, max(0.1, self.leases.ttl / 4.0))
+        job.not_before = time.monotonic() + delay
+        self._queue.append(job)
+
     def _worker(self, slot: int) -> None:
         while True:
             with self._cv:
-                while not self._queue and not self._stopping:
-                    self._cv.wait(timeout=0.5)
-                if not self._queue:
-                    return  # draining and nothing left
-                job = self._queue.popleft()
+                while True:
+                    if self._stopping and not self._queue:
+                        return
+                    job = self._next_ready_locked()
+                    if job is not None:
+                        break
+                    self._cv.wait(timeout=0.2)
                 job.state = RUNNING
                 self._busy[slot] = True
-                for entry in job.subscribers:
+            try:
+                if not self._claim(job):
+                    continue
+                try:
+                    result = self._execute(job)
+                except BaseException as exc:  # defensive: workers never die silently
+                    result = PointResult(
+                        point=job.point, error=PointError.from_exception(exc)
+                    )
+                self._deliver(job, result)
+            finally:
+                with self._cv:
+                    self._busy[slot] = False
+                    self._cv.notify_all()
+
+    def _claim(self, job: Job) -> bool:
+        """Acquire the job's lease; route around foreign/settled leases.
+
+        Returns ``True`` with the lease attached when this process may
+        execute the point.  A lease settled by a peer adopts the remote
+        result; a live foreign lease defers the job.
+        """
+        lease = self.leases.acquire(job.key)
+        if lease is None:
+            record = self.leases.peek(job.key)
+            with self._cv:
+                if record.get("state") in ("done", "failed"):
+                    if not self._adopt_remote_locked(job, record):
+                        self._defer_locked(job, delay=0.25)
+                else:
+                    self._defer_locked(job)
+            return False
+        with self._cv:
+            job.lease = lease
+            job.stolen = False
+            if lease.takeover:
+                self.counters["lease_takeovers"] += 1
+                self.tracer.event(
+                    "service.lease_takeover", key=job.key,
+                    label=job.point.label, epoch=lease.epoch,
+                )
+            ordinal = self._lease_seq
+            self._lease_seq += 1
+            for entry in job.subscribers:
+                if entry.get("span") is None:
                     entry["span"] = entry["handle"].tracer.start(
                         "point", index=entry["index"],
                         label=job.point.label, attempt=job.attempt,
                     )
-            try:
-                result = self._execute(job)
-            except BaseException as exc:  # defensive: workers never die silently
-                from ..runtime.points import PointError
+        if self.faults is not None and self.faults.arm("lease_steal", ordinal):
+            self.leases.steal(job.key)
+        return True
 
-                result = PointResult(
-                    point=job.point, error=PointError.from_exception(exc)
-                )
+    def _deliver(self, job: Job, result: PointResult) -> None:
+        """Publish one finished execution — unless the lease was stolen."""
+        stolen = job.stolen or not self.leases.heartbeat(job.lease)
+        if stolen:
             with self._cv:
-                self._settle_job(job, result)
-                self._busy[slot] = False
-                self._cv.notify_all()
+                self.counters["leases_lost"] += 1
+                for entry in job.subscribers:
+                    span = entry.pop("span", None) or None
+                    entry["span"] = None
+                    if span is not None:
+                        entry["handle"].tracer.finish(span, status="superseded")
+                self._defer_locked(job)
+            return
+        with self._cv:
+            source = (
+                job.subscribers[0]["handle"].run_id if job.subscribers else None
+            )
+        self.leases.release(
+            job.lease,
+            "done" if result.ok else "failed",
+            error_kind=None if result.ok else result.error.kind,
+            extra={"run": source},
+        )
+        with self._cv:
+            self._settle_job(job, result)
 
+    def _adopt_remote_locked(self, job: Job, record: dict) -> bool:
+        """Fold a peer's settled lease into every subscribed run.
+
+        Returns ``False`` when the peer's result is not visible on disk
+        yet (its ledger append may still be in flight) — the job defers
+        and retries.  Runs the peer also knows already have their
+        artifacts written (adopt silently); runs it does not get the
+        result settled from the peer's source-run ledger, exactly like
+        a cached answer.
+        """
+        remote: PointResult | None = None
+        for entry in list(job.subscribers):
+            handle = entry["handle"]
+            index = entry["index"]
+            if index in handle.settled:
+                continue
+            handle.ledger.refresh()
+            own = handle.ledger.restore(job.point)
+            if own is not None:
+                handle.adopt(index, job.point, replace(own, restored=False))
+                continue
+            if record.get("state") == "failed":
+                error = PointError(
+                    kind=str(record.get("error_kind") or "RemoteFailure"),
+                    message="point %s failed on %s"
+                    % (job.point.label, record.get("owner", "peer")),
+                )
+                handle.settle(
+                    index, job.point,
+                    PointResult(point=job.point, error=error),
+                    restored=False,
+                )
+                continue
+            if remote is None:
+                remote = self._remote_result(job, record)
+            if remote is None:
+                return False  # not visible yet: defer and re-poll
+            self._results.setdefault(job.key, remote)
+            self.counters["restored_points"] += 1
+            handle.settle(
+                index, job.point,
+                replace(remote, point=job.point, restored=True),
+                restored=True,
+            )
+        job.state = DONE
+        self._jobs.pop(job.key, None)
+        self.counters["remote_settled"] += 1
+        return True
+
+    def _remote_result(self, job: Job, record: dict) -> PointResult | None:
+        """Load a peer-executed result via its source run's ledger."""
+        source = record.get("run")
+        if not isinstance(source, str) or not source:
+            return None
+        try:
+            ledger = RunLedger(source, root=self.root)
+        except ValueError:
+            return None
+        if not ledger.exists():
+            return None
+        try:
+            ledger.open()
+        except LedgerError:
+            return None
+        return ledger.restore(job.point)
+
+    # ------------------------------------------------------------------
     def _execute(self, job: Job) -> PointResult:
         """Run one job with the service-side retry loop."""
         if self._config is None:
@@ -509,6 +985,7 @@ class SweepService:
         job.result = result
         self._jobs.pop(job.key, None)
         self.counters["points_executed"] += 1
+        self._exec_time += result.wall_time
         if result.ok:
             self.counters["points_completed"] += 1
             self._results[job.key] = result
@@ -536,6 +1013,99 @@ class SweepService:
             handle.settle(entry["index"], job.point, result, restored=False)
 
     # ------------------------------------------------------------------
+    def _housekeeper(self) -> None:
+        """Heartbeats, peer-journal tailing, deadlines, queue pruning."""
+        interval = min(1.0, max(0.1, self.leases.ttl / 3.0))
+        while True:
+            with self._cv:
+                if self._stopping:
+                    return
+                held = [
+                    job for job in self._jobs.values()
+                    if job.state == RUNNING and job.lease is not None
+                ]
+            for job in held:
+                lease = job.lease
+                if lease is not None and not self.leases.heartbeat(lease):
+                    job.stolen = True
+            self._tail_journal()
+            self._enforce_deadlines()
+            time.sleep(interval)
+
+    def _tail_journal(self) -> None:
+        """Adopt peer submissions appended to the shared journal."""
+        for record in self._journal_tail.poll():
+            if record.get("kind") != "submit":
+                continue
+            run_id = record.get("run_id")
+            spec = record.get("spec")
+            with self._cv:
+                if (
+                    not isinstance(run_id, str)
+                    or not isinstance(spec, dict)
+                    or run_id in self._runs
+                    or self._stopping
+                ):
+                    continue
+                try:
+                    points, options = parse_spec(spec)
+                except ValueError:
+                    continue
+                handle = self._open_run_locked(
+                    run_id, spec, points, options,
+                    submitted_at=record.get("ts"), resume=True,
+                )
+                self.counters["journal_adoptions"] += 1
+                self.counters["submissions"] += 1
+                self.counters["points_submitted"] += len(points)
+                for index, point in enumerate(points):
+                    if index in handle.settled:
+                        continue
+                    self._place(handle, index, point, options)
+                self._cv.notify_all()
+
+    def _enforce_deadlines(self) -> None:
+        """Fail unsettled points of expired sweeps as ``deadline_exceeded``."""
+        now = time.time()
+        with self._cv:
+            for handle in list(self._runs.values()):
+                if (
+                    handle.finished
+                    or handle.deadline_at is None
+                    or now < handle.deadline_at
+                ):
+                    continue
+                for index, point in enumerate(handle.points):
+                    if index in handle.settled:
+                        continue
+                    error = PointError(
+                        kind=DEADLINE_KIND,
+                        message="sweep %s exceeded its %.0fs deadline"
+                        % (handle.run_id, handle.deadline_at - now + 0),
+                    )
+                    handle.settle(
+                        index, point,
+                        PointResult(point=point, error=error),
+                        restored=False,
+                    )
+                    self.counters["deadline_exceeded"] += 1
+            # Drop queued jobs whose subscribers have all been settled
+            # out from under them (deadline, adoption).
+            for key, job in list(self._jobs.items()):
+                if job.state != QUEUED:
+                    continue
+                job.subscribers = [
+                    entry for entry in job.subscribers
+                    if entry["index"] not in entry["handle"].settled
+                ]
+                if not job.subscribers:
+                    self._jobs.pop(key, None)
+                    try:
+                        self._queue.remove(job)
+                    except ValueError:
+                        pass
+
+    # ------------------------------------------------------------------
     def run_ids(self) -> list[str]:
         with self._cv:
             return sorted(self._runs)
@@ -557,10 +1127,11 @@ class SweepService:
     def metric_samples(self) -> dict:
         """The ``/metrics`` sample set, ready for ``render_prom``.
 
-        Service throughput/dedupe counters, live queue/pool gauges (one
-        ``service_worker_busy`` series per worker), and the pull-based
-        ``sweep.*`` / ``fastpath.*`` gauge registry a CLI sweep would
-        expose.
+        Service throughput/dedupe counters, crash-safety counters
+        (journal replays, lease takeovers, 429 rejections), live
+        queue/pool gauges (one ``service_worker_busy`` series per
+        worker), and the pull-based ``sweep.*`` / ``fastpath.*`` gauge
+        registry a CLI sweep would expose.
         """
         counter_help = {
             "submissions": "Sweep submissions accepted.",
@@ -572,11 +1143,21 @@ class SweepService:
                           "(cached result, ledger restore, or in-flight join).",
             "cached_answers": "Points answered instantly from the result cache.",
             "inflight_joins": "Points subscribed to an already-running job.",
+            "idempotent_hits": "Resubmissions answered with their existing run.",
             "retries": "Point retry attempts scheduled.",
             "timeouts": "Point watchdog timeouts observed.",
             "restored_points": "Points journaled as restored.",
             "trace_cache_hits": "Trace-cache hits across executions.",
             "trace_cache_misses": "Trace-cache misses across executions.",
+            "rejected_429": "Submissions refused by queue admission control.",
+            "journal_replays": "Runs replayed from the submission journal "
+                               "at startup.",
+            "journal_adoptions": "Peer submissions adopted from the shared "
+                                 "journal.",
+            "lease_takeovers": "Stale leases taken over from dead workers.",
+            "leases_lost": "Executions abandoned after a lease steal.",
+            "remote_settled": "Jobs settled from a peer's completed lease.",
+            "deadline_exceeded": "Points failed by a sweep deadline.",
         }
         with self._cv:
             samples: dict = {}
@@ -590,6 +1171,11 @@ class SweepService:
                 "value": len(self._queue),
                 "type": "gauge",
                 "help": "Jobs waiting for a worker.",
+            }
+            samples["service.queue_limit"] = {
+                "value": self.max_queue,
+                "type": "gauge",
+                "help": "Admission-control bound on the job queue.",
             }
             samples["service.inflight"] = {
                 "value": sum(1 for j in self._jobs.values() if j.state == RUNNING),

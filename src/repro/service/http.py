@@ -8,7 +8,14 @@ or runs ``repro status`` against the ledger root:
 ``POST /sweeps``
     Body: the JSON spec dict ``repro sweep`` consumes (see
     :func:`~repro.service.engine.parse_spec`).  Returns 202 with the run
-    id and the run's status/SSE URLs; 400 with a message on a bad spec.
+    id and the run's status/SSE URLs.  Error paths are structured JSON,
+    never tracebacks: 400 on a bad spec, malformed JSON, a non-object
+    body or a wrong ``Content-Type``; 413 when the body exceeds
+    :data:`MAX_BODY_BYTES`; 429 + ``Retry-After`` when admission
+    control refuses (queue full); 503 + ``Retry-After`` when the
+    submission journal cannot be written (disk full) or the service is
+    draining.  Resubmitting a spec under its run id is idempotent, so
+    retrying on 429/503/timeouts is always safe.
 ``GET /sweeps/<run-id>``
     Exactly the ``repro status <run-id> --json`` payload, byte for byte
     — both sides are ``json.dumps(load_run_status(...).as_dict(),
@@ -44,12 +51,20 @@ from pathlib import Path
 from ..runtime.status import load_run_status, status_paths
 from ..telemetry.export import render_prom
 from ..telemetry.tail import JsonlTailer
-from .engine import SweepService
+from .engine import QueueFull, SweepService
 
-__all__ = ["ServiceHTTPServer", "serve_forever"]
+__all__ = ["ServiceHTTPServer", "serve_forever", "MAX_BODY_BYTES"]
 
 #: SSE poll interval (seconds) between sidecar reads.
 SSE_POLL = 0.2
+
+#: Largest accepted ``POST /sweeps`` body; larger requests get a 413.
+MAX_BODY_BYTES = 1 << 20
+
+#: ``Retry-After`` hint (seconds) for transient 503s (journal append
+#: failed); the disk-full condition usually needs operator action, so
+#: the hint is deliberately short — clients learn quickly when it clears.
+JOURNAL_RETRY_AFTER = 2
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -63,21 +78,25 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SweepService:
         return self.server.service
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(self, status: int, body: bytes, content_type: str,
+              headers: dict | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(self, status: int, payload,
+                   headers: dict | None = None) -> None:
         if isinstance(payload, (bytes, str)):
             body = payload.encode() if isinstance(payload, str) else payload
         else:
             body = (
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"
             ).encode()
-        self._send(status, body, "application/json")
+        self._send(status, body, "application/json", headers=headers)
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # replaced by the structured JSONL access log
@@ -103,18 +122,72 @@ class _Handler(BaseHTTPRequestHandler):
                 status = 404
                 self._send_json(status, {"error": "unknown endpoint"})
                 return
+            content_type = (
+                (self.headers.get("Content-Type") or "")
+                .split(";", 1)[0].strip().lower()
+            )
+            if content_type and content_type != "application/json":
+                status = 400
+                self._send_json(
+                    status,
+                    {"error": "Content-Type must be application/json "
+                              "(got %r)" % content_type},
+                )
+                return
             try:
                 length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                status = 400
+                self._send_json(status, {"error": "invalid Content-Length"})
+                return
+            if length < 0:
+                status = 400
+                self._send_json(status, {"error": "invalid Content-Length"})
+                return
+            if length > MAX_BODY_BYTES:
+                status = 413
+                self._send_json(
+                    status,
+                    {"error": "request body exceeds %d bytes" % MAX_BODY_BYTES,
+                     "limit_bytes": MAX_BODY_BYTES},
+                )
+                return
+            try:
                 spec = json.loads(self.rfile.read(length) or b"{}")
             except ValueError:
                 status = 400
                 self._send_json(status, {"error": "body is not valid JSON"})
                 return
+            if not isinstance(spec, dict):
+                status = 400
+                self._send_json(
+                    status, {"error": "sweep spec must be a JSON object"}
+                )
+                return
             try:
                 run_id = self.service.submit(spec)
+            except QueueFull as exc:
+                status = 429
+                self._send_json(
+                    status,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": exc.retry_after},
+                )
+                return
             except ValueError as exc:
                 status = 400
                 self._send_json(status, {"error": str(exc)})
+                return
+            except OSError as exc:
+                # The submission journal could not be written (disk
+                # full): nothing was accepted, so a retry is safe.
+                status = 503
+                self._send_json(
+                    status,
+                    {"error": "submission journal append failed: %s" % exc,
+                     "retry_after": JOURNAL_RETRY_AFTER},
+                    headers={"Retry-After": JOURNAL_RETRY_AFTER},
+                )
                 return
             except RuntimeError as exc:
                 status = 503

@@ -1,0 +1,170 @@
+"""Submission client: retry/backoff policy with injected transport."""
+
+from __future__ import annotations
+
+import io
+import urllib.error
+from email.message import Message
+
+import pytest
+
+from repro.service import client as client_mod
+from repro.service.client import SubmitError, content_run_id, submit_sweep
+
+SPEC = {
+    "workloads": ["PR"],
+    "datasets": ["kron"],
+    "setups": ["droplet"],
+    "max_refs": 3000,
+    "scale_shift": -6,
+}
+
+
+def http_error(code, body=b"{}", retry_after=None):
+    headers = Message()
+    if retry_after is not None:
+        headers["Retry-After"] = str(retry_after)
+    return urllib.error.HTTPError(
+        "http://x/sweeps", code, "err", headers, io.BytesIO(body)
+    )
+
+
+class Transport:
+    """Scripted stand-in for ``client._request``: pops one outcome per call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self, url, data=None, timeout=10.0):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return dict(outcome)
+
+
+class TestContentRunId:
+    def test_stable_and_ignores_run_id(self):
+        assert content_run_id(SPEC) == content_run_id(dict(SPEC, run_id="x"))
+        assert content_run_id(SPEC).startswith("sub-")
+
+    def test_differs_for_different_specs(self):
+        assert content_run_id(SPEC) != content_run_id(
+            dict(SPEC, max_refs=9999)
+        )
+
+
+class TestSubmitRetries:
+    def test_success_first_try(self, monkeypatch):
+        transport = Transport([{"run_id": "r1"}])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        accepted = submit_sweep("http://x", SPEC, sleep=lambda s: None)
+        assert accepted["run_id"] == "r1" and accepted["attempts"] == 1
+
+    def test_429_honors_retry_after_then_succeeds(self, monkeypatch):
+        transport = Transport([
+            http_error(429, b'{"error": "queue full"}', retry_after=7),
+            http_error(429, b'{"error": "queue full"}', retry_after=3),
+            {"run_id": "r1"},
+        ])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        slept = []
+        accepted = submit_sweep(
+            "http://x", SPEC, backoff=0.5, sleep=slept.append,
+            rng=lambda: 0.0,
+        )
+        assert accepted["attempts"] == 3
+        assert slept == [7.0, 3.0]  # Retry-After wins over backoff
+
+    def test_exponential_backoff_without_retry_after(self, monkeypatch):
+        transport = Transport([
+            http_error(503), http_error(503), http_error(503),
+            {"run_id": "r1"},
+        ])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        slept = []
+        submit_sweep(
+            "http://x", SPEC, backoff=0.5, sleep=slept.append,
+            rng=lambda: 0.0,
+        )
+        assert slept == [0.5, 1.0, 2.0]  # backoff * 2^attempt
+
+    def test_backoff_is_capped(self, monkeypatch):
+        transport = Transport(
+            [http_error(503)] * 5 + [{"run_id": "r1"}]
+        )
+        monkeypatch.setattr(client_mod, "_request", transport)
+        slept = []
+        submit_sweep(
+            "http://x", SPEC, backoff=4.0, max_backoff=10.0,
+            sleep=slept.append, rng=lambda: 0.0,
+        )
+        assert max(slept) == 10.0
+
+    def test_jitter_is_added(self, monkeypatch):
+        transport = Transport([http_error(503), {"run_id": "r1"}])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        slept = []
+        submit_sweep(
+            "http://x", SPEC, backoff=1.0, sleep=slept.append,
+            rng=lambda: 0.5,
+        )
+        assert slept == [1.5]  # 1.0 backoff + 0.5 jitter
+
+    def test_connection_errors_are_retryable(self, monkeypatch):
+        transport = Transport([
+            urllib.error.URLError("connection refused"),
+            ConnectionResetError("reset"),
+            {"run_id": "r1"},
+        ])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        accepted = submit_sweep("http://x", SPEC, sleep=lambda s: None)
+        assert accepted["attempts"] == 3
+
+    def test_400_is_not_retried(self, monkeypatch):
+        transport = Transport([
+            http_error(400, b'{"error": "unknown workload NOPE"}'),
+        ])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        with pytest.raises(SubmitError) as err:
+            submit_sweep("http://x", SPEC, sleep=lambda s: None)
+        assert err.value.status == 400
+        assert "NOPE" in str(err.value)
+        assert transport.calls == 1
+
+    def test_retries_exhausted_raises(self, monkeypatch):
+        transport = Transport([http_error(429)] * 3)
+        monkeypatch.setattr(client_mod, "_request", transport)
+        with pytest.raises(SubmitError) as err:
+            submit_sweep(
+                "http://x", SPEC, max_attempts=3, sleep=lambda s: None
+            )
+        assert "3 attempt(s)" in str(err.value)
+        assert transport.calls == 3
+
+    def test_run_id_injected_and_stable(self, monkeypatch):
+        seen = []
+
+        def capture(url, data=None, timeout=10.0):
+            import json
+
+            seen.append(json.loads(data))
+            return {"run_id": seen[-1]["run_id"]}
+
+        monkeypatch.setattr(client_mod, "_request", capture)
+        first = submit_sweep("http://x", SPEC, sleep=lambda s: None)
+        second = submit_sweep("http://x", SPEC, sleep=lambda s: None)
+        # Both submissions address the same content-derived run id, so a
+        # retry after a lost response is idempotent server-side.
+        assert first["run_id"] == second["run_id"] == content_run_id(SPEC)
+
+    def test_log_callback_sees_each_retry(self, monkeypatch):
+        transport = Transport([http_error(429), {"run_id": "r1"}])
+        monkeypatch.setattr(client_mod, "_request", transport)
+        lines = []
+        submit_sweep(
+            "http://x", SPEC, sleep=lambda s: None, log=lines.append,
+            rng=lambda: 0.0,
+        )
+        assert len(lines) == 1 and "attempt 1/8" in lines[0]

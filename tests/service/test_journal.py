@@ -1,0 +1,146 @@
+"""Submission journal: durability, tolerant replay, fault hooks."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.runtime.faults import ServiceFaultPlan
+from repro.service.journal import (
+    JOURNAL_FORMAT,
+    SubmissionJournal,
+    spec_digest,
+)
+
+SPEC = {
+    "workloads": ["PR"],
+    "datasets": ["kron"],
+    "setups": ["droplet"],
+    "max_refs": 3000,
+    "scale_shift": -6,
+}
+
+
+class TestSpecDigest:
+    def test_ignores_run_id(self):
+        assert spec_digest(SPEC) == spec_digest(dict(SPEC, run_id="abc"))
+        assert spec_digest(dict(SPEC, run_id="a")) == spec_digest(
+            dict(SPEC, run_id="b")
+        )
+
+    def test_differs_for_different_specs(self):
+        assert spec_digest(SPEC) != spec_digest(dict(SPEC, max_refs=3001))
+
+    def test_key_order_is_irrelevant(self):
+        reordered = dict(reversed(list(SPEC.items())))
+        assert spec_digest(SPEC) == spec_digest(reordered)
+
+
+class TestReplay:
+    def test_empty_journal(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        assert not journal.exists()
+        entries, done = journal.replay()
+        assert entries == [] and done == set()
+        assert journal.submits == 0
+
+    def test_round_trip_preserves_spec_verbatim(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("run-a", dict(SPEC, run_id="run-a"))
+        entries, done = SubmissionJournal(tmp_path).replay()
+        assert [e.run_id for e in entries] == ["run-a"]
+        assert entries[0].spec == dict(SPEC, run_id="run-a")
+        assert entries[0].digest == spec_digest(SPEC)
+        assert entries[0].submitted_at > 0
+        assert not entries[0].done and done == set()
+
+    def test_header_written_once(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("a", SPEC)
+        journal.submit("b", SPEC)
+        records = journal.records()
+        headers = [r for r in records if r.get("kind") == "header"]
+        assert len(headers) == 1
+        assert headers[0]["format"] == JOURNAL_FORMAT
+        assert records[0] is headers[0]
+
+    def test_done_marks_entry(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("a", SPEC)
+        journal.submit("b", SPEC)
+        journal.done("a")
+        entries, done = SubmissionJournal(tmp_path).replay()
+        flags = {e.run_id: e.done for e in entries}
+        assert flags == {"a": True, "b": False}
+        assert done == {"a"}
+
+    def test_duplicate_run_ids_collapse_to_first(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("dup", dict(SPEC, max_refs=111))
+        journal.submit("dup", dict(SPEC, max_refs=222))
+        entries, _ = SubmissionJournal(tmp_path).replay()
+        assert len(entries) == 1
+        assert entries[0].spec["max_refs"] == 111  # first submit wins
+        assert entries[0].duplicates == 1
+
+    def test_truncated_last_record_is_skipped(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("a", SPEC)
+        journal.submit("b", SPEC)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"submit","run_id":"torn","sp')  # no newline
+        fresh = SubmissionJournal(tmp_path)
+        entries, _ = fresh.replay()
+        assert [e.run_id for e in entries] == ["a", "b"]
+        # The torn line does not poison later appends: a new submit
+        # starts on its own line (the torn fragment merges into it and
+        # both parse as garbage at most once).
+        fresh.submit("c", SPEC)
+        ids = [e.run_id for e in SubmissionJournal(tmp_path).replay()[0]]
+        assert "a" in ids and "b" in ids
+
+    def test_replay_primes_submit_ordinals(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("a", SPEC)
+        journal.submit("b", SPEC)
+        fresh = SubmissionJournal(tmp_path)
+        fresh.replay()
+        assert fresh.submits == 2
+
+    def test_non_submit_garbage_records_ignored(self, tmp_path):
+        journal = SubmissionJournal(tmp_path)
+        journal.submit("a", SPEC)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "submit", "run_id": 7}) + "\n")
+            handle.write(json.dumps({"kind": "mystery"}) + "\n")
+            handle.write(json.dumps(["not", "a", "dict"]) + "\n")
+        entries, _ = SubmissionJournal(tmp_path).replay()
+        assert [e.run_id for e in entries] == ["a"]
+
+
+class TestFaultHooks:
+    def test_disk_full_raises_without_writing(self, tmp_path):
+        plan = ServiceFaultPlan(disk_full=(0,))
+        journal = SubmissionJournal(tmp_path, faults=plan)
+        with pytest.raises(OSError) as err:
+            journal.submit("a", SPEC)
+        assert err.value.errno == errno.ENOSPC
+        assert not journal.exists()  # nothing accepted, nothing journaled
+        # The next submission ordinal is past the armed fault.
+        journal.submit("b", SPEC)
+        assert [e.run_id for e in journal.replay()[0]] == ["b"]
+
+    def test_disk_full_is_one_shot_with_trip_dir(self, tmp_path):
+        plan = ServiceFaultPlan(
+            disk_full=(0,), trip_dir=str(tmp_path / "faults")
+        )
+        journal = SubmissionJournal(tmp_path, faults=plan)
+        with pytest.raises(OSError):
+            journal.submit("a", SPEC)
+        assert plan.fired("disk_full", 0)
+        # A restarted journal (fresh ordinals) does not re-fire ordinal 0.
+        retry = SubmissionJournal(tmp_path, faults=plan)
+        retry.submit("a", SPEC)
+        assert [e.run_id for e in retry.replay()[0]] == ["a"]

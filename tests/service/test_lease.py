@@ -1,0 +1,121 @@
+"""Point leases: acquire/heartbeat/release, takeover, once-markers."""
+
+from __future__ import annotations
+
+from repro.service.lease import LEASE_DIR, LeaseManager
+
+
+def manager(tmp_path, owner, ttl=30.0):
+    return LeaseManager(tmp_path, owner=owner, ttl=ttl)
+
+
+class TestAcquire:
+    def test_vacant_key_is_claimed(self, tmp_path):
+        lease = manager(tmp_path, "a:1").acquire("k1")
+        assert lease is not None
+        assert (lease.owner, lease.epoch, lease.takeover) == ("a:1", 1, False)
+        assert (tmp_path / LEASE_DIR / "k1.lease").is_file()
+
+    def test_live_foreign_holder_blocks(self, tmp_path):
+        assert manager(tmp_path, "a:1").acquire("k1") is not None
+        assert manager(tmp_path, "b:2").acquire("k1") is None
+
+    def test_same_owner_reacquires(self, tmp_path):
+        first = manager(tmp_path, "a:1")
+        assert first.acquire("k1") is not None
+        again = first.acquire("k1")
+        assert again is not None and not again.takeover
+        assert again.epoch == 2
+
+    def test_stale_lease_is_taken_over_with_bumped_epoch(self, tmp_path):
+        holder = manager(tmp_path, "a:1", ttl=0.0)  # instantly stale
+        lease = holder.acquire("k1")
+        taken = manager(tmp_path, "b:2", ttl=0.0).acquire("k1")
+        assert taken is not None and taken.takeover
+        assert taken.epoch == lease.epoch + 1
+        # The displaced holder notices on its next heartbeat.
+        assert holder.heartbeat(lease) is False
+
+    def test_terminal_states_are_never_reacquired(self, tmp_path):
+        owner = manager(tmp_path, "a:1", ttl=0.0)
+        lease = owner.acquire("k1")
+        owner.release(lease, "done")
+        assert manager(tmp_path, "b:2", ttl=0.0).acquire("k1") is None
+        lease2 = owner.acquire("k2")
+        owner.release(lease2, "failed", error_kind="Boom")
+        assert manager(tmp_path, "b:2", ttl=0.0).acquire("k2") is None
+
+    def test_released_key_returns_to_pool(self, tmp_path):
+        owner = manager(tmp_path, "a:1")
+        lease = owner.acquire("k1")
+        assert owner.release(lease, "released")
+        other = manager(tmp_path, "b:2").acquire("k1")
+        assert other is not None and other.epoch == lease.epoch + 1
+
+    def test_torn_lease_file_treated_as_vacant(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        (tmp_path / LEASE_DIR / "k1.lease").write_text('{"state": "hel')
+        assert mgr.acquire("k1") is not None
+
+
+class TestHeartbeatAndSteal:
+    def test_heartbeat_refreshes_a_held_lease(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        lease = mgr.acquire("k1")
+        before = mgr.peek("k1")["beat"]
+        assert mgr.heartbeat(lease) is True
+        assert mgr.peek("k1")["beat"] >= before
+
+    def test_steal_invalidates_the_holder(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        lease = mgr.acquire("k1")
+        assert mgr.steal("k1", owner="chaos:0") is True
+        assert mgr.heartbeat(lease) is False
+        assert mgr.release(lease, "done") is False  # loser writes nothing
+        record = mgr.peek("k1")
+        assert record["owner"] == "chaos:0"
+        assert record["epoch"] == lease.epoch + 1
+
+    def test_steal_needs_a_held_lease(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        assert mgr.steal("nope") is False
+        lease = mgr.acquire("k1")
+        mgr.release(lease, "done")
+        assert mgr.steal("k1") is False
+
+
+class TestRelease:
+    def test_release_merges_extra_fields(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        lease = mgr.acquire("k1")
+        assert mgr.release(lease, "done", extra={"run": "svc-123"})
+        record = mgr.peek("k1")
+        assert record["state"] == "done"
+        assert record["run"] == "svc-123"
+
+    def test_failed_release_records_error_kind(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        lease = mgr.acquire("k1")
+        assert mgr.release(lease, "failed", error_kind="ValueError")
+        assert mgr.peek("k1")["error_kind"] == "ValueError"
+
+    def test_peek_on_vacant_key(self, tmp_path):
+        assert manager(tmp_path, "a:1").peek("ghost") == {}
+
+
+class TestOnceMarkers:
+    def test_once_elects_exactly_one_writer(self, tmp_path):
+        first = manager(tmp_path, "a:1")
+        second = manager(tmp_path, "b:2")
+        assert first.once("meta-run1") is True
+        assert first.once("meta-run1") is False
+        assert second.once("meta-run1") is False  # cross-process loser
+
+    def test_once_persists_across_restarts(self, tmp_path):
+        assert manager(tmp_path, "a:1").once("finish-run1") is True
+        # A "restarted" process (fresh manager, same root) still loses.
+        assert manager(tmp_path, "a:1").once("finish-run1") is False
+
+    def test_distinct_names_are_independent(self, tmp_path):
+        mgr = manager(tmp_path, "a:1")
+        assert mgr.once("meta-r") and mgr.once("finish-r") and mgr.once("jdone-r")

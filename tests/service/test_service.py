@@ -142,7 +142,7 @@ class TestEngineDedupe:
         with pytest.raises(RuntimeError):
             service.submit(SPEC)
 
-    def test_active_run_id_collision_rejected(self, tmp_path, monkeypatch):
+    def test_run_id_resubmission_idempotent_or_rejected(self, tmp_path, monkeypatch):
         from repro.runtime.points import PointResult
         from repro.service import engine as engine_mod
 
@@ -154,9 +154,14 @@ class TestEngineDedupe:
 
         monkeypatch.setattr(engine_mod, "execute_point", fake_execute)
         service = make_service(tmp_path, workers=1).start()
-        service.submit(dict(SPEC, run_id="dup"))
+        first = service.submit(dict(SPEC, run_id="dup"))
+        # Identical spec under the same run id: idempotent resubmission
+        # (the client never saw its first accept) returns the same run.
+        assert service.submit(dict(SPEC, run_id="dup")) == first
+        assert service.counters["idempotent_hits"] == 1
+        # A *different* spec under an active run id is a collision.
         with pytest.raises(ValueError):
-            service.submit(dict(SPEC, run_id="dup"))
+            service.submit(dict(SPEC, run_id="dup", max_refs=SPEC["max_refs"] + 1))
         release.set()
         assert service.drain(timeout=10)
 
@@ -317,6 +322,161 @@ class TestHTTPEndToEnd:
         with pytest.raises(urllib.error.HTTPError) as err:
             get(server.url + "/teapot")
         assert err.value.code == 404
+
+
+class TestHTTPErrorPaths:
+    """Hardened ingestion: structured JSON errors, never tracebacks."""
+
+    def _post_raw(self, server, body: bytes, content_type="application/json",
+                  content_length=None):
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/sweeps")
+            if content_type is not None:
+                conn.putheader("Content-Type", content_type)
+            conn.putheader(
+                "Content-Length",
+                str(len(body)) if content_length is None else content_length,
+            )
+            conn.endheaders()
+            conn.send(body)
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_wrong_content_type_is_400(self, live_server):
+        server, _, _ = live_server
+        code, body = self._post_raw(
+            server, json.dumps(SPEC).encode(),
+            content_type="application/x-www-form-urlencoded",
+        )
+        assert code == 400
+        assert "Content-Type" in body["error"]
+
+    def test_charset_parameter_is_tolerated(self, live_server):
+        server, service, _ = live_server
+        code, body = self._post_raw(
+            server, json.dumps(SPEC).encode(),
+            content_type="application/json; charset=utf-8",
+        )
+        assert code == 202 and body["run_id"]
+        wait_finished(service, body["run_id"])
+
+    def test_missing_content_type_is_tolerated(self, live_server):
+        # Bare curl / minimal clients send no Content-Type at all.
+        server, service, _ = live_server
+        code, body = self._post_raw(
+            server, json.dumps(SPEC).encode(), content_type=None
+        )
+        assert code == 202
+        wait_finished(service, body["run_id"])
+
+    def test_malformed_json_is_400(self, live_server):
+        server, _, _ = live_server
+        code, body = self._post_raw(server, b'{"workloads": [')
+        assert code == 400
+        assert "JSON" in body["error"]
+
+    def test_non_object_spec_is_400(self, live_server):
+        server, _, _ = live_server
+        code, body = self._post_raw(server, b'["PR", "BFS"]')
+        assert code == 400
+        assert "JSON object" in body["error"]
+
+    def test_invalid_content_length_is_400(self, live_server):
+        server, _, _ = live_server
+        code, body = self._post_raw(server, b"{}", content_length="banana")
+        assert code == 400
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_body_is_413(self, live_server):
+        from repro.service.http import MAX_BODY_BYTES
+
+        server, _, _ = live_server
+        blob = b'{"pad": "' + b"x" * MAX_BODY_BYTES + b'"}'
+        code, body = self._post_raw(server, blob)
+        assert code == 413
+        assert body["limit_bytes"] == MAX_BODY_BYTES
+
+    def test_queue_full_is_429_with_retry_after(self, tmp_path, monkeypatch):
+        from repro.runtime.points import PointResult
+        from repro.service import engine as engine_mod
+
+        gate = threading.Event()
+
+        def fake_execute(point, *args, **kwargs):
+            gate.wait(timeout=60)
+            return PointResult(point=point, summary={}, wall_time=0.0)
+
+        monkeypatch.setattr(engine_mod, "execute_point", fake_execute)
+        service = SweepService(
+            root=tmp_path / "runs", workers=1, max_queue=1,
+            trace_cache=TraceCache(tmp_path / "traces"),
+        )
+        server = ServiceHTTPServer(
+            service, port=0, access_log=tmp_path / "access.jsonl"
+        ).start()
+        try:
+            code, _ = post_json(server.url + "/sweeps", dict(SPEC, run_id="hog"))
+            assert code == 202
+            deadline = time.time() + 10
+            while service.queue_depth() < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            overflow = dict(SPEC, max_refs=SPEC["max_refs"] + 1)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(server.url + "/sweeps", overflow)
+            assert err.value.code == 429
+            retry_after = err.value.headers.get("Retry-After")
+            assert retry_after is not None and int(retry_after) >= 1
+            payload = json.loads(err.value.read() or b"{}")
+            assert payload["retry_after"] == int(retry_after)
+            # The rejection is visible on /metrics.
+            _, metrics_text = get(server.url + "/metrics")
+            parsed = parse_prom_text(metrics_text)
+            assert parsed["repro_service_rejected_429_total"] == 1
+            assert parsed["repro_service_queue_limit"] == 1
+        finally:
+            gate.set()
+            server.stop(drain_timeout=30)
+
+    def test_journal_disk_full_is_503_with_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.runtime.faults import ServiceFaultPlan
+        from repro.runtime.points import PointResult
+        from repro.service import engine as engine_mod
+
+        monkeypatch.setattr(
+            engine_mod, "execute_point",
+            lambda point, *a, **k: PointResult(
+                point=point, summary={}, wall_time=0.0
+            ),
+        )
+        service = SweepService(
+            root=tmp_path / "runs", workers=1,
+            trace_cache=TraceCache(tmp_path / "traces"),
+            faults=ServiceFaultPlan(disk_full=(0,)),
+        )
+        server = ServiceHTTPServer(
+            service, port=0, access_log=tmp_path / "access.jsonl"
+        ).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(server.url + "/sweeps", SPEC)
+            assert err.value.code == 503
+            assert err.value.headers.get("Retry-After") is not None
+            # Nothing was accepted: the run does not exist.
+            assert service.run_ids() == []
+            # The client's retry (next ordinal, fault spent) succeeds.
+            code, body = post_json(server.url + "/sweeps", SPEC)
+            assert code == 202
+            wait_finished(service, body["run_id"])
+        finally:
+            server.stop(drain_timeout=30)
 
 
 class TestShutdown:

@@ -125,8 +125,25 @@ class TestParser:
         assert args.workers == 4 and args.ledger_root == "/tmp/runs"
         assert args.access_log == "/tmp/a.jsonl" and args.drain_timeout == 5.0
         defaults = build_parser().parse_args(["serve"])
-        assert defaults.host == "127.0.0.1" and defaults.port == 8321
+        # --port defaults to None so --join can pick an ephemeral port;
+        # _cmd_serve resolves None to 8321 for a standalone daemon.
+        assert defaults.host == "127.0.0.1" and defaults.port is None
         assert defaults.workers == 2 and defaults.ledger_root is None
+        assert defaults.join is None and defaults.max_queue == 256
+        assert defaults.lease_ttl == 30.0 and defaults.faults is None
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://h:1", "--workloads", "PR", "BFS",
+             "--run-id", "r1", "--wait", "--json", "--deadline", "60",
+             "--submit-retries", "3", "--submit-backoff", "0.1"]
+        )
+        assert args.url == "http://h:1" and args.workloads == ["PR", "BFS"]
+        assert args.run_id == "r1" and args.wait and args.json
+        assert args.deadline == 60.0 and args.submit_retries == 3
+        defaults = build_parser().parse_args(["submit"])
+        assert defaults.run_id is None and not defaults.wait
+        assert defaults.submit_retries == 8
 
     def test_profile_prom_flag(self):
         args = build_parser().parse_args(
