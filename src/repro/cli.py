@@ -10,6 +10,11 @@ Commands
     Run a (workload × dataset × setup) sweep — optionally across worker
     processes — with trace caching, per-point error capture and
     execution metrics.
+``pareto``
+    Successive-halving design-space search: pareto-optimal
+    {cycles, area, DRAM bandwidth} configurations for one workload,
+    executed through the resilient sweep machinery (resumable) or a
+    running ``repro serve`` daemon.
 ``figure``
     Regenerate one paper figure (or ``all``) and print its table.
 ``tables``
@@ -201,6 +206,106 @@ def build_parser() -> argparse.ArgumentParser:
         "prefetchers), vector requires the fully vectorized tier, off "
         "forces the scalar reference loop (results are bit-identical "
         "either way)",
+    )
+
+    p_par = sub.add_parser(
+        "pareto",
+        help="successive-halving pareto search over the machine design space",
+    )
+    p_par.add_argument("workload", choices=list(PAPER_WORKLOAD_ORDER))
+    p_par.add_argument("dataset", choices=list(DATASET_NAMES))
+    p_par.add_argument(
+        "--space",
+        default="setup=none,stream,droplet;llc=1,2,4",
+        metavar="SPEC",
+        help="design-space axes, e.g. 'setup=none,stream;llc=1,2,4;"
+        "l2=1/8,no;rob=128,512;mrb=64,256' (see docs/pareto.md)",
+    )
+    p_par.add_argument(
+        "--objectives",
+        default="cycles,area_mm2,dram_bw_utilization",
+        metavar="NAMES",
+        help="comma-separated summary metrics, minimized by default; "
+        "append ':max' to maximize (e.g. 'cycles,area_mm2,ipc:max')",
+    )
+    p_par.add_argument(
+        "--max-refs", type=int, default=150_000,
+        help="full trace window — the final rung's evaluation length",
+    )
+    p_par.add_argument(
+        "--rungs", type=int, default=3,
+        help="successive-halving rungs (windows grow by eta per rung)",
+    )
+    p_par.add_argument(
+        "--eta", type=int, default=2,
+        help="halving factor: keep ~1/eta of the candidates per rung",
+    )
+    p_par.add_argument(
+        "--min-refs", type=int, default=500,
+        help="smallest rung window (rung-0 evaluations)",
+    )
+    p_par.add_argument("--scale-shift", type=int, default=0)
+    p_par.add_argument("--seed", type=int, default=None)
+    p_par.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0/1 runs serially in-process",
+    )
+    p_par.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="skip the on-disk trace cache for this search",
+    )
+    p_par.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point watchdog timeout (default: none)",
+    )
+    p_par.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max retries per point for transient failures (default: 2)",
+    )
+    p_par.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="initial retry backoff, doubled per attempt",
+    )
+    p_par.add_argument(
+        "--run-id", metavar="ID",
+        help="run-ledger id for this search (default: par-<spec digest>)",
+    )
+    p_par.add_argument(
+        "--resume", metavar="RUN_ID",
+        help="resume an interrupted search from its run ledger (the "
+        "space/objectives/schedule flags must match the original run)",
+    )
+    p_par.add_argument(
+        "--ledger-root", metavar="DIR",
+        help="run-ledger directory (default: $REPRO_RUN_LEDGER or "
+        "~/.cache/repro/runs)",
+    )
+    p_par.add_argument(
+        "--faults", metavar="SPEC",
+        help="inject faults, e.g. 'error@2,crash@5' (testing/CI)",
+    )
+    p_par.add_argument(
+        "--no-spans", action="store_true",
+        help="skip the span sidecar (no pareto.* timeline)",
+    )
+    p_par.add_argument(
+        "--fast-path", choices=["auto", "on", "vector", "off"], default="auto",
+        help="batch-replay engine selector (results are bit-identical "
+        "either way; see docs/performance.md)",
+    )
+    p_par.add_argument(
+        "--out", metavar="PATH",
+        help="write the repro-pareto-v1 JSON report here",
+    )
+    p_par.add_argument(
+        "--figure", metavar="PATH",
+        help="write the frontier figure here (.svg always works; "
+        ".png/.pdf need matplotlib)",
+    )
+    p_par.add_argument(
+        "--service", metavar="URL",
+        help="submit each rung to a running `repro serve` daemon instead "
+        "of executing locally",
     )
 
     p_prof = sub.add_parser(
@@ -639,6 +744,159 @@ def _cmd_sweep(args) -> int:
     return report.exit_code()
 
 
+def _cmd_pareto(args) -> int:
+    import json
+    from contextlib import nullcontext
+
+    from .experiments.common import render_table
+    from .reporting import save_results_payload
+    from .runtime import FaultPlan, RetryPolicy, RunLedger, SweepRunner
+    from .search import (
+        HalvingSchedule,
+        ParetoSearch,
+        SearchError,
+        pareto_table_rows,
+    )
+    from .search.frontier import parse_objectives
+    from .search.space import parse_space
+    from .telemetry import spans
+
+    try:
+        candidates = parse_space(args.space)
+        objectives = parse_objectives(args.objectives)
+        schedule = HalvingSchedule(
+            full_refs=args.max_refs,
+            rungs=args.rungs,
+            eta=args.eta,
+            min_refs=min(args.min_refs, args.max_refs),
+        )
+        search = ParetoSearch(
+            workload=args.workload,
+            dataset=args.dataset,
+            candidates=candidates,
+            objectives=objectives,
+            schedule=schedule,
+            scale_shift=args.scale_shift,
+            seed=args.seed,
+            fast_path=args.fast_path,
+            service=args.service,
+            retries=args.retries,
+            timeout=args.timeout,
+            _log=print,
+        )
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    digest = search.spec_digest()
+    run_id = args.resume or args.run_id or ("par-" + digest)
+    ledger = RunLedger(run_id, root=args.ledger_root)
+    if args.resume and not ledger.exists():
+        print(
+            "no ledger found for run id %r at %s" % (args.resume, ledger.path),
+            file=sys.stderr,
+        )
+        return 2
+    # A per-run spec fingerprint guards resume: restoring ledger entries
+    # into a *different* search silently skews the frontier, so a digest
+    # mismatch is a hard error rather than a warning.
+    spec_path = ledger.root / (run_id + ".pareto.json")
+    if spec_path.exists():
+        try:
+            prior = json.loads(spec_path.read_text()).get("spec_digest")
+        except ValueError:
+            prior = None
+        if prior != digest:
+            print(
+                "run id %s was started with a different search spec "
+                "(digest %s, this invocation %s); re-run with the original "
+                "flags or pick a new --run-id" % (run_id, prior, digest),
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        ledger.root.mkdir(parents=True, exist_ok=True)
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-pareto-spec-v1",
+                    "run_id": run_id,
+                    "spec_digest": digest,
+                    "spec": search.spec_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    tracer = None
+    if not args.no_spans:
+        tracer = spans.SpanRecorder(sidecar=spans.sidecar_path(ledger.path))
+    runner = None
+    if args.service is None:
+        faults = None
+        if args.faults:
+            faults = FaultPlan.from_spec(
+                args.faults, trip_dir=str(ledger.root / (run_id + ".faults"))
+            )
+        runner = SweepRunner(
+            workers=args.workers,
+            trace_cache=False if args.no_trace_cache else None,
+            return_full=False,
+            retry=RetryPolicy(
+                max_attempts=max(1, args.retries + 1),
+                timeout=args.timeout,
+                backoff=args.backoff,
+            ),
+            faults=faults,
+            ledger=ledger,
+            tracer=tracer,
+        )
+    try:
+        with spans.use(tracer) if tracer is not None else nullcontext():
+            report = search.run(runner)
+    except SearchError as exc:
+        print("search aborted: %s" % exc, file=sys.stderr)
+        print(
+            "completed evaluations are journaled at %s; resume with "
+            "`repro pareto %s %s ... --resume %s`"
+            % (ledger.path, args.workload, args.dataset, run_id),
+            file=sys.stderr,
+        )
+        return 1
+    print(render_table(pareto_table_rows(report)))
+    counters = report["counters"]
+    print(
+        "rungs %d  evaluations %d  pruned %d  promoted %d  frontier %d  "
+        "dominated %d"
+        % (
+            counters["rungs"],
+            counters["evaluations"],
+            counters["pruned"],
+            counters["promoted"],
+            counters["frontier_size"],
+            counters["dominated"],
+        )
+    )
+    if runner is not None:
+        print(
+            "run id %s (%d evaluation(s) journaled; resume with "
+            "`repro pareto ... --resume %s`)" % (run_id, len(ledger), run_id)
+        )
+    if tracer is not None:
+        trace_path = spans.write_chrome_trace(
+            tracer, spans.chrome_path(ledger.path)
+        )
+        print("spans   %s" % tracer.sidecar)
+        print("trace   %s (Perfetto / chrome://tracing)" % trace_path)
+    if args.out:
+        save_results_payload(report, args.out)
+        print("report written to %s" % args.out)
+    if args.figure:
+        from .search.figures import write_frontier_figure
+
+        print("figure written to %s" % write_frontier_figure(report, args.figure))
+    return 0
+
+
 #: Figure runners that accept a SweepRunner for parallel execution.
 _PARALLEL_FIGURES = {"fig04a", "fig04b", "fig04c", "fig11a", "fig11b"}
 
@@ -1044,6 +1302,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "pareto": _cmd_pareto,
         "figure": _cmd_figure,
         "tables": _cmd_tables,
         "profile": _cmd_profile,

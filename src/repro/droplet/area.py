@@ -58,6 +58,8 @@ class AreaModel:
     ):
         if chip_area_mm2 <= 0 or not (0 < storage_fraction_of_mpp <= 1):
             raise ValueError("invalid area model parameters")
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
         self.chip_area_mm2 = chip_area_mm2
         self.storage_fraction = storage_fraction_of_mpp
         self.num_cores = num_cores
@@ -88,7 +90,24 @@ class AreaModel:
 
         Defaults mirror the paper: 512-entry x86-64 paging structures
         (4 KB), a 32-entry L2 request queue, a 256-entry MRB.
+
+        Raises :class:`ValueError` when any geometry or buffer count is
+        non-positive — a zero-entry structure silently produces
+        nonsensical (zero or divide-by-zero) overhead fractions
+        otherwise.
         """
+        for name, value in (
+            ("page_table_entries", page_table_entries),
+            ("l2_queue_entries", l2_queue_entries),
+            ("mrb_entries", mrb_entries),
+            ("config.vab_entries", config.vab_entries),
+            ("config.pab_entries", config.pab_entries),
+            ("config.mtlb_entries", config.mtlb_entries),
+        ):
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(
+                    "%s must be a positive integer, got %r" % (name, value)
+                )
         # One extra bit per page-table entry.
         pt_extra = page_table_entries // 8
         pt_base = page_table_entries * 8

@@ -17,6 +17,7 @@ from .system.machine import SimResult
 from .trace.record import DataType
 
 __all__ = [
+    "area_mm2",
     "summarize",
     "format_versions",
     "summarize_sweep",
@@ -36,6 +37,29 @@ RESULTS_FORMAT = "repro-results-v1"
 SWEEP_FORMAT = "repro-sweep-v2"
 
 
+def area_mm2(result: SimResult) -> float:
+    """Analytic silicon-cost axis for one simulated configuration.
+
+    SRAM storage area of the sized structures — private L2s plus the
+    shared LLC at the §V-D 45 nm storage density — plus the MPP's area
+    when the setup instantiates one (:class:`~repro.droplet.area.AreaModel`).
+    This is a *comparable, monotone cost metric* for the pareto search
+    (bigger caches / more MPP buffers always cost more), not a die-size
+    estimate: cores, interconnect and DRAM PHYs are deliberately out of
+    scope because no search knob changes them.
+    """
+    from .droplet.area import MM2_PER_KB_45NM, AreaModel
+
+    hierarchy = result.hierarchy
+    sram_bytes = hierarchy.l3.config.size_bytes
+    if hierarchy.l2s is not None:
+        sram_bytes += sum(c.config.size_bytes for c in hierarchy.l2s)
+    area = (sram_bytes / 1024.0) * MM2_PER_KB_45NM
+    if result.mpp is not None:
+        area += AreaModel().mpp_area_mm2(result.mpp.config)
+    return area
+
+
 def summarize(result: SimResult) -> dict:
     """Flatten one simulation result into JSON-safe scalars."""
     stack = result.cycle_stack.fractions()
@@ -50,6 +74,7 @@ def summarize(result: SimResult) -> dict:
         "l2_hit_rate": result.l2_hit_rate(),
         "bpki": result.bpki(),
         "dram_bw_utilization": result.dram_bandwidth_utilization(),
+        "area_mm2": area_mm2(result),
         "cycle_stack": {k: round(v, 6) for k, v in stack.items()},
     }
     for dt in DataType:

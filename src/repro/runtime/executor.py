@@ -62,6 +62,10 @@ def resolve_point_config(point: SweepPoint, base):
             raise ValueError("l2_config variant requires a base config with an L2")
         size = None if mult is None else base.l2.size_bytes * mult
         config = config.with_l2(size, assoc)
+    if point.rob_entries is not None:
+        config = config.with_rob(point.rob_entries)
+    if point.mrb_entries is not None:
+        config = config.with_mrb(point.mrb_entries)
     return config
 
 

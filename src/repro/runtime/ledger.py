@@ -93,6 +93,13 @@ def point_key(point: SweepPoint) -> str:
         "trace_format": TRACE_FORMAT_VERSION,
         "cache_format": CACHE_FORMAT_VERSION,
     }
+    # Newer machine knobs (the `repro pareto` search axes) join the
+    # identity only when set, so content addresses of points journaled
+    # before these knobs existed never change.
+    if point.rob_entries is not None:
+        identity["rob_entries"] = point.rob_entries
+    if point.mrb_entries is not None:
+        identity["mrb_entries"] = point.mrb_entries
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
@@ -228,6 +235,15 @@ class RunLedger:
         trc = _spans.current()
         if trc is not None:
             trc.event("ledger.append", key=key, label=point.label)
+
+    def completed_records(self) -> dict[str, dict]:
+        """Snapshot of the journaled point records, keyed by point key.
+
+        Read-side accessor for observers (the service's ``/results``
+        endpoint) that load a ledger via :meth:`refresh` without opening
+        it for writing.
+        """
+        return dict(self._completed)
 
     def refresh(self) -> list[str]:
         """Merge records appended to the file by other processes.

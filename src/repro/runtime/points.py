@@ -102,6 +102,12 @@ class SweepPoint:
     multi_property: bool = False
     llc_multiplier: int | None = None
     l2_config: tuple[int | None, int] | None = None
+    #: Instruction-window size override (Fig. 3 / `repro pareto`);
+    #: ``None`` keeps the sweep's base config.
+    rob_entries: int | None = None
+    #: Memory-request-buffer capacity override (§V-C1 / `repro pareto`);
+    #: ``None`` keeps the sweep's base config.
+    mrb_entries: int | None = None
     #: Batch-replay selector (``"auto" | "on" | "off"``).  Deliberately
     #: excluded from :func:`~repro.runtime.ledger.point_key`: both replay
     #: paths produce bit-identical results (``tests/parity``), so points
@@ -136,6 +142,10 @@ class SweepPoint:
         if self.l2_config is not None:
             mult, assoc = self.l2_config
             parts.append("no-l2" if mult is None else "l2:%dx/%d" % (mult, assoc))
+        if self.rob_entries is not None:
+            parts.append("rob%d" % self.rob_entries)
+        if self.mrb_entries is not None:
+            parts.append("mrb%d" % self.mrb_entries)
         return "+".join(parts)
 
 

@@ -1,0 +1,35 @@
+"""Design-space search: pareto frontiers over sweep results.
+
+``frontier`` is the pure dominance/frontier core (no simulator imports —
+designed for property testing), ``space`` parses design-space specs into
+candidate configurations, ``tuner`` runs the successive-halving search
+through the resilient :mod:`repro.runtime` sweep machinery, ``report``
+defines the versioned ``repro-pareto-v1`` report, and ``figures`` renders
+frontier scatter plots (matplotlib when present, pure-SVG otherwise).
+"""
+
+from .frontier import (
+    Objective,
+    dominates,
+    domination_rank,
+    frontier_indices,
+    parse_objectives,
+)
+from .report import PARETO_FORMAT, pareto_table_rows
+from .space import Candidate, parse_space
+from .tuner import HalvingSchedule, ParetoSearch, SearchError
+
+__all__ = [
+    "Objective",
+    "dominates",
+    "domination_rank",
+    "frontier_indices",
+    "parse_objectives",
+    "Candidate",
+    "parse_space",
+    "HalvingSchedule",
+    "ParetoSearch",
+    "SearchError",
+    "PARETO_FORMAT",
+    "pareto_table_rows",
+]

@@ -1,0 +1,170 @@
+"""Frontier figures for ``repro pareto`` reports.
+
+Renders a 2-D scatter of the first two objectives: dominated
+full-window survivors in grey, frontier points highlighted and joined
+by the frontier staircase.  Uses matplotlib when it is importable and
+the output suffix needs it (``.png``/``.pdf``); otherwise — matplotlib
+is an optional dependency here — falls back to a small pure-Python SVG
+writer so the CLI → report → figure path works everywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["write_frontier_figure"]
+
+
+def _points_of(report: dict) -> tuple[list, list, tuple[str, str]]:
+    objectives = report["objectives"]
+    if len(objectives) < 2:
+        raise ValueError("a frontier figure needs at least two objectives")
+    x_name, y_name = objectives[0]["name"], objectives[1]["name"]
+    frontier = [
+        (float(e["objectives"][x_name]), float(e["objectives"][y_name]), e["label"])
+        for e in report["frontier"]
+    ]
+    dominated = [
+        (float(e["objectives"][x_name]), float(e["objectives"][y_name]), e["label"])
+        for e in report["dominated"]
+    ]
+    return frontier, dominated, (x_name, y_name)
+
+
+def write_frontier_figure(report: dict, path: str | Path) -> Path:
+    """Write the frontier figure for one pareto report; returns the path."""
+    path = Path(path)
+    frontier, dominated, names = _points_of(report)
+    title = "%s/%s pareto frontier" % (report["workload"], report["dataset"])
+    if path.suffix.lower() == ".svg":
+        _write_svg(path, frontier, dominated, names, title)
+        return path
+    try:
+        import matplotlib
+    except ImportError:
+        # Degrade to the dependency-free writer rather than failing the
+        # whole search because a plotting library is absent.
+        path = path.with_suffix(".svg")
+        _write_svg(path, frontier, dominated, names, title)
+        return path
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6.0, 4.5))
+    if dominated:
+        ax.scatter(
+            [p[0] for p in dominated], [p[1] for p in dominated],
+            color="#9aa0a6", label="dominated", zorder=2,
+        )
+    steps = sorted(frontier)
+    ax.plot(
+        [p[0] for p in steps], [p[1] for p in steps],
+        color="#c5221f", linewidth=1.0, drawstyle="steps-post", zorder=3,
+    )
+    ax.scatter(
+        [p[0] for p in frontier], [p[1] for p in frontier],
+        color="#c5221f", label="frontier", zorder=4,
+    )
+    for x, y, label in frontier:
+        ax.annotate(label, (x, y), fontsize=6, xytext=(3, 3),
+                    textcoords="offset points")
+    ax.set_xlabel(names[0])
+    ax.set_ylabel(names[1])
+    ax.set_title(title)
+    ax.legend(loc="best", fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Dependency-free SVG fallback
+# ----------------------------------------------------------------------
+_W, _H = 640, 480
+_PAD = 56.0
+
+
+def _scale(points: list) -> tuple:
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or max(abs(x_hi), 1.0)
+    y_span = (y_hi - y_lo) or max(abs(y_hi), 1.0)
+    x_lo -= 0.05 * x_span
+    x_hi += 0.05 * x_span
+    y_lo -= 0.05 * y_span
+    y_hi += 0.05 * y_span
+
+    def to_xy(x: float, y: float) -> tuple[float, float]:
+        px = _PAD + (x - x_lo) / (x_hi - x_lo) * (_W - 2 * _PAD)
+        py = _H - _PAD - (y - y_lo) / (y_hi - y_lo) * (_H - 2 * _PAD)
+        return round(px, 2), round(py, 2)
+
+    return to_xy, (x_lo, x_hi, y_lo, y_hi)
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _write_svg(path: Path, frontier, dominated, names, title) -> None:
+    to_xy, (x_lo, x_hi, y_lo, y_hi) = _scale(frontier + dominated)
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'viewBox="0 0 %d %d" font-family="sans-serif">' % (_W, _H, _W, _H),
+        '<rect width="%d" height="%d" fill="white"/>' % (_W, _H),
+        '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" '
+        'stroke="#444" stroke-width="1"/>'
+        % (_PAD, _PAD, _W - 2 * _PAD, _H - 2 * _PAD),
+        '<text x="%d" y="24" text-anchor="middle" font-size="14">%s</text>'
+        % (_W // 2, _esc(title)),
+        '<text x="%d" y="%d" text-anchor="middle" font-size="11">%s</text>'
+        % (_W // 2, _H - 14, _esc(names[0])),
+        '<text x="16" y="%d" text-anchor="middle" font-size="11" '
+        'transform="rotate(-90 16 %d)">%s</text>'
+        % (_H // 2, _H // 2, _esc(names[1])),
+        '<text x="%.1f" y="%d" font-size="9" fill="#444">%.4g</text>'
+        % (_PAD, _H - 38, x_lo),
+        '<text x="%.1f" y="%d" font-size="9" fill="#444" '
+        'text-anchor="end">%.4g</text>' % (_W - _PAD, _H - 38, x_hi),
+        '<text x="%.1f" y="%.1f" font-size="9" fill="#444">%.4g</text>'
+        % (_PAD + 4, _H - _PAD - 4, y_lo),
+        '<text x="%.1f" y="%.1f" font-size="9" fill="#444">%.4g</text>'
+        % (_PAD + 4, _PAD + 12, y_hi),
+    ]
+    for x, y, label in dominated:
+        px, py = to_xy(x, y)
+        parts.append(
+            '<circle cx="%.2f" cy="%.2f" r="4" fill="#9aa0a6">'
+            "<title>%s</title></circle>" % (px, py, _esc(label))
+        )
+    steps = sorted(frontier)
+    if len(steps) > 1:
+        coords = []
+        for i, (x, y, _label) in enumerate(steps):
+            px, py = to_xy(x, y)
+            if i:
+                coords.append("%.2f,%.2f" % (px, prev_py))
+            coords.append("%.2f,%.2f" % (px, py))
+            prev_py = py
+        parts.append(
+            '<polyline points="%s" fill="none" stroke="#c5221f" '
+            'stroke-width="1"/>' % " ".join(coords)
+        )
+    for x, y, label in frontier:
+        px, py = to_xy(x, y)
+        parts.append(
+            '<circle cx="%.2f" cy="%.2f" r="5" fill="#c5221f">'
+            "<title>%s</title></circle>" % (px, py, _esc(label))
+        )
+        parts.append(
+            '<text x="%.2f" y="%.2f" font-size="8" fill="#c5221f">%s</text>'
+            % (px + 6, py - 6, _esc(label))
+        )
+    parts.append("</svg>")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(parts) + "\n")

@@ -1,0 +1,209 @@
+"""Pareto dominance and frontier computation (pure, import-free core).
+
+This module deliberately imports nothing from the simulator: dominance
+over objective vectors is plain arithmetic, and keeping it pure makes the
+successive-halving tuner's one subtle correctness property — *pruning
+never drops a frontier point* — separately testable.  The Hypothesis
+suite in ``tests/search/test_frontier_properties.py`` pins the algebra:
+
+* :func:`dominates` is a strict partial order (irreflexive,
+  antisymmetric, transitive);
+* :func:`frontier_indices` returns exactly the non-dominated points —
+  no frontier point is dominated, and every non-frontier point is
+  dominated by some frontier point;
+* the frontier (as a set of vectors) is invariant under input
+  permutation and duplication;
+* minimize/maximize senses round-trip through sign flips.
+
+Vectors must be finite: a NaN would silently break the partial order
+(``NaN < x`` and ``x < NaN`` are both false), so it is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Objective",
+    "parse_objectives",
+    "objective_vector",
+    "signed_vector",
+    "dominates",
+    "frontier_indices",
+    "domination_rank",
+]
+
+#: Recognised optimization senses.
+SENSES = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One search objective: a metric name plus its optimization sense."""
+
+    name: str
+    sense: str = "min"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective name must be non-empty")
+        if self.sense not in SENSES:
+            raise ValueError(
+                "objective %r has sense %r (must be one of %s)"
+                % (self.name, self.sense, "/".join(SENSES))
+            )
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "sense": self.sense}
+
+
+def parse_objectives(spec: str | Sequence) -> tuple[Objective, ...]:
+    """Parse an objectives spec into :class:`Objective` tuples.
+
+    Accepts a comma-separated string (``"cycles,area_mm2,ipc:max"`` —
+    an optional ``:min``/``:max`` suffix per name, default ``min``) or a
+    sequence of names / ``(name, sense)`` pairs / :class:`Objective`.
+    """
+    if isinstance(spec, str):
+        items: Iterable = [s.strip() for s in spec.split(",") if s.strip()]
+    else:
+        items = spec
+    objectives: list[Objective] = []
+    for item in items:
+        if isinstance(item, Objective):
+            objectives.append(item)
+        elif isinstance(item, str):
+            name, _, sense = item.partition(":")
+            objectives.append(Objective(name.strip(), sense.strip() or "min"))
+        else:
+            name, sense = item
+            objectives.append(Objective(name, sense))
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    seen = [o.name for o in objectives]
+    if len(set(seen)) != len(seen):
+        raise ValueError("duplicate objective names: %s" % ", ".join(seen))
+    return tuple(objectives)
+
+
+def _validated(vector: Sequence[float], objectives: Sequence[Objective]) -> tuple[float, ...]:
+    values = tuple(float(x) for x in vector)
+    if len(values) != len(objectives):
+        raise ValueError(
+            "vector has %d components for %d objectives"
+            % (len(values), len(objectives))
+        )
+    for value, objective in zip(values, objectives):
+        if not math.isfinite(value):
+            raise ValueError(
+                "objective %r is %r (vectors must be finite)"
+                % (objective.name, value)
+            )
+    return values
+
+
+def objective_vector(
+    values: Mapping[str, float], objectives: Sequence[Objective]
+) -> tuple[float, ...]:
+    """Extract one point's objective vector from a metrics mapping."""
+    vector = []
+    for objective in objectives:
+        if objective.name not in values:
+            raise KeyError(
+                "metrics are missing objective %r (have: %s)"
+                % (objective.name, ", ".join(sorted(values)))
+            )
+        vector.append(values[objective.name])
+    return _validated(vector, objectives)
+
+
+def signed_vector(
+    vector: Sequence[float], objectives: Sequence[Objective]
+) -> tuple[float, ...]:
+    """Canonical minimize-all form: ``max`` components are negated.
+
+    Applying it twice round-trips (negation is an involution), and
+    dominance is invariant under the mapping — the sign-handling
+    property the test suite pins.
+    """
+    values = _validated(vector, objectives)
+    return tuple(
+        -v if o.sense == "max" else v for v, o in zip(values, objectives)
+    )
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    objectives: Sequence[Objective] | None = None,
+) -> bool:
+    """Strict pareto dominance: ``a`` beats ``b``.
+
+    True iff ``a`` is at least as good as ``b`` on *every* objective and
+    strictly better on at least one.  Equal vectors never dominate each
+    other (irreflexivity), which is what keeps ties on the frontier.
+    With ``objectives=None`` every component is minimized.
+    """
+    if objectives is None:
+        objectives = tuple(Objective(str(i)) for i in range(len(a)))
+    xa = signed_vector(a, objectives)
+    xb = signed_vector(b, objectives)
+    strictly_better = False
+    for x, y in zip(xa, xb):
+        if x > y:
+            return False
+        if x < y:
+            strictly_better = True
+    return strictly_better
+
+
+def frontier_indices(
+    vectors: Sequence[Sequence[float]],
+    objectives: Sequence[Objective] | None = None,
+) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    O(n²) pairwise — exact and obviously correct, which matters more
+    here than asymptotics (searches evaluate at most a few hundred
+    configurations per rung).
+    """
+    if objectives is None:
+        width = len(vectors[0]) if vectors else 0
+        objectives = tuple(Objective(str(i)) for i in range(width))
+    signed = [signed_vector(v, objectives) for v in vectors]
+    out = []
+    for i, a in enumerate(signed):
+        if not any(_dominates_signed(b, a) for b in signed):
+            out.append(i)
+    return out
+
+
+def domination_rank(
+    vectors: Sequence[Sequence[float]],
+    objectives: Sequence[Objective] | None = None,
+) -> list[int]:
+    """Per-point count of points that dominate it (0 = on the frontier).
+
+    The successive-halving tuner uses this as its deterministic pruning
+    order: points dominated by more of the field go first.
+    """
+    if objectives is None:
+        width = len(vectors[0]) if vectors else 0
+        objectives = tuple(Objective(str(i)) for i in range(width))
+    signed = [signed_vector(v, objectives) for v in vectors]
+    return [
+        sum(1 for b in signed if _dominates_signed(b, a)) for a in signed
+    ]
+
+
+def _dominates_signed(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """Dominance on already-signed (minimize-all) vectors."""
+    strictly_better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strictly_better = True
+    return strictly_better

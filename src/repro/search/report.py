@@ -1,0 +1,108 @@
+"""The versioned ``repro-pareto-v1`` search report.
+
+A pareto report is fully deterministic: it carries no wall-clock
+timestamps or durations (those live in the run ledger and span sidecar),
+so re-running — or resuming — the same search spec produces a
+byte-identical file.  ``tests/search`` and the pinned golden report in
+``tests/regression`` rely on exactly that.
+"""
+
+from __future__ import annotations
+
+from ..reporting import format_versions
+
+__all__ = ["PARETO_FORMAT", "build_report", "pareto_table_rows"]
+
+#: Format marker for saved pareto search reports.
+PARETO_FORMAT = "repro-pareto-v1"
+
+#: Per-point metrics carried into the report next to the objectives.
+_HEADLINE_METRICS = (
+    "cycles",
+    "ipc",
+    "llc_mpki",
+    "l2_hit_rate",
+    "bpki",
+    "dram_bw_utilization",
+    "area_mm2",
+)
+
+
+def build_report(
+    *,
+    workload: str,
+    dataset: str,
+    scale_shift: int,
+    seed: int | None,
+    objectives,
+    candidates,
+    windows: list[int],
+    eta: int,
+    spec_digest: str,
+    rung_records: list[dict],
+    frontier_entries: list[dict],
+    dominated_entries: list[dict],
+    evaluations: int,
+    pruned: int,
+    promoted: int,
+) -> dict:
+    """Assemble the ``repro-pareto-v1`` payload (JSON-safe, deterministic)."""
+    return {
+        "format": PARETO_FORMAT,
+        "formats": format_versions(),
+        "workload": workload,
+        "dataset": dataset,
+        "scale_shift": scale_shift,
+        "seed": seed,
+        "objectives": [o.as_dict() for o in objectives],
+        "spec_digest": spec_digest,
+        "space": [c.label for c in candidates],
+        "halving": {"eta": eta, "windows": list(windows)},
+        "rungs": rung_records,
+        "counters": {
+            "rungs": len(rung_records),
+            "evaluations": evaluations,
+            "pruned": pruned,
+            "promoted": promoted,
+            "frontier_size": len(frontier_entries),
+            # Whole-space count: every candidate not on the frontier,
+            # whether pruned at an early rung or dominated at the full
+            # window (the ``dominated`` list holds only the latter).
+            "dominated": len(candidates) - len(frontier_entries),
+        },
+        "frontier": frontier_entries,
+        "dominated": dominated_entries,
+    }
+
+
+def point_entry(candidate, summary: dict, objectives) -> dict:
+    """One report row: knobs, objective values and headline metrics."""
+    return {
+        "label": candidate.label,
+        "config": candidate.knobs(),
+        "objectives": {o.name: summary[o.name] for o in objectives},
+        "metrics": {
+            k: summary[k] for k in _HEADLINE_METRICS if k in summary
+        },
+    }
+
+
+def pareto_table_rows(report: dict) -> list[dict]:
+    """Table rows (for ``experiments.common.render_table``) of a report.
+
+    Frontier points first, then dominated full-window survivors, each
+    with its objective values; configurations pruned at earlier rungs
+    are summarized by the counters, not listed per-row.
+    """
+    names = [o["name"] for o in report["objectives"]]
+    rows: list[dict] = []
+    for kind, entries in (
+        ("frontier", report["frontier"]),
+        ("dominated", report["dominated"]),
+    ):
+        for entry in entries:
+            row = {"config": entry["label"], "status": kind}
+            for name in names:
+                row[name] = round(float(entry["objectives"][name]), 6)
+            rows.append(row)
+    return rows

@@ -35,6 +35,7 @@ __all__ = [
     "content_run_id",
     "submit_sweep",
     "fetch_status",
+    "fetch_results",
     "wait_for_run",
     "DEFAULT_URL",
 ]
@@ -164,6 +165,19 @@ def fetch_status(url: str, run_id: str, timeout: float = 10.0) -> dict:
     """``GET /sweeps/<run_id>`` — the ``repro status --json`` payload."""
     return _request(
         "%s/sweeps/%s" % (url.rstrip("/"), run_id), timeout=timeout
+    )
+
+
+def fetch_results(url: str, run_id: str, timeout: float = 10.0) -> dict:
+    """``GET /sweeps/<run_id>/results`` — journaled per-point summaries.
+
+    The payload maps content-addressed point keys (see
+    :func:`~repro.runtime.ledger.point_key`) to ``{label, summary}``
+    entries, which is how the ``repro pareto --service`` tuner matches
+    remote results back to its candidates.
+    """
+    return _request(
+        "%s/sweeps/%s/results" % (url.rstrip("/"), run_id), timeout=timeout
     )
 
 

@@ -133,6 +133,7 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
     known = {
         "workloads", "datasets", "setups", "max_refs", "scale_shift",
         "fast_path", "timeout", "retries", "backoff", "run_id", "deadline",
+        "points",
     }
     unknown = sorted(set(spec) - known)
     if unknown:
@@ -190,19 +191,40 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
     ):
         raise ValueError("run_id must be a non-empty path-safe string")
 
-    points = [
-        SweepPoint(
-            workload=workload,
-            dataset=dataset,
-            setup=setup,
-            max_refs=max_refs,
-            scale_shift=scale_shift,
-            fast_path=fast_path,
+    if "points" in spec:
+        # Explicit point list (the `repro pareto` sharding path): each
+        # entry carries its own machine knobs instead of a cross-product.
+        overlap = sorted(
+            k for k in ("workloads", "datasets", "setups") if k in spec
         )
-        for workload in workloads
-        for dataset in datasets
-        for setup in dict.fromkeys(["none", *setups])
-    ]
+        if overlap:
+            raise ValueError(
+                "'points' cannot be combined with %s" % ", ".join(overlap)
+            )
+        entries = spec["points"]
+        if not isinstance(entries, list) or not entries:
+            raise ValueError("'points' must be a non-empty list of objects")
+        points = [
+            _point_from_dict(i, entry, max_refs, scale_shift, fast_path)
+            for i, entry in enumerate(entries)
+        ]
+    else:
+        points = [
+            SweepPoint(
+                workload=workload,
+                dataset=dataset,
+                setup=setup,
+                max_refs=max_refs,
+                scale_shift=scale_shift,
+                fast_path=fast_path,
+            )
+            for workload in workloads
+            for dataset in datasets
+            for setup in dict.fromkeys(["none", *setups])
+        ]
+    for point in points:
+        if point.max_refs <= 0:
+            raise ValueError("point max_refs must be positive")
     options = {
         "run_id": run_id,
         "retry": RetryPolicy(
@@ -212,6 +234,88 @@ def parse_spec(spec: dict) -> tuple[list[SweepPoint], dict]:
         "deadline": deadline,
     }
     return points, options
+
+
+def _point_from_dict(
+    index: int, entry, max_refs: int, scale_shift: int, fast_path: str
+) -> SweepPoint:
+    """Validate one explicit ``points`` entry into a :class:`SweepPoint`.
+
+    Spec-level ``max_refs``/``scale_shift``/``fast_path`` are the
+    per-entry defaults, so shards that vary only machine knobs stay
+    terse.  Raises :class:`ValueError` with the entry index on any
+    malformed field (the HTTP layer maps it to a 400).
+    """
+    from ..droplet.composite import EXTENDED_CONFIG_NAMES
+    from ..graph.generators import DATASET_NAMES
+    from ..workloads.registry import PAPER_WORKLOAD_ORDER
+
+    def bad(message: str):
+        return ValueError("points[%d]: %s" % (index, message))
+
+    if not isinstance(entry, dict):
+        raise bad("must be an object")
+    known = {
+        "workload", "dataset", "setup", "max_refs", "scale_shift", "seed",
+        "multi_property", "llc_multiplier", "l2_config", "rob_entries",
+        "mrb_entries",
+    }
+    unknown = sorted(set(entry) - known)
+    if unknown:
+        raise bad("unknown field(s): %s" % ", ".join(unknown))
+    workload = str(entry.get("workload", "")).upper()
+    if workload not in PAPER_WORKLOAD_ORDER:
+        raise bad("unknown workload %r" % entry.get("workload"))
+    dataset = str(entry.get("dataset", ""))
+    if dataset not in DATASET_NAMES:
+        raise bad("unknown dataset %r" % entry.get("dataset"))
+    setup = str(entry.get("setup", "none"))
+    if setup not in EXTENDED_CONFIG_NAMES:
+        raise bad("unknown setup %r" % setup)
+    try:
+        point_refs = int(entry.get("max_refs", max_refs))
+        point_shift = int(entry.get("scale_shift", scale_shift))
+        seed = entry.get("seed")
+        seed = None if seed is None else int(seed)
+        llc = entry.get("llc_multiplier")
+        llc = None if llc is None else int(llc)
+        rob = entry.get("rob_entries")
+        rob = None if rob is None else int(rob)
+        mrb = entry.get("mrb_entries")
+        mrb = None if mrb is None else int(mrb)
+    except (TypeError, ValueError):
+        raise bad("numeric fields must be integers or null") from None
+    if point_refs <= 0:
+        raise bad("max_refs must be positive")
+    if (rob is not None and rob <= 0) or (mrb is not None and mrb <= 0):
+        raise bad("rob_entries/mrb_entries must be positive")
+    l2_config = entry.get("l2_config")
+    if l2_config is not None:
+        if not isinstance(l2_config, (list, tuple)) or len(l2_config) != 2:
+            raise bad("l2_config must be [multiplier|null, associativity]")
+        mult, assoc = l2_config
+        try:
+            mult = None if mult is None else int(mult)
+            assoc = int(assoc)
+        except (TypeError, ValueError):
+            raise bad("l2_config values must be integers or null") from None
+        if (mult is not None and mult <= 0) or assoc <= 0:
+            raise bad("l2_config values must be positive")
+        l2_config = (mult, assoc)
+    return SweepPoint(
+        workload=workload,
+        dataset=dataset,
+        setup=setup,
+        max_refs=point_refs,
+        scale_shift=point_shift,
+        seed=seed,
+        multi_property=bool(entry.get("multi_property", False)),
+        llc_multiplier=llc,
+        l2_config=l2_config,
+        rob_entries=rob,
+        mrb_entries=mrb,
+        fast_path=fast_path,
+    )
 
 
 class Job:

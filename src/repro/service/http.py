@@ -27,6 +27,10 @@ or runs ``repro status`` against the ledger root:
     byte-offset cursor, and a reconnecting client's ``Last-Event-ID``
     header resumes from that offset without replaying history.  A final
     ``event: end`` closes the stream when the run finishes.
+``GET /sweeps/<run-id>/results``
+    Journaled per-point summaries keyed by content-addressed point key,
+    read straight from the run's ledger file — how a remote
+    ``repro pareto --service`` tuner harvests a finished rung's metrics.
 ``GET /metrics``
     Prometheus text exposition (:func:`~repro.telemetry.export.render_prom`)
     of the service's queue/dedupe/worker samples.
@@ -217,6 +221,9 @@ class _Handler(BaseHTTPRequestHandler):
             elif path.startswith("/sweeps/") and path.endswith("/events"):
                 run_id = path[len("/sweeps/"):-len("/events")].strip("/")
                 status = self._events(run_id)
+            elif path.startswith("/sweeps/") and path.endswith("/results"):
+                run_id = path[len("/sweeps/"):-len("/results")].strip("/")
+                status = self._results(run_id)
             elif path.startswith("/sweeps/"):
                 run_id = path[len("/sweeps/"):].strip("/")
                 status = self._status(run_id)
@@ -261,6 +268,41 @@ class _Handler(BaseHTTPRequestHandler):
         # construction: same loader, same serializer.
         body = (
             json.dumps(run_status.as_dict(), indent=2, sort_keys=True) + "\n"
+        ).encode()
+        self._send(200, body, "application/json")
+        return 200
+
+    def _results(self, run_id: str) -> int:
+        """Journaled per-point summaries, keyed by content-addressed key.
+
+        Serves straight from the run's ledger file (torn-tail tolerant),
+        so remote harvesters — the ``repro pareto --service`` tuner —
+        can fetch metrics without the service holding results in memory.
+        """
+        from ..runtime.ledger import RunLedger
+
+        if not run_id or "/" in run_id:
+            self._send_json(404, {"error": "bad run id"})
+            return 404
+        ledger = RunLedger(run_id, root=self.service.root)
+        if not ledger.exists():
+            self._send_json(404, {"error": "unknown run id %r" % run_id})
+            return 404
+        ledger.refresh()
+        points = {
+            key: {
+                "label": record.get("label"),
+                "summary": record.get("data", {}).get("summary"),
+            }
+            for key, record in ledger.completed_records().items()
+        }
+        body = (
+            json.dumps(
+                {"run_id": run_id, "points": points},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
         ).encode()
         self._send(200, body, "application/json")
         return 200
@@ -413,6 +455,7 @@ def serve_forever(
     announce("  POST /sweeps            submit a sweep spec")
     announce("  GET  /sweeps/<run-id>   status (repro status --json)")
     announce("  GET  /sweeps/<id>/events  SSE span stream")
+    announce("  GET  /sweeps/<id>/results journaled per-point summaries")
     announce("  GET  /metrics           Prometheus text format")
     announce("  GET  /healthz           pool liveness")
     announce("ledger root: %s" % service.root)

@@ -175,7 +175,7 @@ class Machine:
         #: §VI: property prefetches forwarded to a different MC than the
         #: one whose structure fill generated them.
         self.mpp_forwarded = 0
-        self.mrb = MemoryRequestBuffer()
+        self.mrb = MemoryRequestBuffer(self.config.mrb_entries)
         self.ledger = PrefetchLedger()
         self.classifier = RegionClassifier(layout)
         self.mpp: MPP | None = None

@@ -37,3 +37,32 @@ class TestAreaModel:
             AreaModel(chip_area_mm2=0)
         with pytest.raises(ValueError):
             AreaModel(storage_fraction_of_mpp=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_table_entries": 0},
+            {"page_table_entries": -512},
+            {"l2_queue_entries": 0},
+            {"mrb_entries": 0},
+            {"mrb_entries": 2.5},
+        ],
+    )
+    def test_report_rejects_non_positive_inputs(self, kwargs):
+        with pytest.raises(ValueError, match="positive integer"):
+            AreaModel().report(MPPConfig(), **kwargs)
+
+    @pytest.mark.parametrize(
+        "field", ["vab_entries", "pab_entries", "mtlb_entries"]
+    )
+    def test_report_rejects_degenerate_mpp_geometry(self, field):
+        with pytest.raises(ValueError, match=field):
+            AreaModel().report(MPPConfig(**{field: 0}))
+
+    def test_report_error_names_the_offending_field(self):
+        with pytest.raises(ValueError, match=r"mrb_entries.*got -1"):
+            AreaModel().report(MPPConfig(), mrb_entries=-1)
+
+    def test_rejects_non_positive_core_count(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            AreaModel(num_cores=0)

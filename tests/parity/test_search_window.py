@@ -1,0 +1,64 @@
+"""Fast-path parity over the tuner's short rung-0 windows.
+
+The successive-halving tuner evaluates early rungs on truncated windows
+(``max_refs`` cut by ``eta^k``) with ``fast_path='auto'``.  Pruning
+decisions therefore depend on batch replay agreeing with the scalar
+oracle *on short windows and under the search's machine knobs* — a
+different surface than the full-trace parity matrix in
+``test_parity.py``.  Every summary metric must match bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import RetryPolicy, SweepRunner, TraceCache
+from repro.search.space import parse_space
+
+WORKLOAD, DATASET = "PR", "kron"
+SCALE_SHIFT = -6
+#: The golden micro-space, evaluated at its rung-0 window.
+SPACE = "setup=none,stream;llc=1,2"
+RUNG0_REFS = 750
+
+
+@pytest.fixture(scope="module")
+def windows(tmp_path_factory):
+    """The micro-space evaluated twice: scalar oracle vs auto fast path."""
+    tmp_path = tmp_path_factory.mktemp("search-window")
+    cache = TraceCache(tmp_path / "traces")
+    out = {}
+    for mode in ("off", "auto"):
+        points = [
+            c.point(
+                WORKLOAD,
+                DATASET,
+                RUNG0_REFS,
+                scale_shift=SCALE_SHIFT,
+                fast_path=mode,
+            )
+            for c in parse_space(SPACE)
+        ]
+        runner = SweepRunner(
+            workers=0,
+            trace_cache=cache,
+            return_full=False,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        report = runner.run(points)
+        report.raise_errors()
+        out[mode] = report.points
+    return out
+
+
+def test_rung0_summaries_are_bit_identical(windows):
+    for scalar, fast in zip(windows["off"], windows["auto"]):
+        assert scalar.point.label == fast.point.label
+        assert scalar.summary == fast.summary, scalar.point.label
+
+
+def test_auto_mode_actually_took_the_fast_path(windows):
+    # The guard above would be vacuous if 'auto' silently degraded to
+    # the scalar loop for the whole space.
+    assert any(r.replay_tier == "vector" for r in windows["auto"])
+    assert all(r.replay_tier == "scalar" for r in windows["off"])

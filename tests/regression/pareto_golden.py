@@ -1,0 +1,89 @@
+"""Golden ``repro-pareto-v1`` report for the micro design-space search.
+
+One fixed search — PR/kron at scale_shift=-6, a 3000-reference full
+window, the four-candidate ``setup={none,stream} x llc={1x,2x}`` space,
+``cycles``/``area_mm2`` objectives — pinned byte for byte.  The report
+is deterministic by construction (no wall-clock fields), so any drift
+here means the tuner's pruning order, the report schema, the area model
+or the simulator itself changed.
+
+Regenerate after an *intentional* change with:
+
+    PYTHONPATH=src python -m tests.regression.pareto_golden
+
+and review the ``pareto_golden.json`` diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).with_name("pareto_golden.json")
+
+#: Search identity (mirrors the tuner test micro-space).
+WORKLOAD = "PR"
+DATASET = "kron"
+MAX_REFS = 3000
+SCALE_SHIFT = -6
+SPACE = "setup=none,stream;llc=1,2"
+OBJECTIVES = "cycles,area_mm2"
+
+
+def make_search():
+    """The golden search spec as a :class:`~repro.search.ParetoSearch`."""
+    from repro.search import HalvingSchedule, ParetoSearch
+    from repro.search.frontier import parse_objectives
+    from repro.search.space import parse_space
+
+    return ParetoSearch(
+        workload=WORKLOAD,
+        dataset=DATASET,
+        candidates=parse_space(SPACE),
+        objectives=parse_objectives(OBJECTIVES),
+        schedule=HalvingSchedule(
+            full_refs=MAX_REFS, rungs=3, eta=2, min_refs=500
+        ),
+        scale_shift=SCALE_SHIFT,
+    )
+
+
+def compute_report(root: Path | None = None) -> dict:
+    """Run the golden search (in ``root`` or a throwaway tmpdir)."""
+    from repro.runtime import RetryPolicy, RunLedger, SweepRunner, TraceCache
+
+    def build(base: Path) -> dict:
+        runner = SweepRunner(
+            workers=0,
+            trace_cache=TraceCache(base / "traces"),
+            return_full=False,
+            retry=RetryPolicy(max_attempts=1),
+            ledger=RunLedger("golden", root=base / "runs"),
+        )
+        return make_search().run(runner)
+
+    if root is not None:
+        return build(root)
+    with tempfile.TemporaryDirectory() as tmp:
+        return build(Path(tmp))
+
+
+def load_golden() -> dict:
+    """The committed golden report."""
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def main() -> None:
+    report = compute_report()
+    GOLDEN_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        "wrote %s (frontier: %s)"
+        % (GOLDEN_PATH, [e["label"] for e in report["frontier"]])
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Pinned pareto-search report: the tuner's end-to-end regression gate.
+
+The ``repro-pareto-v1`` report is deterministic, so it is pinned *byte
+for byte* — schema drift, pruning-order drift and metric drift all fail
+the same assertion.  Regenerate intentionally via
+``PYTHONPATH=src python -m tests.regression.pareto_golden``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .pareto_golden import (
+    GOLDEN_PATH,
+    MAX_REFS,
+    compute_report,
+    load_golden,
+    make_search,
+)
+
+
+@pytest.fixture(scope="module")
+def current(tmp_path_factory) -> dict:
+    return compute_report(tmp_path_factory.mktemp("pareto-golden"))
+
+
+def test_report_matches_the_pinned_golden_byte_for_byte(current):
+    assert (
+        json.dumps(current, indent=2, sort_keys=True) + "\n"
+        == GOLDEN_PATH.read_text()
+    )
+
+
+def test_golden_frontier_matches_exhaustive_full_evaluation(
+    current, tmp_path
+):
+    """Acceptance gate: halving found exactly the exhaustive frontier."""
+    from repro.runtime import RetryPolicy, RunLedger, SweepRunner, TraceCache
+    from repro.search.frontier import frontier_indices, objective_vector
+
+    search = make_search()
+    points = [
+        c.point(
+            search.workload,
+            search.dataset,
+            MAX_REFS,
+            scale_shift=search.scale_shift,
+        )
+        for c in search.candidates
+    ]
+    runner = SweepRunner(
+        workers=0,
+        trace_cache=TraceCache(tmp_path / "traces"),
+        return_full=False,
+        retry=RetryPolicy(max_attempts=1),
+        ledger=RunLedger("exhaustive", root=tmp_path / "runs"),
+    )
+    report = runner.run(points)
+    report.raise_errors()
+    vectors = [
+        objective_vector(r.summary, search.objectives) for r in report.points
+    ]
+    expected = sorted(
+        search.candidates[i].label
+        for i in frontier_indices(vectors, search.objectives)
+    )
+    assert sorted(e["label"] for e in current["frontier"]) == expected
+
+
+def test_golden_file_is_internally_consistent():
+    golden = load_golden()
+    assert golden["format"] == "repro-pareto-v1"
+    counters = golden["counters"]
+    assert counters["frontier_size"] == len(golden["frontier"])
+    assert counters["dominated"] == len(golden["space"]) - len(
+        golden["frontier"]
+    )
+    assert counters["rungs"] == len(golden["rungs"])
+    windows = golden["halving"]["windows"]
+    assert windows == sorted(windows) and windows[-1] == MAX_REFS

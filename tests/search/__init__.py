@@ -1,0 +1,1 @@
+"""Design-space search tests."""

@@ -1,0 +1,202 @@
+"""Hypothesis property suite for the pure pareto frontier core.
+
+These properties are the contract the successive-halving tuner leans on:
+dominance is a strict partial order, the frontier is exactly the
+non-dominated set, and the computation is invariant under input
+permutation, duplication and objective-sense sign flips.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.frontier import (
+    Objective,
+    dominates,
+    domination_rank,
+    frontier_indices,
+    objective_vector,
+    parse_objectives,
+    signed_vector,
+)
+
+# Coordinates mix small integers (to force ties and exact duplicates —
+# the interesting edge cases) with generic finite floats.
+_coord = st.one_of(
+    st.integers(-4, 4).map(float),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+    ),
+)
+
+
+@st.composite
+def spaces(draw, min_points=1, max_points=12):
+    """A random objective set plus matching vectors: ``(vectors, objectives)``."""
+    dim = draw(st.integers(1, 4))
+    objectives = tuple(
+        Objective("m%d" % i, draw(st.sampled_from(["min", "max"])))
+        for i in range(dim)
+    )
+    vectors = draw(
+        st.lists(
+            st.tuples(*([_coord] * dim)),
+            min_size=min_points,
+            max_size=max_points,
+        )
+    )
+    return vectors, objectives
+
+
+def _multiset(vectors, indices):
+    return sorted(tuple(vectors[i]) for i in indices)
+
+
+class TestStrictPartialOrder:
+    @given(spaces())
+    def test_irreflexive(self, space):
+        vectors, objectives = space
+        for v in vectors:
+            assert not dominates(v, v, objectives)
+
+    @given(spaces(min_points=2))
+    def test_antisymmetric(self, space):
+        vectors, objectives = space
+        a, b = vectors[0], vectors[1]
+        assert not (dominates(a, b, objectives) and dominates(b, a, objectives))
+
+    @settings(max_examples=200)
+    @given(spaces(min_points=3))
+    def test_transitive(self, space):
+        vectors, objectives = space
+        a, b, c = vectors[0], vectors[1], vectors[2]
+        if dominates(a, b, objectives) and dominates(b, c, objectives):
+            assert dominates(a, c, objectives)
+
+
+class TestFrontier:
+    @given(spaces())
+    def test_frontier_contains_no_dominated_point(self, space):
+        vectors, objectives = space
+        front = frontier_indices(vectors, objectives)
+        assert front  # a non-empty finite set always has a frontier
+        for i in front:
+            assert not any(
+                dominates(vectors[j], vectors[i], objectives)
+                for j in range(len(vectors))
+            )
+
+    @given(spaces())
+    def test_every_non_frontier_point_is_dominated_by_a_frontier_point(
+        self, space
+    ):
+        vectors, objectives = space
+        front = set(frontier_indices(vectors, objectives))
+        for i in range(len(vectors)):
+            if i not in front:
+                assert any(
+                    dominates(vectors[j], vectors[i], objectives)
+                    for j in front
+                )
+
+    @given(spaces(), st.randoms(use_true_random=False))
+    def test_invariant_under_permutation(self, space, rng):
+        vectors, objectives = space
+        shuffled = list(vectors)
+        rng.shuffle(shuffled)
+        assert _multiset(
+            vectors, frontier_indices(vectors, objectives)
+        ) == _multiset(shuffled, frontier_indices(shuffled, objectives))
+
+    @given(spaces(), st.data())
+    def test_invariant_under_duplicates(self, space, data):
+        vectors, objectives = space
+        dup = data.draw(st.sampled_from(range(len(vectors))))
+        doubled = vectors + [vectors[dup]]
+        before = set(_multiset(vectors, frontier_indices(vectors, objectives)))
+        after = set(_multiset(doubled, frontier_indices(doubled, objectives)))
+        assert before == after
+
+    @given(spaces())
+    def test_equal_points_tie_on_the_frontier(self, space):
+        vectors, objectives = space
+        doubled = vectors + list(vectors)
+        front = frontier_indices(doubled, objectives)
+        n = len(vectors)
+        # Both copies of a frontier point survive (equal vectors never
+        # dominate each other).
+        assert {i % n for i in front if i < n} == {i % n for i in front if i >= n}
+
+    @given(spaces())
+    def test_rank_zero_iff_on_frontier(self, space):
+        vectors, objectives = space
+        front = set(frontier_indices(vectors, objectives))
+        rank = domination_rank(vectors, objectives)
+        for i, r in enumerate(rank):
+            assert (r == 0) == (i in front)
+
+
+class TestSignHandling:
+    @given(spaces())
+    def test_signed_vector_round_trips(self, space):
+        vectors, objectives = space
+        for v in vectors:
+            signed = signed_vector(v, objectives)
+            assert signed_vector(signed, objectives) == tuple(float(x) for x in v)
+
+    @given(spaces(min_points=2))
+    def test_dominance_invariant_under_signing(self, space):
+        vectors, objectives = space
+        a, b = vectors[0], vectors[1]
+        min_objectives = tuple(Objective(o.name, "min") for o in objectives)
+        assert dominates(a, b, objectives) == dominates(
+            signed_vector(a, objectives),
+            signed_vector(b, objectives),
+            min_objectives,
+        )
+
+    @given(spaces())
+    def test_frontier_matches_all_min_frontier_of_signed_vectors(self, space):
+        vectors, objectives = space
+        signed = [signed_vector(v, objectives) for v in vectors]
+        assert frontier_indices(vectors, objectives) == frontier_indices(signed)
+
+
+class TestValidationAndParsing:
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            dominates((float("nan"), 1.0), (0.0, 0.0))
+        with pytest.raises(ValueError, match="finite"):
+            frontier_indices([(0.0, float("inf"))])
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError, match="components"):
+            dominates((1.0,), (1.0, 2.0), (Objective("a"), Objective("b")))
+
+    def test_parse_objectives_senses(self):
+        objectives = parse_objectives("cycles,area_mm2,ipc:max")
+        assert [o.name for o in objectives] == ["cycles", "area_mm2", "ipc"]
+        assert [o.sense for o in objectives] == ["min", "min", "max"]
+
+    def test_parse_objectives_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_objectives("")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_objectives("cycles,cycles")
+        with pytest.raises(ValueError, match="sense"):
+            parse_objectives("cycles:down")
+
+    def test_objective_vector_reads_metrics(self):
+        objectives = parse_objectives("cycles,ipc:max")
+        assert objective_vector(
+            {"cycles": 10, "ipc": 0.5, "extra": 1}, objectives
+        ) == (10.0, 0.5)
+        with pytest.raises(KeyError, match="missing objective"):
+            objective_vector({"cycles": 10}, objectives)
+
+    def test_known_2d_frontier(self):
+        # (cycles min, area min): the classic staircase.
+        vectors = [(10, 5), (8, 6), (12, 4), (8, 5), (20, 20)]
+        assert frontier_indices(vectors) == [2, 3]

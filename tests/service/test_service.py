@@ -510,3 +510,154 @@ class TestShutdown:
             {"ts", "method", "path", "status", "dur_ms", "client"} <= set(e)
             for e in lines
         )
+
+
+class TestExplicitPointsSpec:
+    """The ``points`` spec form: per-point machine knobs for shard/tuner use."""
+
+    def test_points_spec_builds_sweep_points(self):
+        points, _ = parse_spec(
+            {
+                "points": [
+                    {
+                        "workload": "pr",
+                        "dataset": "kron",
+                        "setup": "droplet",
+                        "llc_multiplier": 4,
+                        "l2_config": [2, 16],
+                        "rob_entries": 512,
+                        "mrb_entries": 64,
+                        "seed": 7,
+                    },
+                    {"workload": "PR", "dataset": "kron"},
+                ],
+                "max_refs": MAX_REFS,
+                "scale_shift": SCALE_SHIFT,
+            }
+        )
+        first, second = points
+        assert first.workload == "PR" and first.setup == "droplet"
+        assert first.llc_multiplier == 4 and first.l2_config == (2, 16)
+        assert first.rob_entries == 512 and first.mrb_entries == 64
+        assert first.seed == 7 and first.max_refs == MAX_REFS
+        assert first.scale_shift == SCALE_SHIFT
+        assert second.label == "PR/kron/none"
+
+    def test_point_entries_override_the_spec_level_window(self):
+        points, _ = parse_spec(
+            {
+                "points": [
+                    {"workload": "PR", "dataset": "kron", "max_refs": 99}
+                ],
+                "max_refs": MAX_REFS,
+            }
+        )
+        assert points[0].max_refs == 99
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-an-object",
+            {"workload": "NOPE", "dataset": "kron"},
+            {"workload": "PR", "dataset": "mars"},
+            {"workload": "PR", "dataset": "kron", "setup": "warp"},
+            {"workload": "PR", "dataset": "kron", "max_refs": 0},
+            {"workload": "PR", "dataset": "kron", "rob_entries": 0},
+            {"workload": "PR", "dataset": "kron", "mrb_entries": -8},
+            {"workload": "PR", "dataset": "kron", "llc_multiplier": "big"},
+            {"workload": "PR", "dataset": "kron", "l2_config": [8]},
+            {"workload": "PR", "dataset": "kron", "l2_config": [0, 8]},
+            {"workload": "PR", "dataset": "kron", "turbo": 1},
+        ],
+    )
+    def test_rejects_bad_point_entries(self, bad):
+        with pytest.raises(ValueError, match=r"points\[0\]"):
+            parse_spec({"points": [bad]})
+
+    def test_points_cannot_be_combined_with_matrix_axes(self):
+        with pytest.raises(ValueError, match="combined"):
+            parse_spec(
+                {
+                    "points": [{"workload": "PR", "dataset": "kron"}],
+                    "workloads": ["PR"],
+                }
+            )
+
+    def test_points_must_be_a_non_empty_list(self):
+        with pytest.raises(ValueError):
+            parse_spec({"points": []})
+
+
+class TestResultsAndParetoService:
+    """``GET /sweeps/<id>/results`` and the ``repro pareto --service`` path."""
+
+    POINTS_SPEC = {
+        "points": [
+            {"workload": "PR", "dataset": "kron", "setup": "none"},
+            {
+                "workload": "PR",
+                "dataset": "kron",
+                "setup": "stream",
+                "mrb_entries": 128,
+            },
+        ],
+        "max_refs": MAX_REFS,
+        "scale_shift": SCALE_SHIFT,
+        "run_id": "explicit",
+    }
+
+    def test_results_endpoint_serves_journaled_summaries(self, live_server):
+        from repro.service import client
+
+        server, service, _ = live_server
+        status_code, _ = post_json(server.url + "/sweeps", self.POINTS_SPEC)
+        assert status_code == 202
+        wait_finished(service, "explicit")
+        code, body = get(server.url + "/sweeps/explicit/results")
+        assert code == 200
+        payload = json.loads(body)
+        points, _ = parse_spec(self.POINTS_SPEC)
+        expected = {point_key(p): p.label for p in points}
+        entries = payload["points"]
+        assert {k: v["label"] for k, v in entries.items()} == expected
+        assert all("cycles" in v["summary"] for v in entries.values())
+        # The stdlib client sees the identical payload.
+        assert client.fetch_results(server.url, "explicit") == payload
+
+    def test_results_for_unknown_run_is_404(self, live_server):
+        server, _, _ = live_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/sweeps/ghost/results")
+        assert excinfo.value.code == 404
+
+    def test_pareto_search_through_the_service(self, live_server):
+        from repro.search import HalvingSchedule, ParetoSearch
+        from repro.search.frontier import parse_objectives
+        from repro.search.space import parse_space
+
+        server, service, _ = live_server
+        search = ParetoSearch(
+            workload="PR",
+            dataset="kron",
+            candidates=parse_space("setup=none,stream;llc=1,2"),
+            objectives=parse_objectives("cycles,area_mm2"),
+            schedule=HalvingSchedule(
+                full_refs=MAX_REFS, rungs=3, eta=2, min_refs=500
+            ),
+            scale_shift=SCALE_SHIFT,
+            service=server.url,
+            service_poll=0.1,
+        )
+        report = search.run()
+        assert report["format"] == "repro-pareto-v1"
+        assert report["frontier"]
+        # Each rung became its own content-addressed service run.
+        digest = search.spec_digest()
+        for rung in range(3):
+            assert service.run_finished("par-%s-r%d" % (digest, rung))
+        # Resubmitting the identical search dedupes into the finished
+        # runs and reproduces the report byte for byte.
+        again = search.run()
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            report, sort_keys=True
+        )
